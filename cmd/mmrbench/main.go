@@ -1,0 +1,153 @@
+// Command mmrbench regenerates the paper's evaluation: every figure of
+// §5.2, the prose spot-checks, and the design-trade-off ablations listed
+// in DESIGN.md.
+//
+// Examples:
+//
+//	mmrbench -fig 3          # Figure 3 (jitter vs load, fixed/biased, 1-8 candidates)
+//	mmrbench -fig 4          # Figure 4 (delay vs load)
+//	mmrbench -fig 5          # Figure 5 (four algorithms, delay and jitter)
+//	mmrbench -fig all        # everything
+//	mmrbench -claims         # §5.2 prose spot checks
+//	mmrbench -ablation A4    # round-multiplier trade-off
+//	mmrbench -ablation all
+//	mmrbench -fig 3 -csv     # machine-readable output
+//	mmrbench -fig 3 -quick   # shorter measurement window
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"mmr/internal/exp"
+)
+
+func main() {
+	var (
+		fig      = flag.String("fig", "", "figure to regenerate: 3, 4, 5, util, vbr, net, all")
+		claims   = flag.Bool("claims", false, "run the §5.2 prose spot checks")
+		ablation = flag.String("ablation", "", "ablation to run: A1-A11, all")
+		quick    = flag.Bool("quick", false, "shorter measurement window (noisier, ~4x faster)")
+		csv      = flag.Bool("csv", false, "emit CSV instead of aligned tables")
+		warmup   = flag.Int64("warmup", 0, "override warmup cycles")
+		measure  = flag.Int64("measure", 0, "override measured cycles")
+		seed     = flag.Uint64("seed", 1, "simulation seed")
+	)
+	flag.Parse()
+
+	opts := exp.DefaultOptions()
+	if *quick {
+		opts = exp.QuickOptions()
+	}
+	if *warmup > 0 {
+		opts.Warmup = *warmup
+	}
+	if *measure > 0 {
+		opts.Measure = *measure
+	}
+	opts.Seed = *seed
+
+	ran := false
+	emit := func(res *exp.FigureResult, err error) {
+		if err != nil {
+			fail(err)
+		}
+		for _, f := range res.Figures {
+			if *csv {
+				fmt.Print(f.FormatCSV())
+			} else {
+				fmt.Println(f.FormatTable())
+			}
+		}
+		ran = true
+	}
+
+	switch *fig {
+	case "":
+	case "3":
+		emit(exp.Figure3(opts))
+	case "4":
+		emit(exp.Figure4(opts))
+	case "5":
+		emit(exp.Figure5(opts))
+	case "util":
+		emit(exp.UtilizationSweep(opts))
+	case "vbr":
+		emit(exp.FigureVBR(vbrOpts(opts)))
+	case "net":
+		emit(exp.NetworkSweep(netOpts(opts)))
+	case "all":
+		emit(exp.Figure3(opts))
+		emit(exp.Figure4(opts))
+		emit(exp.Figure5(opts))
+		emit(exp.UtilizationSweep(opts))
+		emit(exp.FigureVBR(vbrOpts(opts)))
+		emit(exp.NetworkSweep(netOpts(opts)))
+	default:
+		fail(fmt.Errorf("unknown figure %q", *fig))
+	}
+
+	if *claims {
+		cs, err := exp.RunClaims(opts)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Print(exp.FormatClaims(cs))
+		ran = true
+	}
+
+	ablations := map[string]func() (*exp.FigureResult, error){
+		"A1":  func() (*exp.FigureResult, error) { return exp.AblationA1(opts) },
+		"A2":  func() (*exp.FigureResult, error) { return exp.AblationA2(opts) },
+		"A3":  func() (*exp.FigureResult, error) { return exp.AblationA3(opts) },
+		"A4":  func() (*exp.FigureResult, error) { return exp.AblationA4(opts) },
+		"A5":  func() (*exp.FigureResult, error) { return exp.AblationA5(opts) },
+		"A6":  func() (*exp.FigureResult, error) { return exp.AblationA6(opts) },
+		"A7":  func() (*exp.FigureResult, error) { return exp.AblationA7(opts) },
+		"A8":  func() (*exp.FigureResult, error) { return exp.AblationA8(), nil },
+		"A9":  func() (*exp.FigureResult, error) { return exp.AblationA9(opts) },
+		"A10": func() (*exp.FigureResult, error) { return exp.AblationA10(opts) },
+		"A11": func() (*exp.FigureResult, error) { return exp.AblationA11(opts) },
+	}
+	switch {
+	case *ablation == "":
+	case *ablation == "all":
+		for _, id := range []string{"A1", "A2", "A3", "A4", "A5", "A6", "A7", "A8", "A9", "A10", "A11"} {
+			emit(ablations[id]())
+		}
+	default:
+		fn, ok := ablations[*ablation]
+		if !ok {
+			fail(fmt.Errorf("unknown ablation %q", *ablation))
+		}
+		emit(fn())
+	}
+
+	if !ran {
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+// vbrOpts narrows the load sweep to the VBR experiment's range unless
+// the caller overrode it.
+func vbrOpts(o exp.Options) exp.Options {
+	if len(o.Loads) == 0 {
+		o.Loads = []float64{0.2, 0.4, 0.6, 0.8}
+	}
+	return o
+}
+
+// netOpts narrows the load sweep to per-host injection fractions.
+func netOpts(o exp.Options) exp.Options {
+	if len(o.Loads) == 0 {
+		o.Loads = []float64{0.1, 0.2, 0.3, 0.4, 0.5}
+	}
+	return o
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "mmrbench:", err)
+	os.Exit(1)
+}

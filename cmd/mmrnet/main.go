@@ -1,0 +1,128 @@
+// Command mmrnet simulates a multi-router MMR fabric: it builds a
+// topology, opens randomly placed connections with EPB establishment,
+// optionally adds best-effort traffic, runs the flit-level datapath and
+// prints end-to-end statistics.
+//
+// Examples:
+//
+//	mmrnet -topo mesh -w 4 -h 4 -conns 64
+//	mmrnet -topo irregular -nodes 16 -degree 3 -conns 100 -be 0.01
+//	mmrnet -topo torus -w 4 -h 4 -conns 80 -rate 55
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"mmr/internal/flit"
+	"mmr/internal/network"
+	"mmr/internal/sim"
+	"mmr/internal/topology"
+	"mmr/internal/traffic"
+)
+
+func main() {
+	var (
+		topo   = flag.String("topo", "mesh", "topology: mesh, torus, irregular")
+		w      = flag.Int("w", 4, "mesh/torus width")
+		h      = flag.Int("h", 4, "mesh/torus height")
+		nodes  = flag.Int("nodes", 16, "irregular topology node count")
+		degree = flag.Int("degree", 3, "irregular topology average degree")
+		ports  = flag.Int("ports", 4, "inter-router ports per router")
+		conns  = flag.Int("conns", 48, "connections to open at random endpoints")
+		rate   = flag.Float64("rate", 0, "connection rate in Mbps (0 = draw from the paper's rate set)")
+		vbr    = flag.Float64("vbr", 0, "fraction of connections that are VBR (peak 3×)")
+		be     = flag.Float64("be", 0, "best-effort packets/cycle per node pair (adds 2×nodes flows)")
+		cycles = flag.Int64("cycles", 50_000, "measured cycles after warmup")
+		warmup = flag.Int64("warmup", 10_000, "warmup cycles")
+		vcs    = flag.Int("vcs", 64, "virtual channels per input port")
+		seed   = flag.Uint64("seed", 1, "simulation seed")
+	)
+	flag.Parse()
+
+	rng := sim.NewRNG(*seed)
+	var tp *topology.Topology
+	var err error
+	switch *topo {
+	case "mesh":
+		tp, err = topology.Mesh(*w, *h, *ports)
+	case "torus":
+		tp, err = topology.Torus(*w, *h, *ports)
+	case "irregular":
+		tp, err = topology.Irregular(*nodes, *ports, *degree, rng)
+	default:
+		err = fmt.Errorf("unknown topology %q", *topo)
+	}
+	if err != nil {
+		fail(err)
+	}
+
+	cfg := network.DefaultConfig(tp)
+	cfg.VCs = *vcs
+	cfg.Seed = *seed
+	n, err := network.New(cfg)
+	if err != nil {
+		fail(err)
+	}
+
+	opened, backtracks := 0, 0
+	for i := 0; i < *conns; i++ {
+		src, dst := rng.Intn(tp.Nodes), rng.Intn(tp.Nodes)
+		if src == dst {
+			dst = (dst + 1) % tp.Nodes
+		}
+		spec := traffic.ConnSpec{Class: flit.ClassCBR}
+		if *rate > 0 {
+			spec.Rate = traffic.Rate(*rate) * traffic.Mbps
+		} else {
+			spec.Rate = traffic.PaperRates[rng.Intn(len(traffic.PaperRates))]
+		}
+		if *vbr > 0 && rng.Float64() < *vbr {
+			spec.Class = flit.ClassVBR
+			spec.PeakRate = traffic.Rate(3 * float64(spec.Rate))
+			spec.Priority = rng.Intn(4)
+		}
+		c, err := n.Open(src, dst, spec)
+		if err == nil {
+			opened++
+			backtracks += c.Backtracks
+		}
+	}
+	if *be > 0 {
+		added := 0
+		for i := 0; i < 2*tp.Nodes; i++ {
+			src, dst := rng.Intn(tp.Nodes), rng.Intn(tp.Nodes)
+			if src == dst {
+				continue
+			}
+			if err := n.AddBestEffortFlow(src, dst, *be); err == nil {
+				added++
+			}
+		}
+		fmt.Printf("best-effort flows: %d at %.3f packets/cycle each\n", added, *be)
+	}
+
+	n.Run(*warmup)
+	n.ResetStats()
+	n.Run(*cycles)
+	st := n.Stats()
+
+	fmt.Printf("topology    %s: %d routers, %d links, host port = port %d\n",
+		*topo, tp.Nodes, len(tp.Links), tp.Ports)
+	fmt.Printf("setup       %d/%d connections accepted (%.1f%%), %d probe backtracks, mean setup %.1f cycles\n",
+		opened, *conns, 100*float64(opened)/float64(*conns), backtracks, st.SetupLatency.Mean())
+	fmt.Printf("delivered   %d stream flits over %d cycles\n", st.FlitsDelivered, st.Cycles)
+	fmt.Printf("latency     %.2f cycles end-to-end (min %.0f, max %.0f)\n",
+		st.Latency.Mean(), st.Latency.Min(), st.Latency.Max())
+	fmt.Printf("jitter      %.3f cycles\n", st.Jitter.Mean())
+	if st.BEGenerated > 0 {
+		fmt.Printf("best-effort %d/%d packets delivered, latency %.2f cycles\n",
+			st.BEDelivered, st.BEGenerated, st.BELatency.Mean())
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "mmrnet:", err)
+	os.Exit(1)
+}

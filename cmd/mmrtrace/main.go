@@ -1,0 +1,100 @@
+// Command mmrtrace generates and inspects MPEG frame-size traces for
+// VBR workloads — the trace format internal/trace parses and the
+// examples replay through the router.
+//
+// Examples:
+//
+//	mmrtrace -gen -rate 6 -seconds 60 > movie.trc     # synthesize a trace
+//	mmrtrace -stat movie.trc                          # inspect it
+//	mmrtrace -gen -rate 4 -seconds 10 -scene 60       # choppier video
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"mmr/internal/sim"
+	"mmr/internal/trace"
+	"mmr/internal/traffic"
+)
+
+func main() {
+	var (
+		gen     = flag.Bool("gen", false, "generate a synthetic trace to stdout")
+		rate    = flag.Float64("rate", 6, "target mean bit rate in Mbps")
+		seconds = flag.Float64("seconds", 60, "trace length in seconds")
+		fps     = flag.Float64("fps", 30, "frame rate")
+		scene   = flag.Float64("scene", 120, "mean scene length in frames")
+		sigma   = flag.Float64("scenevar", 0.35, "scene activity spread (log-normal sigma)")
+		noise   = flag.Float64("noise", 0.12, "per-frame size noise (log-normal sigma)")
+		seed    = flag.Uint64("seed", 1, "generator seed")
+		stat    = flag.String("stat", "", "trace file to summarize")
+	)
+	flag.Parse()
+
+	switch {
+	case *gen:
+		cfg := trace.DefaultGenConfig(traffic.Rate(*rate)*traffic.Mbps, int(*seconds**fps))
+		cfg.GoP.FrameRate = *fps
+		cfg.SceneLen = *scene
+		cfg.SceneVar = *sigma
+		cfg.FrameNoise = *noise
+		tr, err := trace.Generate(cfg, sim.NewRNG(*seed))
+		if err != nil {
+			fail(err)
+		}
+		if err := trace.Format(os.Stdout, tr); err != nil {
+			fail(err)
+		}
+	case *stat != "":
+		f, err := os.Open(*stat)
+		if err != nil {
+			fail(err)
+		}
+		defer f.Close()
+		tr, err := trace.Parse(f)
+		if err != nil {
+			fail(err)
+		}
+		summarize(tr)
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func summarize(tr *trace.Trace) {
+	fmt.Printf("frames     %d at %g fps (%.1f s)\n", len(tr.Frames), tr.FrameRate, tr.Duration())
+	fmt.Printf("mean rate  %v\n", tr.MeanRate())
+	fmt.Printf("peak rate  %v (largest frame over one interval)\n", tr.PeakRate())
+	names := map[traffic.FrameKind]string{
+		traffic.FrameI: "I", traffic.FrameP: "P", traffic.FrameB: "B",
+	}
+	for kind, st := range tr.Stats() {
+		fmt.Printf("  %s frames: %6d, mean %9.0f bits\n", names[kind], st.Count, st.MeanBits)
+	}
+	// Burstiness: rate of the busiest one-second window vs the mean.
+	win := int(tr.FrameRate)
+	if win < 1 || win > len(tr.Frames) {
+		return
+	}
+	sum := 0
+	for i := 0; i < win; i++ {
+		sum += tr.Frames[i].Bits
+	}
+	max := sum
+	for i := win; i < len(tr.Frames); i++ {
+		sum += tr.Frames[i].Bits - tr.Frames[i-win].Bits
+		if sum > max {
+			max = sum
+		}
+	}
+	fmt.Printf("busiest 1 s window: %v (%.2fx mean)\n",
+		traffic.Rate(max), float64(max)/(float64(tr.MeanRate())))
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "mmrtrace:", err)
+	os.Exit(1)
+}

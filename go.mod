@@ -1,0 +1,3 @@
+module mmr
+
+go 1.22

@@ -1,0 +1,165 @@
+// Package crossbar models the MMR's internal switch: a multiplexed
+// crossbar with as many ports as physical links (§3.3). Virtual channels
+// share crossbar ports, so the switch must be reconfigured — at the cost
+// of one dead cycle — whenever the set of input→output assignments
+// changes (§3.4). Output buffering is unnecessary: switch outputs connect
+// directly to output links.
+package crossbar
+
+import "fmt"
+
+// Organization enumerates the crossbar organizations the paper compares
+// (§3.3, after Dally's taxonomy).
+type Organization int
+
+// Crossbar organizations, from cheapest to most expensive in silicon.
+const (
+	// Multiplexed: one crossbar port per physical link; VCs multiplex onto
+	// ports. The MMR's choice.
+	Multiplexed Organization = iota
+	// PartiallyDemultiplexed: one input port per virtual channel, one
+	// output port per link.
+	PartiallyDemultiplexed
+	// FullyDemultiplexed: one port per virtual channel on both sides.
+	FullyDemultiplexed
+)
+
+// String implements fmt.Stringer.
+func (o Organization) String() string {
+	switch o {
+	case Multiplexed:
+		return "multiplexed"
+	case PartiallyDemultiplexed:
+		return "partially-demultiplexed"
+	case FullyDemultiplexed:
+		return "fully-demultiplexed"
+	default:
+		return fmt.Sprintf("Organization(%d)", int(o))
+	}
+}
+
+// RelativeArea returns the crosspoint count of an organization for n links
+// with v virtual channels per link, normalized so the multiplexed design
+// is n². The paper's claim is that the multiplexed crossbar "reduces
+// silicon area by V and V², respectively, with respect to a partially
+// multiplexed and a fully de-multiplexed crossbar".
+func RelativeArea(o Organization, n, v int) int64 {
+	base := int64(n) * int64(n)
+	switch o {
+	case Multiplexed:
+		return base
+	case PartiallyDemultiplexed:
+		return base * int64(v)
+	case FullyDemultiplexed:
+		return base * int64(v) * int64(v)
+	default:
+		return 0
+	}
+}
+
+// Unconnected marks a crossbar port with no assignment.
+const Unconnected = -1
+
+// Crossbar is an N×N multiplexed switch. A configuration is a partial
+// matching between input ports and output ports; setting a new
+// configuration models the one-cycle reconfiguration the paper describes.
+type Crossbar struct {
+	n       int
+	inToOut []int
+	outToIn []int
+
+	reconfigs   int64 // completed reconfigurations
+	transmitted int64 // flits moved
+}
+
+// New returns an unconfigured n×n crossbar.
+func New(n int) *Crossbar {
+	if n < 1 {
+		panic(fmt.Sprintf("crossbar: invalid size %d", n))
+	}
+	c := &Crossbar{n: n, inToOut: make([]int, n), outToIn: make([]int, n)}
+	c.Clear()
+	return c
+}
+
+// Size returns the port count.
+func (c *Crossbar) Size() int { return c.n }
+
+// Clear disconnects every port.
+func (c *Crossbar) Clear() {
+	for i := 0; i < c.n; i++ {
+		c.inToOut[i] = Unconnected
+		c.outToIn[i] = Unconnected
+	}
+}
+
+// Configure installs a new matching given as out[i] = output port for
+// input i (or Unconnected). It validates that no output is claimed twice
+// and counts one reconfiguration. The caller models the dead cycle.
+func (c *Crossbar) Configure(out []int) error {
+	if len(out) != c.n {
+		return fmt.Errorf("crossbar: configuration has %d entries, want %d", len(out), c.n)
+	}
+	// Validate before mutating so a bad configuration leaves the previous
+	// one intact.
+	seen := make([]bool, c.n)
+	for in, o := range out {
+		if o == Unconnected {
+			continue
+		}
+		if o < 0 || o >= c.n {
+			return fmt.Errorf("crossbar: input %d mapped to invalid output %d", in, o)
+		}
+		if seen[o] {
+			return fmt.Errorf("crossbar: output %d claimed by two inputs", o)
+		}
+		seen[o] = true
+	}
+	c.Clear()
+	for in, o := range out {
+		if o != Unconnected {
+			c.inToOut[in] = o
+			c.outToIn[o] = in
+		}
+	}
+	c.reconfigs++
+	return nil
+}
+
+// OutputFor returns the output port input in drives, or Unconnected.
+func (c *Crossbar) OutputFor(in int) int { return c.inToOut[in] }
+
+// InputFor returns the input port driving output out, or Unconnected.
+func (c *Crossbar) InputFor(out int) int { return c.outToIn[out] }
+
+// Connected reports whether input in currently drives output out.
+func (c *Crossbar) Connected(in, out int) bool {
+	return in >= 0 && in < c.n && c.inToOut[in] == out
+}
+
+// Transmit records the transfer of one flit from input in through its
+// configured output and returns that output. It panics if in is not
+// connected — the scheduler must never transmit through an open switch.
+func (c *Crossbar) Transmit(in int) int {
+	o := c.inToOut[in]
+	if o == Unconnected {
+		panic(fmt.Sprintf("crossbar: transmit on unconnected input %d", in))
+	}
+	c.transmitted++
+	return o
+}
+
+// Reconfigurations returns how many configurations have been installed.
+func (c *Crossbar) Reconfigurations() int64 { return c.reconfigs }
+
+// Transmitted returns the total flits moved through the switch.
+func (c *Crossbar) Transmitted() int64 { return c.transmitted }
+
+// Utilization returns transmitted flits divided by the switch capacity
+// over the given number of flit cycles (n flits per cycle).
+func (c *Crossbar) Utilization(cycles int64) float64 {
+	if cycles <= 0 {
+		return 0
+	}
+	return float64(c.transmitted) / (float64(c.n) * float64(cycles))
+}

@@ -1,0 +1,157 @@
+package crossbar
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestRelativeArea(t *testing.T) {
+	// §3.3: multiplexed saves V and V² vs partially and fully demuxed.
+	n, v := 8, 256
+	mux := RelativeArea(Multiplexed, n, v)
+	part := RelativeArea(PartiallyDemultiplexed, n, v)
+	full := RelativeArea(FullyDemultiplexed, n, v)
+	if mux != 64 {
+		t.Fatalf("multiplexed area = %d, want 64", mux)
+	}
+	if part != mux*int64(v) {
+		t.Fatalf("partial = %d, want %d", part, mux*int64(v))
+	}
+	if full != mux*int64(v)*int64(v) {
+		t.Fatalf("full = %d, want %d", full, mux*int64(v)*int64(v))
+	}
+	if RelativeArea(Organization(99), n, v) != 0 {
+		t.Fatal("unknown organization should report 0")
+	}
+}
+
+func TestOrganizationString(t *testing.T) {
+	if Multiplexed.String() != "multiplexed" ||
+		!strings.Contains(PartiallyDemultiplexed.String(), "partially") ||
+		!strings.Contains(FullyDemultiplexed.String(), "fully") {
+		t.Fatal("organization strings wrong")
+	}
+	if !strings.Contains(Organization(42).String(), "42") {
+		t.Fatal("unknown organization string should include value")
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New(0) did not panic")
+		}
+	}()
+	New(0)
+}
+
+func TestConfigureAndQuery(t *testing.T) {
+	c := New(4)
+	if err := c.Configure([]int{2, Unconnected, 0, 3}); err != nil {
+		t.Fatal(err)
+	}
+	if c.OutputFor(0) != 2 || c.OutputFor(1) != Unconnected || c.OutputFor(2) != 0 || c.OutputFor(3) != 3 {
+		t.Fatal("forward mapping wrong")
+	}
+	if c.InputFor(2) != 0 || c.InputFor(0) != 2 || c.InputFor(3) != 3 || c.InputFor(1) != Unconnected {
+		t.Fatal("reverse mapping wrong")
+	}
+	if !c.Connected(0, 2) || c.Connected(1, 0) || c.Connected(-1, 0) {
+		t.Fatal("Connected wrong")
+	}
+	if c.Reconfigurations() != 1 {
+		t.Fatalf("reconfigs = %d, want 1", c.Reconfigurations())
+	}
+}
+
+func TestConfigureRejectsConflicts(t *testing.T) {
+	c := New(3)
+	if err := c.Configure([]int{0, 0, Unconnected}); err == nil {
+		t.Fatal("duplicate output accepted")
+	}
+	if err := c.Configure([]int{5, Unconnected, Unconnected}); err == nil {
+		t.Fatal("out-of-range output accepted")
+	}
+	if err := c.Configure([]int{0, 1}); err == nil {
+		t.Fatal("short configuration accepted")
+	}
+}
+
+func TestBadConfigurePreservesPrevious(t *testing.T) {
+	c := New(2)
+	if err := c.Configure([]int{1, 0}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Configure([]int{0, 0}); err == nil {
+		t.Fatal("conflict accepted")
+	}
+	if c.OutputFor(0) != 1 || c.OutputFor(1) != 0 {
+		t.Fatal("failed configure clobbered the active matching")
+	}
+}
+
+func TestTransmit(t *testing.T) {
+	c := New(2)
+	c.Configure([]int{1, Unconnected})
+	if out := c.Transmit(0); out != 1 {
+		t.Fatalf("Transmit(0) = %d, want 1", out)
+	}
+	if c.Transmitted() != 1 {
+		t.Fatal("transmit count wrong")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("transmit on unconnected input did not panic")
+		}
+	}()
+	c.Transmit(1)
+}
+
+func TestUtilization(t *testing.T) {
+	c := New(4)
+	c.Configure([]int{0, 1, 2, 3})
+	for i := 0; i < 4; i++ {
+		c.Transmit(i)
+	}
+	if u := c.Utilization(2); u != 0.5 { // 4 flits / (4 ports × 2 cycles)
+		t.Fatalf("utilization = %v, want 0.5", u)
+	}
+	if c.Utilization(0) != 0 {
+		t.Fatal("zero-cycle utilization should be 0")
+	}
+}
+
+// Property: any valid partial matching round-trips through
+// Configure/OutputFor/InputFor consistently.
+func TestConfigureProperty(t *testing.T) {
+	f := func(raw [6]int8) bool {
+		c := New(6)
+		out := make([]int, 6)
+		used := make(map[int]bool)
+		for i, r := range raw {
+			o := int(r)
+			if o < 0 || o >= 6 || used[o] {
+				out[i] = Unconnected
+			} else {
+				out[i] = o
+				used[o] = true
+			}
+		}
+		if err := c.Configure(out); err != nil {
+			return false
+		}
+		for in, o := range out {
+			if c.OutputFor(in) != o {
+				return false
+			}
+			if o != Unconnected && c.InputFor(o) != in {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

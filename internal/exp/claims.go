@@ -1,0 +1,131 @@
+package exp
+
+import (
+	"fmt"
+	"strings"
+
+	"mmr/internal/router"
+)
+
+// Claim is one quantitative statement from §5.2's prose, checked against
+// the reproduction. Absolute numbers are not expected to match a
+// simulator rebuilt from the paper's text — Shape records the relation
+// that must hold for the reproduction to support the paper's conclusion.
+type Claim struct {
+	ID       string
+	Text     string // the paper's statement
+	Paper    string // the paper's value
+	Measured float64
+	Unit     string
+	Shape    string // the relation tested
+	Holds    bool
+}
+
+// RunClaims evaluates the §5.2 spot checks.
+func RunClaims(opts Options) ([]Claim, error) {
+	base := router.PaperConfig()
+	point := func(load float64, scheme string, cands int) (*router.Metrics, error) {
+		p, err := RunPoint(base, load, SchemeVariant(scheme, cands), opts)
+		if err != nil {
+			return nil, err
+		}
+		return p.M, nil
+	}
+
+	b2, err := point(0.70, "biased", 2)
+	if err != nil {
+		return nil, err
+	}
+	f2, err := point(0.70, "fixed", 2)
+	if err != nil {
+		return nil, err
+	}
+	b8at70, err := point(0.70, "biased", 8)
+	if err != nil {
+		return nil, err
+	}
+	f8at90, err := point(0.90, "fixed", 8)
+	if err != nil {
+		return nil, err
+	}
+	b8at80, err := point(0.80, "biased", 8)
+	if err != nil {
+		return nil, err
+	}
+	b8at95, err := point(0.95, "biased", 8)
+	if err != nil {
+		return nil, err
+	}
+
+	claims := []Claim{
+		{
+			ID:       "C1",
+			Text:     "with two candidates and at 70% load, the biased scheme produces an average delay of .82 microseconds",
+			Paper:    "0.82 µs",
+			Measured: b2.DelayMicros,
+			Unit:     "µs",
+			Shape:    "same order of magnitude (<2 µs)",
+			Holds:    b2.DelayMicros < 2,
+		},
+		{
+			ID:       "C2",
+			Text:     "while with fixed priority we have ~5 microseconds (2C, 70%)",
+			Paper:    "~5 µs",
+			Measured: f2.TotalDelay.Mean() * base.Link.FlitCycleNanos() / 1e3,
+			Unit:     "µs (incl. queueing)",
+			Shape:    "fixed end-to-end delay exceeds biased",
+			Holds:    f2.TotalDelay.Mean() > b2.TotalDelay.Mean(),
+		},
+		{
+			ID:       "C3",
+			Text:     "with 8 candidates delays for biased priorities are consistently in the range of .4-.6 microseconds",
+			Paper:    "0.4-0.6 µs",
+			Measured: b8at70.DelayMicros,
+			Unit:     "µs",
+			Shape:    "below 1 µs at 70% load",
+			Holds:    b8at70.DelayMicros < 1,
+		},
+		{
+			ID:       "C4",
+			Text:     "the fixed priorities realize delays on the order of 1-2 microseconds (8C)",
+			Paper:    "1-2 µs",
+			Measured: f8at90.DelayMicros,
+			Unit:     "µs",
+			Shape:    "fixed 8C at 90% load in the ~1 µs range",
+			Holds:    f8at90.DelayMicros > 0.4 && f8at90.DelayMicros < 5,
+		},
+		{
+			ID:       "C5",
+			Text:     "the biased priority scheme maintains extremely low jitter values ranging from .168 router cycles at 80% load to .51 router cycles at 95%",
+			Paper:    "0.168 → 0.51 cycles",
+			Measured: b8at80.Jitter.Mean(),
+			Unit:     "cycles (at 80%)",
+			Shape:    "jitter grows with load and stays in single-digit cycles",
+			Holds:    b8at80.Jitter.Mean() < 10 && b8at95.Jitter.Mean() > b8at80.Jitter.Mean(),
+		},
+		{
+			ID:       "C6",
+			Text:     "Saturation does not appear to occur before 95% load (biased, 8 candidates)",
+			Paper:    "stable at 95%",
+			Measured: b8at95.SwitchUtilization,
+			Unit:     "utilization at 95% offered",
+			Shape:    "delivered ≥ 93% of switch bandwidth",
+			Holds:    b8at95.SwitchUtilization >= 0.93,
+		},
+	}
+	return claims, nil
+}
+
+// FormatClaims renders the claim table.
+func FormatClaims(claims []Claim) string {
+	var b strings.Builder
+	for _, c := range claims {
+		status := "HOLDS"
+		if !c.Holds {
+			status = "FAILS"
+		}
+		fmt.Fprintf(&b, "%-3s %-6s paper=%-18s measured=%.3f %s\n    shape: %s\n    %q\n",
+			c.ID, status, c.Paper, c.Measured, c.Unit, c.Shape, c.Text)
+	}
+	return b.String()
+}

@@ -1,0 +1,116 @@
+package exp
+
+import (
+	"mmr/internal/router"
+	"mmr/internal/stats"
+)
+
+// FigureResult bundles the regenerated figure with the grid it came from.
+type FigureResult struct {
+	ID      string
+	Figures []*stats.Figure
+	Grid    *Grid
+}
+
+// Figure3 regenerates "Jitter vs. Offered Load: Fixed and Biased
+// Priorities" — panel (a) with 1 and 2 candidates, panel (b) with 4 and
+// 8 (§5.2, Figure 3).
+func Figure3(opts Options) (*FigureResult, error) {
+	return candidateSweep("fig3", "Jitter vs. Offered Load (Fig. 3)",
+		"jitter (router cycles)", MetricJitter, opts)
+}
+
+// Figure4 regenerates "Delay vs. Offered Load: Fixed and Biased
+// Priorities" — panels as in Figure 3 but plotting delay in microseconds
+// (§5.2, Figure 4).
+func Figure4(opts Options) (*FigureResult, error) {
+	return candidateSweep("fig4", "Delay vs. Offered Load (Fig. 4)",
+		"delay (microseconds)", MetricDelayMicros, opts)
+}
+
+func candidateSweep(id, title, ylabel string, metric func(*router.Metrics) float64, opts Options) (*FigureResult, error) {
+	base := router.PaperConfig()
+	panelA := []Variant{
+		SchemeVariant("biased", 1), SchemeVariant("biased", 2),
+		SchemeVariant("fixed", 1), SchemeVariant("fixed", 2),
+	}
+	panelB := []Variant{
+		SchemeVariant("biased", 4), SchemeVariant("biased", 8),
+		SchemeVariant("fixed", 4), SchemeVariant("fixed", 8),
+	}
+	res := &FigureResult{ID: id}
+	gridAll := &Grid{}
+	for i, panel := range [][]Variant{panelA, panelB} {
+		g, err := RunGrid(base, opts.loads(), panel, opts)
+		if err != nil {
+			return nil, err
+		}
+		fig := g.Figure(title+panelName(i), ylabel, metric)
+		res.Figures = append(res.Figures, fig)
+		gridAll.Points = append(gridAll.Points, g.Points...)
+	}
+	res.Grid = gridAll
+	return res, nil
+}
+
+func panelName(i int) string {
+	if i == 0 {
+		return " — 1 & 2 candidates"
+	}
+	return " — 4 & 8 candidates"
+}
+
+// Figure5 regenerates "Delay and Jitter vs. Offered Load: Fixed and
+// Biased Priorities, Autonet, Perfect Switch" (§5.2, Figure 5): the four
+// algorithms with 8 candidates.
+func Figure5(opts Options) (*FigureResult, error) {
+	base := router.PaperConfig()
+	variants := []Variant{
+		SchemeVariant("biased", 8),
+		SchemeVariant("fixed", 8),
+		SchemeVariant("autonet", 8),
+		SchemeVariant("perfect", 8),
+	}
+	g, err := RunGrid(base, opts.loads(), variants, opts)
+	if err != nil {
+		return nil, err
+	}
+	res := &FigureResult{ID: "fig5", Grid: g}
+	res.Figures = append(res.Figures,
+		g.Figure("Delay vs. Offered Load (Fig. 5a)", "delay (microseconds)", MetricDelayMicros),
+		g.Figure("Jitter vs. Offered Load (Fig. 5b)", "jitter (router cycles)", MetricJitter),
+		// Supplementary: end-to-end delay including source queueing. The
+		// §5 head-of-VC delay under-reports schemes that push waiting into
+		// upstream queues (fixed priorities starve connections whose
+		// backlog then hides at the source interface); this projection is
+		// survivorship-proof. See EXPERIMENTS.md.
+		g.Figure("Supplementary: End-to-End Delay incl. Source Queueing", "delay (cycles)", MetricTotalDelayCycles),
+		// Supplementary: per-connection mean jitter, weighting every
+		// connection equally — the strongest separation between biased and
+		// fixed priorities.
+		g.Figure("Supplementary: Per-Connection Mean Jitter", "jitter (router cycles)", MetricConnJitter),
+	)
+	return res, nil
+}
+
+// UtilizationSweep backs the §5.2 observation that "using a larger number
+// of candidates is effective in increasing switch utilization": switch
+// utilization at high load for C ∈ {1, 2, 4, 8}.
+func UtilizationSweep(opts Options) (*FigureResult, error) {
+	base := router.PaperConfig()
+	var variants []Variant
+	for _, c := range []int{1, 2, 4, 8} {
+		variants = append(variants, SchemeVariant("biased", c))
+	}
+	g, err := RunGrid(base, []float64{0.5, 0.7, 0.8, 0.9, 0.95}, variants, opts)
+	if err != nil {
+		return nil, err
+	}
+	return &FigureResult{
+		ID:   "util",
+		Grid: g,
+		Figures: []*stats.Figure{
+			g.Figure("Switch Utilization vs. Offered Load", "utilization", MetricUtilization),
+		},
+	}, nil
+}

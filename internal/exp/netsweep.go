@@ -1,0 +1,95 @@
+package exp
+
+import (
+	"fmt"
+
+	"mmr/internal/flit"
+	"mmr/internal/network"
+	"mmr/internal/sim"
+	"mmr/internal/stats"
+	"mmr/internal/topology"
+	"mmr/internal/traffic"
+)
+
+// NetworkSweep exercises the multi-router fabric the paper's router is
+// built for (§1: clusters and LANs): a 4×4 mesh of MMRs with EPB-
+// established CBR connections at increasing total load, reporting
+// end-to-end latency, jitter, setup acceptance and probe backtracking.
+// This is the network-level experiment the paper defers to future work;
+// the single-router trends (jitter bounded, latency ~hops below
+// saturation) should survive multi-hop composition.
+func NetworkSweep(opts Options) (*FigureResult, error) {
+	fig := &stats.Figure{Title: "Network (4×4 mesh): End-to-End QoS vs. Load", XLabel: "offered load per host", YLabel: ""}
+	latency := fig.AddSeries("latency (cycles)")
+	jitter := fig.AddSeries("jitter (cycles)")
+	accept := fig.AddSeries("setup acceptance")
+	backs := fig.AddSeries("probe backtracks/setup")
+
+	loads := opts.Loads
+	if len(loads) == 0 {
+		loads = []float64{0.1, 0.2, 0.3, 0.4, 0.5}
+	}
+	for _, load := range loads {
+		st, err := runNetworkPoint(load, opts)
+		if err != nil {
+			return nil, err
+		}
+		latency.Add(load, st.Latency.Mean())
+		jitter.Add(load, st.Jitter.Mean())
+		accept.Add(load, st.AcceptanceRate())
+		backs.Add(load, st.SetupBacktracks.Mean())
+	}
+	return &FigureResult{ID: "net", Figures: []*stats.Figure{fig}}, nil
+}
+
+// runNetworkPoint opens connections between random distinct hosts until
+// each host's injection reaches the target fraction of its link, then
+// measures steady state.
+func runNetworkPoint(load float64, opts Options) (*network.Stats, error) {
+	tp, err := topology.Mesh(4, 4, 4)
+	if err != nil {
+		return nil, err
+	}
+	cfg := network.DefaultConfig(tp)
+	cfg.VCs = 64
+	cfg.Seed = opts.Seed
+	n, err := network.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	rng := sim.NewRNG(opts.Seed*104729 + uint64(load*1000))
+	inj := make([]float64, tp.Nodes)
+	for fails := 0; fails < 300; {
+		src, dst := rng.Intn(tp.Nodes), rng.Intn(tp.Nodes)
+		rate := traffic.PaperRates[rng.Intn(len(traffic.PaperRates))]
+		frac := float64(rate) / float64(cfg.Link.Bandwidth)
+		if src == dst || inj[src]+frac > load {
+			fails++
+			continue
+		}
+		if _, err := n.Open(src, dst, traffic.ConnSpec{Class: flit.ClassCBR, Rate: rate}); err != nil {
+			fails++
+			continue
+		}
+		fails = 0
+		inj[src] += frac
+		// Stop when every host is near its target.
+		done := true
+		for _, v := range inj {
+			if v < load-0.01 {
+				done = false
+				break
+			}
+		}
+		if done {
+			break
+		}
+	}
+	if n.Stats().SetupAccepted == 0 {
+		return nil, fmt.Errorf("exp: no connections established at load %.2f", load)
+	}
+	n.Run(opts.Warmup)
+	n.ResetStats()
+	n.Run(opts.Measure)
+	return n.Stats(), nil
+}

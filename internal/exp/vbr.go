@@ -1,0 +1,123 @@
+package exp
+
+import (
+	"fmt"
+
+	"mmr/internal/flit"
+	"mmr/internal/router"
+	"mmr/internal/sim"
+	"mmr/internal/stats"
+	"mmr/internal/trace"
+	"mmr/internal/traffic"
+)
+
+// FigureVBR is the evaluation §6 announces as the next step ("we now
+// turn our attention to supported VBR traffic") and the follow-on MMR
+// paper carries out with MPEG-2 traces: MPEG-like VBR streams (synthetic
+// traces with GoP structure and scene burstiness) mixed with CBR
+// telephony, swept over offered load, comparing the biased scheme with
+// fixed priorities. Offered load counts VBR streams at their average
+// rate; the concurrency factor lets peaks oversubscribe (§4.2).
+func FigureVBR(opts Options) (*FigureResult, error) {
+	res := &FigureResult{ID: "vbr"}
+	delayFig := &stats.Figure{Title: "VBR (MPEG-like) Delay vs. Offered Load", XLabel: "offered load", YLabel: "delay (microseconds)"}
+	jitterFig := &stats.Figure{Title: "VBR (MPEG-like) Jitter vs. Offered Load", XLabel: "offered load", YLabel: "jitter (router cycles)"}
+	loads := opts.Loads
+	if len(loads) == 0 {
+		loads = []float64{0.2, 0.4, 0.6, 0.8}
+	}
+	for _, variant := range []string{"biased", "fixed"} {
+		dSeries := delayFig.AddSeries("8C " + variant)
+		jSeries := jitterFig.AddSeries("8C " + variant)
+		for _, load := range loads {
+			m, err := runVBRPoint(variant, load, opts)
+			if err != nil {
+				return nil, err
+			}
+			dSeries.Add(load, m.DelayMicros)
+			jSeries.Add(load, m.Jitter.Mean())
+		}
+	}
+	res.Figures = append(res.Figures, delayFig, jitterFig)
+	return res, nil
+}
+
+// runVBRPoint simulates one VBR mix cell: half the offered load is
+// trace-driven MPEG-like video at 6 Mbps average (3× peaks), half is CBR
+// drawn from the paper's rate population.
+func runVBRPoint(variant string, load float64, opts Options) (*router.Metrics, error) {
+	cfg := router.PaperConfig()
+	v := SchemeVariant(variant, 8)
+	v.Mutate(&cfg)
+	cfg.Seed = opts.Seed
+	cfg.Concurrency = 2
+	r, err := router.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	rng := sim.NewRNG(opts.Seed*7919 + uint64(load*1000))
+
+	const videoRate = 6 * traffic.Mbps
+	videoFrac := float64(videoRate) / float64(cfg.Link.Bandwidth)
+	totalPorts := float64(cfg.Ports)
+	videoDemand := load / 2 * totalPorts // in link fractions
+	nVideo := int(videoDemand / videoFrac)
+
+	// A small pool of distinct traces keeps generation cheap while giving
+	// streams uncorrelated scene activity.
+	var traces []*trace.Trace
+	for i := 0; i < 8; i++ {
+		tr, err := trace.Generate(trace.DefaultGenConfig(videoRate, 1800), rng)
+		if err != nil {
+			return nil, err
+		}
+		traces = append(traces, tr)
+	}
+	inLoad := make([]float64, cfg.Ports)
+	outLoad := make([]float64, cfg.Ports)
+	placed := 0
+	for tries := 0; placed < nVideo && tries < nVideo*40; tries++ {
+		in, out := rng.Intn(cfg.Ports), rng.Intn(cfg.Ports)
+		if inLoad[in]+videoFrac > 1 || outLoad[out]+videoFrac > 1 {
+			continue
+		}
+		tr := traces[placed%len(traces)]
+		src := trace.NewSource(tr, cfg.Link, traffic.Rate(3*float64(videoRate)))
+		_, err := r.EstablishWithSource(traffic.ConnSpec{
+			Class: flit.ClassVBR, Rate: videoRate,
+			PeakRate: traffic.Rate(3 * float64(videoRate)),
+			In:       in, Out: out, Priority: rng.Intn(4),
+		}, src)
+		if err != nil {
+			continue
+		}
+		inLoad[in] += videoFrac
+		outLoad[out] += videoFrac
+		placed++
+	}
+	if placed == 0 && nVideo > 0 {
+		return nil, fmt.Errorf("exp: could not place any VBR stream at load %.2f", load)
+	}
+
+	// Fill the other half with CBR, respecting the ports already loaded.
+	demand := 0.0
+	target := load / 2 * totalPorts
+	for fails := 0; demand < target && fails < 400; {
+		rate := traffic.PaperRates[rng.Intn(len(traffic.PaperRates))]
+		frac := float64(rate) / float64(cfg.Link.Bandwidth)
+		in, out := rng.Intn(cfg.Ports), rng.Intn(cfg.Ports)
+		if inLoad[in]+frac > 1 || outLoad[out]+frac > 1 {
+			fails++
+			continue
+		}
+		if _, err := r.Establish(traffic.ConnSpec{Class: flit.ClassCBR, Rate: rate, In: in, Out: out}); err != nil {
+			fails++
+			continue
+		}
+		fails = 0
+		inLoad[in] += frac
+		outLoad[out] += frac
+		demand += frac
+	}
+	return r.Run(opts.Warmup, opts.Measure), nil
+}

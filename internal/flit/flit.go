@@ -1,0 +1,216 @@
+// Package flit defines the data units the MMR moves: flits (the unit of
+// flow control and scheduling, §3.1), phits (the unit of physical link
+// transfer), packets (the unit of VCT switching for control and
+// best-effort traffic, §3.4) and control words (the virtual-channel
+// identifier sent ahead of every flit, plus the command encodings used for
+// dynamic bandwidth management, §4.3).
+package flit
+
+import "fmt"
+
+// Class is the service class a flit or packet belongs to. The MMR serves
+// four: CBR and VBR streams over pipelined circuit switching, and control
+// and best-effort packets over virtual cut-through (§3.1, §3.4).
+type Class uint8
+
+// Service classes, ordered by the scheduling priority the paper assigns:
+// control packets preempt data streams, data streams preempt best-effort.
+const (
+	ClassCBR Class = iota
+	ClassVBR
+	ClassControl
+	ClassBestEffort
+	numClasses
+)
+
+// NumClasses is the number of distinct service classes.
+const NumClasses = int(numClasses)
+
+// String implements fmt.Stringer.
+func (c Class) String() string {
+	switch c {
+	case ClassCBR:
+		return "CBR"
+	case ClassVBR:
+		return "VBR"
+	case ClassControl:
+		return "control"
+	case ClassBestEffort:
+		return "best-effort"
+	default:
+		return fmt.Sprintf("Class(%d)", uint8(c))
+	}
+}
+
+// IsStream reports whether the class is carried by a connection (PCS)
+// rather than by cut-through packets.
+func (c Class) IsStream() bool { return c == ClassCBR || c == ClassVBR }
+
+// ConnID identifies a connection (an established virtual circuit) within
+// one simulation. The zero value is valid; InvalidConn marks "none".
+type ConnID int32
+
+// InvalidConn is the sentinel for "no connection".
+const InvalidConn ConnID = -1
+
+// Type distinguishes the roles a flit can play inside a packet or stream.
+type Type uint8
+
+// Flit roles. Stream flits are all Body (connections are effectively
+// endless); VCT packets are single-flit (§3.4: "packet size is equal to
+// flit size") and use Head.
+const (
+	TypeBody Type = iota
+	TypeHead
+	TypeTail
+)
+
+// String implements fmt.Stringer.
+func (t Type) String() string {
+	switch t {
+	case TypeBody:
+		return "body"
+	case TypeHead:
+		return "head"
+	case TypeTail:
+		return "tail"
+	default:
+		return fmt.Sprintf("Type(%d)", uint8(t))
+	}
+}
+
+// Flit is one flow-control digit. The paper uses large flits
+// (128–512 bits) so that flow-control and scheduling delays amortize; a
+// flit crosses the router in exactly one flit cycle.
+type Flit struct {
+	Conn  ConnID // owning connection, or InvalidConn for VCT packets
+	Class Class
+	Type  Type
+	Seq   int64 // sequence number within the connection or packet stream
+
+	// CreatedAt is the cycle the source generated the flit. ReadyAt is the
+	// cycle the flit entered the router's virtual channel memory. HeadAt
+	// is the cycle it reached the head of its virtual channel and became
+	// "ready to be transmitted through the switch" — the reference point
+	// for the paper's delay metric (§5).
+	CreatedAt int64
+	ReadyAt   int64
+	HeadAt    int64
+
+	// SrcPort/DstPort are router-local ports in single-router runs;
+	// Src/Dst are node IDs in network runs.
+	SrcPort, DstPort int16
+	Src, Dst         int32
+
+	// Packet carries the VCT packet payload for head flits, nil otherwise.
+	Packet *Packet
+}
+
+// PacketKind distinguishes the two VCT packet roles.
+type PacketKind uint8
+
+// VCT packet kinds. Probes, acks and other connection-management messages
+// are control packets; everything else VCT carries is best-effort.
+const (
+	PacketControl PacketKind = iota
+	PacketBestEffort
+)
+
+// String implements fmt.Stringer.
+func (k PacketKind) String() string {
+	if k == PacketControl {
+		return "control"
+	}
+	return "best-effort"
+}
+
+// Packet is a virtual cut-through packet. Because the MMR equalizes the
+// VCT flow-control unit with the PCS flit (§3.4), a packet occupies
+// exactly one flit in buffers and on links; Size is kept for generality
+// (multi-flit best-effort messages in the network model).
+type Packet struct {
+	ID        int64
+	Kind      PacketKind
+	Src, Dst  int32
+	Size      int // flits
+	CreatedAt int64
+
+	// WentDown records whether the packet has taken a "down" link yet —
+	// the one bit of routing state up*/down* needs (§3.5).
+	WentDown bool
+
+	// Probe fields, used when the packet is an EPB routing probe or its
+	// acknowledgment (§3.5, §4.2).
+	Probe *Probe
+}
+
+// ProbeOp is the phase an EPB probe or response is in.
+type ProbeOp uint8
+
+// Probe operations: forward search, backtrack after exhausting outputs,
+// positive acknowledgment travelling back to the source, and teardown
+// releasing a connection's resources.
+const (
+	ProbeForward ProbeOp = iota
+	ProbeBacktrack
+	ProbeAck
+	ProbeNack
+	ProbeTeardown
+)
+
+// String implements fmt.Stringer.
+func (op ProbeOp) String() string {
+	switch op {
+	case ProbeForward:
+		return "forward"
+	case ProbeBacktrack:
+		return "backtrack"
+	case ProbeAck:
+		return "ack"
+	case ProbeNack:
+		return "nack"
+	case ProbeTeardown:
+		return "teardown"
+	default:
+		return fmt.Sprintf("ProbeOp(%d)", uint8(op))
+	}
+}
+
+// Probe is the payload of a connection-establishment control packet.
+// Bandwidth is expressed in flit cycles per round, the MMR's allocation
+// unit (§4.2). VBR probes carry both permanent (average) and peak demand.
+type Probe struct {
+	Conn               ConnID
+	Op                 ProbeOp
+	Class              Class
+	CyclesPerRound     int // CBR demand, or VBR permanent bandwidth
+	PeakCyclesPerRound int // VBR peak bandwidth; 0 for CBR
+	Priority           int
+}
+
+// ControlOp is a command encoding carried in a control word along an
+// established connection (§4.3): Myrinet-style in-band management.
+type ControlOp uint8
+
+// In-band connection-management commands.
+const (
+	CtlNone         ControlOp = iota
+	CtlSetBandwidth           // change allocated cycles/round
+	CtlSetPriority            // change VBR priority
+	CtlAbortFrame             // drop the in-flight frame (late video frame, §4.3)
+)
+
+// ControlWord precedes each flit on a link, naming the virtual channel the
+// following flit belongs to (§3.4) and optionally carrying a management
+// command.
+type ControlWord struct {
+	VC   int
+	Op   ControlOp
+	Arg  int
+	Conn ConnID
+}
+
+// String implements fmt.Stringer.
+func (f *Flit) String() string {
+	return fmt.Sprintf("flit{conn=%d %s %s seq=%d ready=%d}", f.Conn, f.Class, f.Type, f.Seq, f.ReadyAt)
+}

@@ -1,0 +1,83 @@
+package flit
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestClassStrings(t *testing.T) {
+	cases := map[Class]string{
+		ClassCBR:        "CBR",
+		ClassVBR:        "VBR",
+		ClassControl:    "control",
+		ClassBestEffort: "best-effort",
+		Class(99):       "Class(99)",
+	}
+	for c, want := range cases {
+		if got := c.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", c, got, want)
+		}
+	}
+}
+
+func TestClassIsStream(t *testing.T) {
+	if !ClassCBR.IsStream() || !ClassVBR.IsStream() {
+		t.Fatal("CBR/VBR must be stream classes")
+	}
+	if ClassControl.IsStream() || ClassBestEffort.IsStream() {
+		t.Fatal("control/best-effort must not be stream classes")
+	}
+}
+
+func TestNumClasses(t *testing.T) {
+	if NumClasses != 4 {
+		t.Fatalf("NumClasses = %d, want 4", NumClasses)
+	}
+}
+
+func TestTypeAndKindStrings(t *testing.T) {
+	if TypeHead.String() != "head" || TypeBody.String() != "body" || TypeTail.String() != "tail" {
+		t.Fatal("flit type strings wrong")
+	}
+	if !strings.Contains(Type(7).String(), "7") {
+		t.Fatal("unknown type string should include the value")
+	}
+	if PacketControl.String() != "control" || PacketBestEffort.String() != "best-effort" {
+		t.Fatal("packet kind strings wrong")
+	}
+}
+
+func TestProbeOpStrings(t *testing.T) {
+	ops := map[ProbeOp]string{
+		ProbeForward:   "forward",
+		ProbeBacktrack: "backtrack",
+		ProbeAck:       "ack",
+		ProbeNack:      "nack",
+		ProbeTeardown:  "teardown",
+	}
+	for op, want := range ops {
+		if op.String() != want {
+			t.Errorf("op %d = %q, want %q", op, op.String(), want)
+		}
+	}
+	if !strings.Contains(ProbeOp(42).String(), "42") {
+		t.Fatal("unknown op string should include the value")
+	}
+}
+
+func TestFlitString(t *testing.T) {
+	f := &Flit{Conn: 3, Class: ClassCBR, Type: TypeBody, Seq: 9, ReadyAt: 12}
+	s := f.String()
+	for _, frag := range []string{"conn=3", "CBR", "body", "seq=9", "ready=12"} {
+		if !strings.Contains(s, frag) {
+			t.Fatalf("flit string %q missing %q", s, frag)
+		}
+	}
+}
+
+func TestInvalidConnSentinel(t *testing.T) {
+	var f Flit
+	if f.Conn == InvalidConn {
+		t.Fatal("zero value must not equal InvalidConn — zero is a valid connection ID")
+	}
+}

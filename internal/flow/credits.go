@@ -1,0 +1,112 @@
+// Package flow implements the MMR's link-level virtual-channel flow
+// control: credit-based backpressure that prevents flits from ever being
+// dropped (§1, §4.2). The sender holds one credit per free flit slot in
+// the receiver's VCM queue for each virtual channel; transmitting a flit
+// consumes a credit and draining the downstream buffer returns one. Small
+// flit buffers make credit propagation fast, which is what lets the MMR
+// push policing back to the source interface (§4.2).
+package flow
+
+import (
+	"fmt"
+
+	"mmr/internal/bitvec"
+)
+
+// Credits tracks the sender-side credit counters for one physical link's
+// virtual channels, mirroring the free space of the downstream VCM.
+type Credits struct {
+	max    int
+	counts []int
+	avail  *bitvec.Vector // credit>0, one bit per VC (§4.1 credits_available)
+}
+
+// NewCredits returns a tracker for vcs virtual channels, each starting
+// with depth credits (the downstream per-VC buffer capacity).
+func NewCredits(vcs, depth int) *Credits {
+	if vcs < 1 || depth < 1 {
+		panic(fmt.Sprintf("flow: invalid geometry vcs=%d depth=%d", vcs, depth))
+	}
+	c := &Credits{max: depth, counts: make([]int, vcs), avail: bitvec.New(vcs)}
+	for i := range c.counts {
+		c.counts[i] = depth
+	}
+	c.avail.Fill()
+	return c
+}
+
+// Available returns the credits held for VC vc.
+func (c *Credits) Available(vc int) int { return c.counts[vc] }
+
+// Has reports whether VC vc has at least one credit.
+func (c *Credits) Has(vc int) bool { return c.counts[vc] > 0 }
+
+// Vector returns the credits_available status bit vector (read-only).
+func (c *Credits) Vector() *bitvec.Vector { return c.avail }
+
+// Consume spends one credit of VC vc before transmitting a flit. It
+// reports false — and consumes nothing — if no credit is held; sending
+// anyway would overflow the downstream buffer.
+func (c *Credits) Consume(vc int) bool {
+	if c.counts[vc] == 0 {
+		return false
+	}
+	c.counts[vc]--
+	if c.counts[vc] == 0 {
+		c.avail.Clear(vc)
+	}
+	return true
+}
+
+// Return gives back one credit for VC vc (the downstream node drained a
+// flit). Returning beyond the buffer capacity panics: it means the
+// protocol double-counted a slot.
+func (c *Credits) Return(vc int) {
+	if c.counts[vc] >= c.max {
+		panic(fmt.Sprintf("flow: credit overflow on VC %d", vc))
+	}
+	c.counts[vc]++
+	c.avail.Set(vc)
+}
+
+// CreditPipe models the return path's latency: credits issued downstream
+// become visible to the sender only after a fixed delay in cycles. The
+// zero delay degenerates to immediate visibility.
+type CreditPipe struct {
+	delay   int64
+	pending []creditEvent
+}
+
+type creditEvent struct {
+	at int64
+	vc int
+}
+
+// NewCreditPipe returns a pipe with the given propagation delay.
+func NewCreditPipe(delay int64) *CreditPipe {
+	if delay < 0 {
+		delay = 0
+	}
+	return &CreditPipe{delay: delay}
+}
+
+// Send enqueues a credit for VC vc at time now; it becomes deliverable at
+// now+delay.
+func (p *CreditPipe) Send(now int64, vc int) {
+	p.pending = append(p.pending, creditEvent{at: now + p.delay, vc: vc})
+}
+
+// Deliver invokes fn for every credit that has arrived by time now, in
+// send order, and removes them from the pipe.
+func (p *CreditPipe) Deliver(now int64, fn func(vc int)) {
+	i := 0
+	for ; i < len(p.pending) && p.pending[i].at <= now; i++ {
+		fn(p.pending[i].vc)
+	}
+	if i > 0 {
+		p.pending = append(p.pending[:0], p.pending[i:]...)
+	}
+}
+
+// InFlight returns the credits still travelling back to the sender.
+func (p *CreditPipe) InFlight() int { return len(p.pending) }

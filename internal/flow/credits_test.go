@@ -1,0 +1,161 @@
+package flow
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestCreditsStartFull(t *testing.T) {
+	c := NewCredits(4, 3)
+	for vc := 0; vc < 4; vc++ {
+		if c.Available(vc) != 3 || !c.Has(vc) || !c.Vector().Test(vc) {
+			t.Fatalf("VC %d not initialized full", vc)
+		}
+	}
+}
+
+func TestConsumeReturnCycle(t *testing.T) {
+	c := NewCredits(2, 2)
+	if !c.Consume(0) || !c.Consume(0) {
+		t.Fatal("consume with credits failed")
+	}
+	if c.Has(0) || c.Vector().Test(0) {
+		t.Fatal("exhausted VC still advertises credits")
+	}
+	if c.Consume(0) {
+		t.Fatal("consume with zero credits succeeded")
+	}
+	c.Return(0)
+	if !c.Has(0) || !c.Vector().Test(0) || c.Available(0) != 1 {
+		t.Fatal("returned credit not visible")
+	}
+}
+
+func TestReturnOverflowPanics(t *testing.T) {
+	c := NewCredits(1, 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("credit overflow did not panic")
+		}
+	}()
+	c.Return(0)
+}
+
+func TestNewCreditsValidation(t *testing.T) {
+	for _, bad := range [][2]int{{0, 1}, {1, 0}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("geometry %v accepted", bad)
+				}
+			}()
+			NewCredits(bad[0], bad[1])
+		}()
+	}
+}
+
+// Property: credits never go negative or above depth, and the bit vector
+// always equals count>0.
+func TestCreditsInvariantProperty(t *testing.T) {
+	f := func(ops []uint8) bool {
+		const vcs, depth = 4, 3
+		c := NewCredits(vcs, depth)
+		for _, op := range ops {
+			vc := int(op) % vcs
+			if op&0x80 == 0 {
+				c.Consume(vc)
+			} else if c.Available(vc) < depth {
+				c.Return(vc)
+			}
+			for v := 0; v < vcs; v++ {
+				n := c.Available(v)
+				if n < 0 || n > depth {
+					return false
+				}
+				if c.Vector().Test(v) != (n > 0) || c.Has(v) != (n > 0) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCreditPipeDelay(t *testing.T) {
+	p := NewCreditPipe(5)
+	p.Send(10, 2)
+	p.Send(11, 3)
+	var got []int
+	p.Deliver(14, func(vc int) { got = append(got, vc) })
+	if len(got) != 0 {
+		t.Fatalf("credits delivered early: %v", got)
+	}
+	p.Deliver(15, func(vc int) { got = append(got, vc) })
+	if len(got) != 1 || got[0] != 2 {
+		t.Fatalf("at t=15 want [2], got %v", got)
+	}
+	p.Deliver(16, func(vc int) { got = append(got, vc) })
+	if len(got) != 2 || got[1] != 3 {
+		t.Fatalf("at t=16 want [2 3], got %v", got)
+	}
+	if p.InFlight() != 0 {
+		t.Fatalf("in-flight = %d, want 0", p.InFlight())
+	}
+}
+
+func TestCreditPipeZeroDelay(t *testing.T) {
+	p := NewCreditPipe(-7) // negative clamps to immediate
+	p.Send(4, 1)
+	n := 0
+	p.Deliver(4, func(int) { n++ })
+	if n != 1 {
+		t.Fatal("zero-delay credit not immediately deliverable")
+	}
+}
+
+func TestCreditPipeOrder(t *testing.T) {
+	p := NewCreditPipe(1)
+	for vc := 0; vc < 5; vc++ {
+		p.Send(0, vc)
+	}
+	var got []int
+	p.Deliver(1, func(vc int) { got = append(got, vc) })
+	for i, vc := range got {
+		if vc != i {
+			t.Fatalf("credits out of order: %v", got)
+		}
+	}
+}
+
+// Property: a sender constrained by Credits+CreditPipe never exceeds the
+// receiver's buffer occupancy bound.
+func TestEndToEndBackpressureProperty(t *testing.T) {
+	f := func(sendPattern []bool, delay8 uint8) bool {
+		const depth = 3
+		delay := int64(delay8%4) + 1
+		c := NewCredits(1, depth)
+		pipe := NewCreditPipe(delay)
+		occupancy := 0 // receiver buffer fill
+		for now := int64(0); now < int64(len(sendPattern)); now++ {
+			pipe.Deliver(now, func(int) { c.Return(0) })
+			if sendPattern[now] && c.Consume(0) {
+				occupancy++
+			}
+			if occupancy > depth {
+				return false
+			}
+			// Receiver drains one flit per cycle when it has any.
+			if occupancy > 0 {
+				occupancy--
+				pipe.Send(now, 0)
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

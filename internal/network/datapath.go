@@ -1,0 +1,331 @@
+package network
+
+import (
+	"mmr/internal/flit"
+	"mmr/internal/routing"
+	"mmr/internal/sched"
+	"mmr/internal/vcm"
+)
+
+// creditMsg is a credit travelling back upstream.
+type creditMsg struct {
+	arriveAt int64
+	to       upRef
+}
+
+// beFlow is a best-effort packet flow between two hosts.
+type beFlow struct {
+	src, dst int
+	gen      interface{ Tick(int64) int }
+	niQueue  []*flit.Flit
+}
+
+// AddBestEffortFlow injects Poisson best-effort packets (one flit each,
+// §3.4) from the host at src to the host at dst at the given mean rate in
+// packets per cycle.
+func (n *Network) AddBestEffortFlow(src, dst int, packetsPerCycle float64) error {
+	if src < 0 || src >= len(n.nodes) || dst < 0 || dst >= len(n.nodes) || src == dst {
+		return errBadEndpoints(src, dst)
+	}
+	n.beFlows = append(n.beFlows, &beFlow{src: src, dst: dst, gen: newPoisson(n, packetsPerCycle)})
+	return nil
+}
+
+// Step advances the whole network by one flit cycle: session events fire,
+// credits and link flits arrive, best-effort packets route, every router
+// schedules and transmits, and sources inject.
+func (n *Network) Step() {
+	t := n.now
+
+	// Session-level events scheduled for this cycle (connection arrivals,
+	// teardowns) fire first.
+	n.events.Run(simTime(t))
+
+	// Round boundary.
+	if t%int64(n.cfg.K*n.cfg.VCs) == 0 {
+		for _, nd := range n.nodes {
+			for _, ls := range nd.links {
+				ls.OnRoundBoundary()
+			}
+		}
+	}
+
+	// Deliver credits that have propagated back.
+	n.deliverCredits(t)
+
+	// Deliver link flits into downstream VCMs.
+	for _, nd := range n.nodes {
+		n.deliverLinkFlits(nd, t)
+	}
+
+	// Route best-effort packets that are still waiting for an output
+	// choice (their VCState.Output is -1 until the routing unit decides).
+	for _, nd := range n.nodes {
+		n.routePackets(nd)
+	}
+
+	// Schedule and transmit at every router.
+	for _, nd := range n.nodes {
+		for p := range nd.links {
+			nd.cands[p] = nd.links[p].Candidates(t, nd.cands[p][:0])
+		}
+		nd.arb.Schedule(nd.cands, nd.grants)
+	}
+	for _, nd := range n.nodes {
+		n.transmit(nd, t)
+	}
+
+	// Inject from hosts.
+	n.injectStreams(t)
+	n.injectPackets(t)
+
+	n.now++
+	n.m.cycles++
+}
+
+// Run advances the network the given number of cycles.
+func (n *Network) Run(cycles int64) {
+	for i := int64(0); i < cycles; i++ {
+		n.Step()
+	}
+}
+
+// ResetStats discards accumulated statistics (warmup boundary).
+func (n *Network) ResetStats() { n.m.reset() }
+
+// deliverCredits processes the global credit return queue.
+func (n *Network) deliverCredits(t int64) {
+	i := 0
+	for ; i < len(n.credits) && n.credits[i].arriveAt <= t; i++ {
+		to := n.credits[i].to
+		if to.node < 0 {
+			continue
+		}
+		n.nodes[to.node].shadow[to.port].Return(to.vc)
+	}
+	if i > 0 {
+		n.credits = append(n.credits[:0], n.credits[i:]...)
+	}
+}
+
+// deliverLinkFlits moves arrived flits from link pipes into the
+// downstream VCM.
+func (n *Network) deliverLinkFlits(nd *node, t int64) {
+	for q := range nd.pipes {
+		pipe := nd.pipes[q]
+		i := 0
+		for ; i < len(pipe) && pipe[i].arriveAt <= t; i++ {
+			lf := pipe[i]
+			nb := n.cfg.Topology.Neighbor(nd.id, q)
+			pp := n.cfg.Topology.PeerPort(nd.id, q)
+			y := n.nodes[nb]
+			lf.f.ReadyAt = t
+			if y.mems[pp].Len(lf.vc) == 0 {
+				lf.f.HeadAt = t
+			}
+			if !y.mems[pp].Push(lf.vc, lf.f) {
+				panic("network: flow control violation — downstream VC full")
+			}
+		}
+		if i > 0 {
+			nd.pipes[q] = append(pipe[:0], pipe[i:]...)
+		}
+	}
+}
+
+// routePackets runs the routing unit for buffered best-effort packets
+// that have no output assignment yet: pick an up*/down* legal port
+// (minimal first) whose downstream router has a free VC.
+func (n *Network) routePackets(nd *node) {
+	hp := n.cfg.hostPort()
+	for p := range nd.mems {
+		mem := nd.mems[p]
+		mem.FlitsAvailable().ForEach(func(vc int) bool {
+			st := mem.State(vc)
+			if st.Class != flit.ClassBestEffort || st.Output >= 0 {
+				return true
+			}
+			head := mem.Peek(vc)
+			if head == nil || head.Packet == nil {
+				return true
+			}
+			dst := int(head.Dst)
+			if dst == nd.id {
+				st.Output = hp
+				return true
+			}
+			wentDown := head.Packet.WentDown
+			n.scratchPorts = n.ud.NextPorts(nd.id, dst, wentDown, n.scratchPorts[:0])
+			for _, q := range n.scratchPorts {
+				nb := n.cfg.Topology.Neighbor(nd.id, q)
+				if n.nodes[nb].mems[n.cfg.Topology.PeerPort(nd.id, q)].FreeVCs() > 0 {
+					st.Output = q
+					break
+				}
+			}
+			return true
+		})
+	}
+}
+
+// transmit executes one router's granted transfers.
+func (n *Network) transmit(nd *node, t int64) {
+	hp := n.cfg.hostPort()
+	for in := range nd.grants {
+		g := nd.grants[in]
+		if g == sched.NoGrant {
+			continue
+		}
+		cand := nd.cands[in][g]
+		mem := nd.mems[in]
+		head := mem.Peek(cand.VC)
+		if head == nil {
+			panic("network: granted VC empty")
+		}
+		st := mem.State(cand.VC)
+		isPacket := st.Class == flit.ClassBestEffort || st.Class == flit.ClassControl
+
+		var targetVC int
+		if cand.Output == hp {
+			targetVC = -1 // ejection to the host
+		} else if isPacket {
+			// VCT: reserve a VC at the next router now (§3.4); skip the
+			// grant if none is free this cycle.
+			nb := n.cfg.Topology.Neighbor(nd.id, cand.Output)
+			pp := n.cfg.Topology.PeerPort(nd.id, cand.Output)
+			targetVC = n.nodes[nb].mems[pp].FindFree(n.rng.Intn(n.cfg.VCs))
+			if targetVC < 0 {
+				continue
+			}
+			n.nodes[nb].mems[pp].Reserve(targetVC, vcm.VCState{
+				Conn: flit.InvalidConn, Class: st.Class, Output: -1,
+			})
+			if !n.ud.IsUp(nd.id, cand.Output) {
+				head.Packet.WentDown = true
+			}
+		} else {
+			// Stream: the reserved next-hop VC from the channel mapping.
+			out := nd.cmap.Direct(routing.VCRef{Port: in, VC: cand.VC})
+			if out == routing.Invalid {
+				panic("network: stream VC without channel mapping")
+			}
+			targetVC = out.VC
+			if !nd.shadow[in].Consume(cand.VC) {
+				panic("network: scheduler granted a VC without credits")
+			}
+		}
+
+		f := mem.Pop(cand.VC)
+		st.Serviced++
+		if next := mem.Peek(cand.VC); next != nil {
+			next.HeadAt = t
+		}
+		// Free the local slot: return a credit upstream (after the wire
+		// delay), unless a host interface feeds this VC directly.
+		if up := nd.upstream[in][cand.VC]; up.node >= 0 {
+			n.credits = append(n.credits, creditMsg{arriveAt: t + n.cfg.LinkDelay, to: up})
+		}
+		if isPacket {
+			// Single-flit packet: its VC frees entirely.
+			mem.Release(cand.VC)
+			nd.upstream[in][cand.VC] = noUpstream
+		}
+
+		if cand.Output == hp {
+			n.eject(nd, t, f)
+			continue
+		}
+		nd.pipes[cand.Output] = append(nd.pipes[cand.Output], linkFlit{
+			arriveAt: t + n.cfg.LinkDelay,
+			vc:       targetVC,
+			f:        f,
+		})
+		if isPacket {
+			// The receiving router's routing unit sees the packet when it
+			// arrives; record the upstream as none (VC released already).
+			nb := n.cfg.Topology.Neighbor(nd.id, cand.Output)
+			pp := n.cfg.Topology.PeerPort(nd.id, cand.Output)
+			n.nodes[nb].upstream[pp][targetVC] = noUpstream
+		}
+		n.m.linkFlits++
+	}
+}
+
+// eject delivers a flit to the local host and records statistics.
+func (n *Network) eject(nd *node, t int64, f *flit.Flit) {
+	switch f.Class {
+	case flit.ClassBestEffort:
+		n.m.beDelivered++
+		n.m.beLatency.Add(float64(t - f.CreatedAt))
+	default:
+		n.m.tracker.Record(int(f.Conn), float64(t-f.CreatedAt))
+		n.m.delivered++
+	}
+}
+
+// injectStreams moves source flits into the entry VCs.
+func (n *Network) injectStreams(t int64) {
+	hp := n.cfg.hostPort()
+	for _, c := range n.conns {
+		if c.closed {
+			continue
+		}
+		if c.open && c.src != nil {
+			for k := c.src.Tick(t); k > 0; k-- {
+				f := &flit.Flit{
+					Conn: c.ID, Class: c.Spec.Class, Type: flit.TypeBody,
+					Seq: c.nextSeq, CreatedAt: t,
+					Src: int32(c.Src), Dst: int32(c.Dst),
+				}
+				c.nextSeq++
+				c.niQueue = append(c.niQueue, f)
+				n.m.generated++
+			}
+		}
+		mem := n.nodes[c.Src].mems[hp]
+		entry := c.VCs[0]
+		for len(c.niQueue) > 0 && mem.Free(entry.VC) > 0 {
+			f := c.niQueue[0]
+			c.niQueue = c.niQueue[1:]
+			f.ReadyAt = t
+			if mem.Len(entry.VC) == 0 {
+				f.HeadAt = t
+			}
+			mem.Push(entry.VC, f)
+		}
+	}
+}
+
+// injectPackets places best-effort packets into free VCs on the source
+// router's host port.
+func (n *Network) injectPackets(t int64) {
+	hp := n.cfg.hostPort()
+	for _, bf := range n.beFlows {
+		for k := bf.gen.Tick(t); k > 0; k-- {
+			n.pktSeq++
+			bf.niQueue = append(bf.niQueue, &flit.Flit{
+				Conn: flit.InvalidConn, Class: flit.ClassBestEffort, Type: flit.TypeHead,
+				Seq: n.pktSeq, CreatedAt: t,
+				Src: int32(bf.src), Dst: int32(bf.dst),
+				Packet: &flit.Packet{ID: n.pktSeq, Kind: flit.PacketBestEffort, Size: 1, CreatedAt: t},
+			})
+			n.m.beGenerated++
+		}
+		mem := n.nodes[bf.src].mems[hp]
+		placed := 0
+		for _, f := range bf.niQueue {
+			vc := mem.FindFree(n.rng.Intn(n.cfg.VCs))
+			if vc < 0 {
+				break // all queued packets need the same resource
+			}
+			mem.Reserve(vc, vcm.VCState{Conn: flit.InvalidConn, Class: flit.ClassBestEffort, Output: -1})
+			f.ReadyAt = t
+			f.HeadAt = t
+			mem.Push(vc, f)
+			placed++
+		}
+		if placed > 0 {
+			bf.niQueue = append(bf.niQueue[:0], bf.niQueue[placed:]...)
+		}
+	}
+}

@@ -1,0 +1,256 @@
+package network
+
+import (
+	"fmt"
+
+	"mmr/internal/flit"
+	"mmr/internal/routing"
+	"mmr/internal/traffic"
+	"mmr/internal/vcm"
+)
+
+// Open establishes a connection from the host at src to the host at dst
+// using EPB (§3.5): the probe searches minimal paths, reserving at each
+// hop an input virtual channel on the next router and bandwidth on the
+// output link (§4.2), backtracking and releasing when a hop has no
+// resources. On success the channel mappings and per-VC scheduling state
+// are installed at every router and the source begins injecting.
+func (n *Network) Open(src, dst int, spec traffic.ConnSpec) (*Conn, error) {
+	if src < 0 || src >= len(n.nodes) || dst < 0 || dst >= len(n.nodes) {
+		return nil, fmt.Errorf("network: nodes (%d,%d) out of range", src, dst)
+	}
+	if src == dst {
+		return nil, fmt.Errorf("network: source and destination host on the same router")
+	}
+	if !spec.Class.IsStream() {
+		return nil, fmt.Errorf("network: Open is for stream classes, got %v", spec.Class)
+	}
+	n.m.setupAttempts++
+
+	roundLen := n.cfg.K * n.cfg.VCs
+	alloc := n.cfg.Link.CyclesPerRound(spec.Rate, roundLen)
+	peak := alloc
+	if spec.Class == flit.ClassVBR {
+		peak = n.cfg.Link.CyclesPerRound(spec.PeakRate, roundLen)
+		if peak < alloc {
+			peak = alloc
+		}
+	}
+
+	// Entry resources: a VC on the source router's host input port.
+	hp := n.cfg.hostPort()
+	entryVC := n.nodes[src].mems[hp].FindFree(n.rng.Intn(n.cfg.VCs))
+	if entryVC < 0 {
+		n.m.setupRejected++
+		return nil, fmt.Errorf("network: no free VC on host port of node %d", src)
+	}
+	// Transient hold until the search completes.
+	n.nodes[src].mems[hp].Reserve(entryVC, vcm.VCState{Conn: flit.InvalidConn, Class: spec.Class, Output: -1})
+
+	// Per-hop reservations made during the search, so backtracking can
+	// release them. reserve(x, p) claims bandwidth on x's output p and a
+	// VC on the neighbor's input.
+	type hopRes struct {
+		node, port int
+		vc         int // reserved VC on the neighbor's input
+	}
+	reservations := map[[2]int]hopRes{}
+	admitOut := func(x *node, p int) bool {
+		if spec.Class == flit.ClassVBR {
+			return x.alloc[p].AdmitVBR(alloc, peak)
+		}
+		return x.alloc[p].AdmitCBR(alloc)
+	}
+	releaseOut := func(x *node, p int) {
+		if spec.Class == flit.ClassVBR {
+			x.alloc[p].ReleaseVBR(alloc, peak)
+		} else {
+			x.alloc[p].ReleaseCBR(alloc)
+		}
+	}
+	reserve := func(nodeID, port int) bool {
+		x := n.nodes[nodeID]
+		nb := n.cfg.Topology.Neighbor(nodeID, port)
+		if nb < 0 {
+			return false
+		}
+		pp := n.cfg.Topology.PeerPort(nodeID, port)
+		y := n.nodes[nb]
+		vc := y.mems[pp].FindFree(n.rng.Intn(n.cfg.VCs))
+		if vc < 0 {
+			return false
+		}
+		if !admitOut(x, port) {
+			return false
+		}
+		// Hold the VC so a concurrent hop of the same search cannot take
+		// it; the final state is installed after the search succeeds.
+		y.mems[pp].Reserve(vc, vcm.VCState{Conn: flit.InvalidConn, Class: spec.Class, Output: -1})
+		reservations[[2]int{nodeID, port}] = hopRes{node: nodeID, port: port, vc: vc}
+		return true
+	}
+	release := func(nodeID, port int) {
+		res, ok := reservations[[2]int{nodeID, port}]
+		if !ok {
+			panic("network: release of unreserved hop")
+		}
+		delete(reservations, [2]int{nodeID, port})
+		x := n.nodes[nodeID]
+		releaseOut(x, port)
+		nb := n.cfg.Topology.Neighbor(nodeID, port)
+		pp := n.cfg.Topology.PeerPort(nodeID, port)
+		n.nodes[nb].mems[pp].Release(res.vc)
+	}
+
+	sr, err := routing.Search(n.cfg.Topology, n.dists, src, dst, reserve, release)
+	if err != nil {
+		n.nodes[src].mems[hp].Release(entryVC) // only held transiently above
+		n.m.setupRejected++
+		return nil, err
+	}
+	// Ejection bandwidth on the destination router's host output port.
+	if !admitOut(n.nodes[dst], hp) {
+		for _, hop := range sr.Path {
+			release(hop.Node, hop.Port)
+		}
+		n.nodes[src].mems[hp].Release(entryVC)
+		n.m.setupRejected++
+		return nil, fmt.Errorf("network: destination host port of node %d cannot admit %v", dst, spec.Rate)
+	}
+
+	// Search succeeded with all resources held: install the connection.
+	id := flit.ConnID(len(n.conns))
+	interval := float64(roundLen) / float64(alloc)
+	conn := &Conn{
+		ID: id, Src: src, Dst: dst, Spec: spec,
+		Path:       sr.Path,
+		Backtracks: sr.Backtracks,
+		open:       true,
+	}
+	// SetupTime: the probe walks Visited hops forward plus Backtracks
+	// steps backward, then the ack retraces the final path (§4.2).
+	conn.SetupTime = n.cfg.HopLatency * int64(sr.Visited+sr.Backtracks+len(sr.Path))
+
+	install := func(nodeID, inPort, vc, outPort int) {
+		x := n.nodes[nodeID]
+		if x.mems[inPort].State(vc).InUse {
+			x.mems[inPort].Release(vc) // replace the transient hold
+		}
+		x.mems[inPort].Reserve(vc, vcm.VCState{
+			Conn: id, Class: spec.Class,
+			Allocated: alloc, Peak: peak,
+			BasePriority: spec.Priority,
+			InterArrival: interval,
+			Output:       outPort,
+		})
+	}
+
+	// Walk the path: the connection occupies entryVC at (src, hostPort),
+	// then the reserved VC at each subsequent router's link input port.
+	conn.VCs = append(conn.VCs, routing.VCRef{Port: hp, VC: entryVC})
+	inPort, inVC := hp, entryVC
+	cur := src
+	for _, hop := range sr.Path {
+		res := reservations[[2]int{hop.Node, hop.Port}]
+		nb := n.cfg.Topology.Neighbor(hop.Node, hop.Port)
+		pp := n.cfg.Topology.PeerPort(hop.Node, hop.Port)
+		install(cur, inPort, inVC, hop.Port)
+		n.nodes[cur].cmap.Map(routing.VCRef{Port: inPort, VC: inVC}, routing.VCRef{Port: hop.Port, VC: res.vc})
+		// Upstream pointer: draining the neighbor's VC returns a credit
+		// to this router's shadow for (inPort, inVC).
+		n.nodes[nb].upstream[pp][res.vc] = upRef{node: cur, port: inPort, vc: inVC}
+		cur, inPort, inVC = nb, pp, res.vc
+		conn.VCs = append(conn.VCs, routing.VCRef{Port: inPort, VC: inVC})
+	}
+	// Final router: eject to the host port.
+	install(cur, inPort, inVC, hp)
+
+	switch spec.Class {
+	case flit.ClassVBR:
+		conn.src = traffic.NewVBRSource(n.rng, n.cfg.Link, spec.Rate, spec.PeakRate, traffic.DefaultGoP())
+	default:
+		conn.src = traffic.NewCBRSource(n.cfg.Link, spec.Rate, n.rng.Float64())
+	}
+	n.conns = append(n.conns, conn)
+	n.m.grow(len(n.conns))
+	n.m.setupAccepted++
+	n.m.setupLatency.Add(float64(conn.SetupTime))
+	n.m.setupBacktracks.Add(float64(sr.Backtracks))
+	return conn, nil
+}
+
+// Close stops a connection's injection and releases every per-hop
+// resource. Buffers along the path must have drained; use DrainAndClose
+// to run the network until they have.
+func (n *Network) Close(conn *Conn) error {
+	if conn.closed {
+		return fmt.Errorf("network: connection %d already closed", conn.ID)
+	}
+	// Check every hop is empty — buffers drained and all credits home
+	// (a full shadow proves no credit is still in flight for the VC, so
+	// reusing it cannot corrupt flow control) — before touching anything.
+	cur := conn.Src
+	for i, ref := range conn.VCs {
+		x := n.nodes[cur]
+		if x.mems[ref.Port].Len(ref.VC) != 0 {
+			return fmt.Errorf("network: connection %d still has flits buffered at node %d (hop %d)", conn.ID, cur, i)
+		}
+		if x.shadow[ref.Port].Available(ref.VC) != n.cfg.Depth {
+			return fmt.Errorf("network: connection %d has credits in flight at node %d (hop %d)", conn.ID, cur, i)
+		}
+		if i < len(conn.Path) {
+			cur = n.cfg.Topology.Neighbor(conn.Path[i].Node, conn.Path[i].Port)
+		}
+	}
+	if len(conn.niQueue) != 0 {
+		return fmt.Errorf("network: connection %d still has %d flits at the source interface", conn.ID, len(conn.niQueue))
+	}
+	conn.open = false
+	conn.closed = true
+	conn.src = nil
+	roundLen := n.cfg.K * n.cfg.VCs
+	alloc := n.cfg.Link.CyclesPerRound(conn.Spec.Rate, roundLen)
+	peak := alloc
+	if conn.Spec.Class == flit.ClassVBR {
+		peak = n.cfg.Link.CyclesPerRound(conn.Spec.PeakRate, roundLen)
+		if peak < alloc {
+			peak = alloc
+		}
+	}
+	releaseOut := func(x *node, p int) {
+		if conn.Spec.Class == flit.ClassVBR {
+			x.alloc[p].ReleaseVBR(alloc, peak)
+		} else {
+			x.alloc[p].ReleaseCBR(alloc)
+		}
+	}
+	cur = conn.Src
+	for i, ref := range conn.VCs {
+		x := n.nodes[cur]
+		x.mems[ref.Port].Release(ref.VC)
+		x.cmap.Unmap(routing.VCRef{Port: ref.Port, VC: ref.VC})
+		x.upstream[ref.Port][ref.VC] = noUpstream
+		if i < len(conn.Path) {
+			hop := conn.Path[i]
+			releaseOut(n.nodes[hop.Node], hop.Port)
+			cur = n.cfg.Topology.Neighbor(hop.Node, hop.Port)
+		} else {
+			releaseOut(x, n.cfg.hostPort())
+		}
+	}
+	n.m.closed++
+	return nil
+}
+
+// DrainAndClose stops injection, steps the network until the connection's
+// buffers empty (bounded by limit cycles), then closes it.
+func (n *Network) DrainAndClose(conn *Conn, limit int64) error {
+	conn.open = false // stop generating new flits; queued ones still flow
+	for i := int64(0); i < limit; i++ {
+		if err := n.Close(conn); err == nil {
+			return nil
+		}
+		n.Step()
+	}
+	return n.Close(conn)
+}

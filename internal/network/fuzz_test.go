@@ -1,0 +1,160 @@
+package network
+
+import (
+	"testing"
+	"testing/quick"
+
+	"mmr/internal/flit"
+	"mmr/internal/sim"
+	"mmr/internal/topology"
+	"mmr/internal/traffic"
+)
+
+// TestNetworkFuzzChurn drives a small mesh with random interleaved
+// operations — synchronous opens, async probes, teardowns, best-effort
+// flows, cycle bursts — and checks invariants after each: flit
+// conservation across VCMs, wires and queues; allocator registers never
+// negative; and the resource bookkeeping of closed connections fully
+// released. Panics (flow-control violations, double releases) fail the
+// property.
+func TestNetworkFuzzChurn(t *testing.T) {
+	f := func(seed uint64, ops []uint16) bool {
+		tp, err := topology.Mesh(3, 3, 4)
+		if err != nil {
+			return false
+		}
+		cfg := DefaultConfig(tp)
+		cfg.VCs = 8
+		cfg.Seed = seed
+		n, err := New(cfg)
+		if err != nil {
+			return false
+		}
+		rng := sim.NewRNG(seed ^ 0x5ca1ab1e)
+		var open []*Conn
+		for _, op := range ops {
+			switch op % 8 {
+			case 0, 1: // synchronous open
+				src, dst := rng.Intn(9), rng.Intn(9)
+				if src == dst {
+					break
+				}
+				rate := traffic.PaperRates[rng.Intn(len(traffic.PaperRates))]
+				if c, err := n.Open(src, dst, traffic.ConnSpec{Class: flit.ClassCBR, Rate: rate}); err == nil {
+					open = append(open, c)
+				}
+			case 2: // async probe
+				src, dst := rng.Intn(9), rng.Intn(9)
+				if src == dst {
+					break
+				}
+				n.OpenAsync(src, dst, traffic.ConnSpec{Class: flit.ClassCBR, Rate: 10 * traffic.Mbps},
+					func(c *Conn, err error) {
+						if err == nil {
+							open = append(open, c)
+						}
+					})
+			case 3: // teardown one connection
+				if len(open) > 0 {
+					i := rng.Intn(len(open))
+					if err := n.DrainAndClose(open[i], 3000); err == nil {
+						open = append(open[:i], open[i+1:]...)
+					}
+				}
+			case 4: // best-effort flow
+				src, dst := rng.Intn(9), rng.Intn(9)
+				if src != dst {
+					n.AddBestEffortFlow(src, dst, 0.002)
+				}
+			default: // run cycles
+				n.Run(int64(op % 512))
+			}
+			if !networkInvariants(n) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// networkInvariants checks global conservation and bookkeeping sanity.
+func networkInvariants(n *Network) bool {
+	var buffered, inflight, queued int64
+	for _, nd := range n.nodes {
+		for p, mem := range nd.mems {
+			occ := mem.Occupied()
+			if occ < 0 || occ > n.cfg.VCs*n.cfg.Depth {
+				return false
+			}
+			buffered += int64(occ)
+			if nd.alloc[p].Guaranteed() < 0 {
+				return false
+			}
+		}
+		for _, pipe := range nd.pipes {
+			inflight += int64(len(pipe))
+		}
+	}
+	for _, c := range n.conns {
+		queued += int64(len(c.niQueue))
+	}
+	for _, bf := range n.beFlows {
+		queued += int64(len(bf.niQueue))
+	}
+	gen := n.m.generated + n.m.beGenerated
+	del := n.m.delivered + n.m.beDelivered
+	return gen == del+buffered+queued+inflight
+}
+
+// TestNetworkDeterminism: identical seeds give identical multi-router
+// results.
+func TestNetworkDeterminism(t *testing.T) {
+	run := func() *Stats {
+		tp, _ := topology.Mesh(3, 3, 4)
+		cfg := DefaultConfig(tp)
+		cfg.VCs = 16
+		cfg.Seed = 5
+		n, _ := New(cfg)
+		for i := 0; i < 5; i++ {
+			n.Open(i, 8-i, traffic.ConnSpec{Class: flit.ClassCBR, Rate: 20 * traffic.Mbps})
+		}
+		n.AddBestEffortFlow(0, 8, 0.01)
+		n.Run(15_000)
+		return n.Stats()
+	}
+	a, b := run(), run()
+	if a.FlitsDelivered != b.FlitsDelivered || a.Latency.Mean() != b.Latency.Mean() ||
+		a.BEDelivered != b.BEDelivered {
+		t.Fatalf("same seed, different results:\n%v\n%v", a, b)
+	}
+}
+
+// TestNetworkLinkDelayScaling: longer wires add latency but never break
+// flow control.
+func TestNetworkLinkDelayScaling(t *testing.T) {
+	lat := func(delay int64) float64 {
+		tp, _ := topology.Mesh(3, 1, 4) // 2-hop chain
+		cfg := DefaultConfig(tp)
+		cfg.VCs = 16
+		cfg.LinkDelay = delay
+		n, _ := New(cfg)
+		if _, err := n.Open(0, 2, traffic.ConnSpec{Class: flit.ClassCBR, Rate: 55 * traffic.Mbps}); err != nil {
+			t.Fatal(err)
+		}
+		n.Run(20_000)
+		st := n.Stats()
+		if st.FlitsDelivered == 0 {
+			t.Fatalf("no delivery at link delay %d", delay)
+		}
+		return st.Latency.Mean()
+	}
+	l1, l4 := lat(1), lat(4)
+	// Two inter-router wires plus credit returns: each extra delay cycle
+	// adds at least two cycles of latency.
+	if l4 < l1+5 {
+		t.Fatalf("latency did not scale with link delay: %.2f vs %.2f", l1, l4)
+	}
+}

@@ -1,0 +1,279 @@
+// Package network assembles MMR routers into a cluster/LAN fabric: a
+// topology of routers joined by flow-controlled links, host interfaces
+// injecting streams and packets, EPB connection establishment reserving a
+// virtual channel and bandwidth at every hop (§3.5, §4.2), per-hop
+// channel mappings forwarding stream flits, and up*/down* adaptive
+// routing for best-effort packets. The flit datapath is cycle-synchronous
+// like the single-router engine; connection-level dynamics (arrivals,
+// holding times) ride on the discrete-event engine in internal/sim.
+//
+// Modeling note: probe propagation contends only for control bandwidth,
+// not for data flit cycles — control packets preempt data and ride the
+// reconfiguration gaps (§3.4) — so establishment is evaluated against the
+// instantaneous resource state, with its latency charged as
+// HopLatency × hops (plus backtracks). DESIGN.md records this
+// substitution.
+package network
+
+import (
+	"fmt"
+
+	"mmr/internal/admission"
+	"mmr/internal/flit"
+	"mmr/internal/flow"
+	"mmr/internal/routing"
+	"mmr/internal/sched"
+	"mmr/internal/sim"
+	"mmr/internal/topology"
+	"mmr/internal/traffic"
+	"mmr/internal/vcm"
+)
+
+// Config sizes a network. Router radix is Topology.Ports + 1: the extra
+// port attaches the node's host interface.
+type Config struct {
+	Topology *topology.Topology
+	Link     traffic.Link
+	VCs      int // virtual channels per input port
+	Depth    int // flits per VC buffer
+	K        int // round multiplier (round = K × VCs cycles)
+
+	MaxCandidates int
+	Scheme        sched.PriorityScheme
+	ArbiterIters  int
+
+	// LinkDelay is the flit propagation delay between routers in cycles;
+	// HopLatency is the probe processing cost per hop during
+	// establishment (routing decision + VC reservation, §3.5).
+	LinkDelay  int64
+	HopLatency int64
+
+	Concurrency        float64
+	EnforceAllocations bool
+	Seed               uint64
+}
+
+// DefaultConfig returns a workable configuration for the given topology:
+// paper link geometry, 64 VCs per port, biased scheduling.
+func DefaultConfig(t *topology.Topology) Config {
+	return Config{
+		Topology:           t,
+		Link:               traffic.PaperLink,
+		VCs:                64,
+		Depth:              4,
+		K:                  2,
+		MaxCandidates:      8,
+		Scheme:             sched.Biased{},
+		LinkDelay:          1,
+		HopLatency:         4,
+		Concurrency:        2,
+		EnforceAllocations: true,
+		Seed:               1,
+	}
+}
+
+func (c *Config) validate() error {
+	if c.Topology == nil {
+		return fmt.Errorf("network: nil topology")
+	}
+	if !c.Topology.Connected() {
+		return fmt.Errorf("network: topology not connected")
+	}
+	if c.VCs < 1 || c.Depth < 1 || c.K < 1 {
+		return fmt.Errorf("network: invalid buffering VCs=%d depth=%d K=%d", c.VCs, c.Depth, c.K)
+	}
+	if c.MaxCandidates < 1 {
+		return fmt.Errorf("network: need at least one candidate")
+	}
+	if c.LinkDelay < 0 || c.HopLatency < 0 {
+		return fmt.Errorf("network: negative latency")
+	}
+	if c.Concurrency < 1 {
+		return fmt.Errorf("network: concurrency factor < 1")
+	}
+	return nil
+}
+
+// hostPort returns the port index used by a node's host interface.
+func (c *Config) hostPort() int { return c.Topology.Ports }
+
+// radix returns the router degree including the host port.
+func (c *Config) radix() int { return c.Topology.Ports + 1 }
+
+// linkFlit is a flit in flight on an inter-router link, addressed to a
+// reserved VC on the far input port.
+type linkFlit struct {
+	arriveAt int64
+	vc       int
+	f        *flit.Flit
+}
+
+// upRef points at the upstream buffer slot a flit occupied before this
+// hop, so draining it returns a credit there (link-level VC flow control).
+type upRef struct {
+	node, port, vc int
+}
+
+// noUpstream marks VCs fed directly by a host interface.
+var noUpstream = upRef{node: -1}
+
+// node is one router plus its host interface.
+type node struct {
+	id    int
+	mems  []*vcm.Memory // per input port
+	links []*sched.LinkScheduler
+	alloc []*admission.LinkAllocator // per output port
+	cmap  *routing.ChannelMap
+	arb   sched.SwitchScheduler
+
+	// shadow[p] is the credit view the link scheduler of input port p
+	// ANDs with flits_available: one bit per local input VC, mirroring
+	// the downstream buffer that VC's flits move into. Stream VCs track
+	// the reserved next-hop VC; packet VCs stay full (their next-hop VC
+	// is reserved per packet at transmit time, §3.4).
+	shadow []*flow.Credits
+
+	// upstream[p][v] says where to return a credit when a flit pops from
+	// input port p, VC v.
+	upstream [][]upRef
+
+	pipes [][]linkFlit // per output port: flits in flight
+
+	cands  [][]sched.Candidate
+	grants []int
+}
+
+// Conn is an established end-to-end connection.
+type Conn struct {
+	ID         flit.ConnID
+	Src, Dst   int
+	Spec       traffic.ConnSpec
+	Path       []routing.PathHop // (node, outPort) hops, src router → dst router
+	VCs        []routing.VCRef   // reserved input (port, VC) at each router on the path
+	SetupTime  int64             // cycles spent establishing (probe + ack)
+	Backtracks int
+
+	src     traffic.Source
+	niQueue []*flit.Flit
+	nextSeq int64
+	open    bool // injection enabled
+	closed  bool // resources released
+}
+
+// Network is the multi-router simulation.
+type Network struct {
+	cfg   Config
+	rng   *sim.RNG
+	dists *routing.Dists
+	ud    *routing.UpDown
+	nodes []*node
+	now   int64
+
+	conns   []*Conn
+	beFlows []*beFlow
+	events  *sim.Engine // session-level dynamics
+
+	credits      []creditMsg // credit returns in flight
+	pktSeq       int64
+	scratchPorts []int
+
+	m netStats
+}
+
+// New builds a network over cfg.Topology.
+func New(cfg Config) (*Network, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Scheme == nil {
+		cfg.Scheme = sched.Biased{}
+	}
+	n := &Network{
+		cfg:    cfg,
+		rng:    sim.NewRNG(cfg.Seed),
+		dists:  routing.NewDists(cfg.Topology),
+		events: sim.NewEngine(),
+	}
+	n.ud = routing.NewUpDown(cfg.Topology, n.dists)
+	radix := cfg.radix()
+	vcmCfg := vcm.Config{
+		VirtualChannels: cfg.VCs, Depth: cfg.Depth,
+		Banks: 8, PhitsPerFlit: cfg.Link.PhitsPerFlit(), PhitBufferDepth: 2 * cfg.Link.PhitsPerFlit(),
+	}
+	roundLen := cfg.K * cfg.VCs
+	for id := 0; id < cfg.Topology.Nodes; id++ {
+		nd := &node{id: id, cmap: routing.NewChannelMap(radix, cfg.VCs)}
+		for p := 0; p < radix; p++ {
+			mem, err := vcm.New(vcmCfg)
+			if err != nil {
+				return nil, err
+			}
+			nd.mems = append(nd.mems, mem)
+			a, err := admission.NewLinkAllocator(roundLen, 0, cfg.Concurrency)
+			if err != nil {
+				return nil, err
+			}
+			nd.alloc = append(nd.alloc, a)
+			nd.shadow = append(nd.shadow, flow.NewCredits(cfg.VCs, cfg.Depth))
+			ups := make([]upRef, cfg.VCs)
+			for i := range ups {
+				ups[i] = noUpstream
+			}
+			nd.upstream = append(nd.upstream, ups)
+			nd.pipes = append(nd.pipes, nil)
+		}
+		for p := 0; p < radix; p++ {
+			nd.links = append(nd.links, sched.NewLinkScheduler(sched.LinkConfig{
+				Input:         p,
+				MaxCandidates: cfg.MaxCandidates,
+				Scheme:        cfg.Scheme,
+				RNG:           n.rng,
+				NoEnforce:     !cfg.EnforceAllocations,
+			}, nd.mems[p], nd.shadow[p]))
+		}
+		nd.arb = sched.NewPriorityArbiter(cfg.ArbiterIters)
+		nd.cands = make([][]sched.Candidate, radix)
+		nd.grants = make([]int, radix)
+		n.nodes = append(n.nodes, nd)
+	}
+	n.m.init()
+	return n, nil
+}
+
+// Config returns the network configuration.
+func (n *Network) Config() Config { return n.cfg }
+
+// Now returns the current flit cycle.
+func (n *Network) Now() int64 { return n.now }
+
+// Nodes returns the number of routers.
+func (n *Network) Nodes() int { return len(n.nodes) }
+
+// Events exposes the session-level event engine (for scheduling
+// connection arrivals/teardowns in examples and experiments).
+func (n *Network) Events() *sim.Engine { return n.events }
+
+// Schedule runs fn when the network clock reaches the given absolute
+// cycle — the convenient form of session-level events (connection
+// arrivals, holding-time expirations).
+func (n *Network) Schedule(cycle int64, fn func()) {
+	n.events.At(sim.Time(cycle), sim.EventFunc(func(sim.Time) { fn() }))
+}
+
+// Stats returns a snapshot of the network statistics.
+func (n *Network) Stats() *Stats { return n.m.snapshot() }
+
+// Conns returns all connections ever opened (including closed ones).
+func (n *Network) Conns() []*Conn { return n.conns }
+
+// FreeVCsAt reports the unreserved virtual channels on a node's input
+// port — the resource a probe checks before advancing (§3.5).
+func (n *Network) FreeVCsAt(node, port int) int {
+	return n.nodes[node].mems[port].FreeVCs()
+}
+
+// GuaranteedLoadAt reports the guaranteed-bandwidth fraction allocated on
+// a node's output port.
+func (n *Network) GuaranteedLoadAt(node, port int) float64 {
+	return n.nodes[node].alloc[port].GuaranteedLoad()
+}

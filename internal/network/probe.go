@@ -1,0 +1,256 @@
+package network
+
+import (
+	"fmt"
+
+	"mmr/internal/flit"
+	"mmr/internal/routing"
+	"mmr/internal/traffic"
+	"mmr/internal/vcm"
+)
+
+// probe.go implements the event-driven EPB establishment protocol: a
+// probe packet advances one hop per HopLatency cycles, reserving an
+// input VC at the next router and bandwidth on the output link (§3.5,
+// §4.2), backtracking and releasing on dead ends. Unlike the synchronous
+// Open, concurrent probes interleave and race for resources, exactly as
+// in the real router; the acknowledgment walks back along the reverse
+// channel mappings before the source may inject.
+
+// demand is a connection's resource demand in allocation units.
+type demand struct {
+	alloc, peak int
+}
+
+func (n *Network) demandFor(spec traffic.ConnSpec) demand {
+	roundLen := n.cfg.K * n.cfg.VCs
+	d := demand{alloc: n.cfg.Link.CyclesPerRound(spec.Rate, roundLen)}
+	d.peak = d.alloc
+	if spec.Class == flit.ClassVBR {
+		d.peak = n.cfg.Link.CyclesPerRound(spec.PeakRate, roundLen)
+		if d.peak < d.alloc {
+			d.peak = d.alloc
+		}
+	}
+	return d
+}
+
+func (n *Network) admitOut(x *node, p int, spec traffic.ConnSpec, d demand) bool {
+	if spec.Class == flit.ClassVBR {
+		return x.alloc[p].AdmitVBR(d.alloc, d.peak)
+	}
+	return x.alloc[p].AdmitCBR(d.alloc)
+}
+
+func (n *Network) releaseOut(x *node, p int, spec traffic.ConnSpec, d demand) {
+	if spec.Class == flit.ClassVBR {
+		x.alloc[p].ReleaseVBR(d.alloc, d.peak)
+	} else {
+		x.alloc[p].ReleaseCBR(d.alloc)
+	}
+}
+
+// probeHop is one reserved hop of an in-flight probe.
+type probeHop struct {
+	node, port int // output taken from node
+	vc         int // VC reserved at the neighbor's input
+}
+
+// probe is the state of one in-flight EPB establishment.
+type probe struct {
+	n        *Network
+	src, dst int
+	spec     traffic.ConnSpec
+	d        demand
+	done     func(*Conn, error)
+
+	node    int
+	entryVC int
+	hops    []probeHop
+	hist    map[int]*routing.History
+	started int64
+	forward int // forward hops taken (including undone)
+	backs   int // backtracks
+	acking  int // remaining ack hops before completion
+}
+
+// OpenAsync launches an EPB probe from the host at src toward dst. The
+// probe advances one hop every HopLatency cycles; when it reaches the
+// destination an acknowledgment retraces the path, and done is invoked
+// with the established connection (injection starts then). On failure —
+// the probe backtracked past the source — done receives the error.
+// Probes race: resources are taken as the probe passes, and concurrent
+// probes see each other's reservations.
+func (n *Network) OpenAsync(src, dst int, spec traffic.ConnSpec, done func(*Conn, error)) error {
+	if src < 0 || src >= len(n.nodes) || dst < 0 || dst >= len(n.nodes) {
+		return errBadEndpoints(src, dst)
+	}
+	if src == dst {
+		return fmt.Errorf("network: source and destination host on the same router")
+	}
+	if !spec.Class.IsStream() {
+		return fmt.Errorf("network: OpenAsync is for stream classes, got %v", spec.Class)
+	}
+	if done == nil {
+		done = func(*Conn, error) {}
+	}
+	n.m.setupAttempts++
+	hp := n.cfg.hostPort()
+	entryVC := n.nodes[src].mems[hp].FindFree(n.rng.Intn(n.cfg.VCs))
+	if entryVC < 0 {
+		n.m.setupRejected++
+		done(nil, fmt.Errorf("network: no free VC on host port of node %d", src))
+		return nil
+	}
+	n.nodes[src].mems[hp].Reserve(entryVC, vcm.VCState{Conn: flit.InvalidConn, Class: spec.Class, Output: -1})
+	p := &probe{
+		n: n, src: src, dst: dst, spec: spec, d: n.demandFor(spec), done: done,
+		node: src, entryVC: entryVC,
+		hist:    map[int]*routing.History{src: {}},
+		started: n.now,
+	}
+	n.Schedule(n.now+n.cfg.HopLatency, p.step)
+	return nil
+}
+
+// step advances the probe one hop (or one backtrack, or one ack hop).
+func (p *probe) step() {
+	n := p.n
+	if p.acking > 0 {
+		p.acking--
+		if p.acking == 0 {
+			p.complete()
+			return
+		}
+		n.Schedule(n.now+n.cfg.HopLatency, p.step)
+		return
+	}
+	canUse := func(port int) bool {
+		x := n.nodes[p.node]
+		nb := n.cfg.Topology.Neighbor(p.node, port)
+		if nb < 0 {
+			return false
+		}
+		pp := n.cfg.Topology.PeerPort(p.node, port)
+		y := n.nodes[nb]
+		vc := y.mems[pp].FindFree(n.rng.Intn(n.cfg.VCs))
+		if vc < 0 {
+			return false
+		}
+		if !n.admitOut(x, port, p.spec, p.d) {
+			return false
+		}
+		y.mems[pp].Reserve(vc, vcm.VCState{Conn: flit.InvalidConn, Class: p.spec.Class, Output: -1})
+		p.hops = append(p.hops, probeHop{node: p.node, port: port, vc: vc})
+		return true
+	}
+	port, ok := routing.EPBStep(n.cfg.Topology, n.dists, p.node, p.dst, p.hist[p.node], canUse)
+	if ok {
+		p.forward++
+		p.node = n.cfg.Topology.Neighbor(p.node, port)
+		if p.node == p.dst {
+			// Destination reached: admit ejection bandwidth, then the ack
+			// retraces the path before data may flow (§4.2).
+			if !n.admitOut(n.nodes[p.dst], n.cfg.hostPort(), p.spec, p.d) {
+				p.failAll(fmt.Errorf("network: destination host port of node %d cannot admit %v", p.dst, p.spec.Rate))
+				return
+			}
+			p.acking = len(p.hops)
+			if p.acking == 0 {
+				p.complete()
+				return
+			}
+			n.Schedule(n.now+n.cfg.HopLatency, p.step)
+			return
+		}
+		if p.hist[p.node] == nil {
+			p.hist[p.node] = &routing.History{}
+		}
+		n.Schedule(n.now+n.cfg.HopLatency, p.step)
+		return
+	}
+	// Dead end: backtrack, releasing the hop that led here.
+	delete(p.hist, p.node)
+	if p.node == p.src {
+		p.failAll(fmt.Errorf("network: no minimal path with free resources from %d to %d", p.src, p.dst))
+		return
+	}
+	last := p.hops[len(p.hops)-1]
+	p.hops = p.hops[:len(p.hops)-1]
+	n.releaseOut(n.nodes[last.node], last.port, p.spec, p.d)
+	nb := n.cfg.Topology.Neighbor(last.node, last.port)
+	pp := n.cfg.Topology.PeerPort(last.node, last.port)
+	n.nodes[nb].mems[pp].Release(last.vc)
+	p.backs++
+	p.node = last.node
+	n.Schedule(n.now+n.cfg.HopLatency, p.step)
+}
+
+// failAll releases everything the probe holds and reports failure.
+func (p *probe) failAll(err error) {
+	n := p.n
+	for i := len(p.hops) - 1; i >= 0; i-- {
+		h := p.hops[i]
+		n.releaseOut(n.nodes[h.node], h.port, p.spec, p.d)
+		nb := n.cfg.Topology.Neighbor(h.node, h.port)
+		pp := n.cfg.Topology.PeerPort(h.node, h.port)
+		n.nodes[nb].mems[pp].Release(h.vc)
+	}
+	n.nodes[p.src].mems[n.cfg.hostPort()].Release(p.entryVC)
+	n.m.setupRejected++
+	p.done(nil, err)
+}
+
+// complete installs the connection along the reserved path.
+func (p *probe) complete() {
+	n := p.n
+	hp := n.cfg.hostPort()
+	id := flit.ConnID(len(n.conns))
+	roundLen := n.cfg.K * n.cfg.VCs
+	interval := float64(roundLen) / float64(p.d.alloc)
+	conn := &Conn{
+		ID: id, Src: p.src, Dst: p.dst, Spec: p.spec,
+		Backtracks: p.backs,
+		SetupTime:  n.now - p.started,
+		open:       true,
+	}
+	install := func(nodeID, inPort, vc, outPort int) {
+		x := n.nodes[nodeID]
+		if x.mems[inPort].State(vc).InUse {
+			x.mems[inPort].Release(vc)
+		}
+		x.mems[inPort].Reserve(vc, vcm.VCState{
+			Conn: id, Class: p.spec.Class,
+			Allocated: p.d.alloc, Peak: p.d.peak,
+			BasePriority: p.spec.Priority,
+			InterArrival: interval,
+			Output:       outPort,
+		})
+	}
+	conn.VCs = append(conn.VCs, routing.VCRef{Port: hp, VC: p.entryVC})
+	inPort, inVC := hp, p.entryVC
+	cur := p.src
+	for _, h := range p.hops {
+		nb := n.cfg.Topology.Neighbor(h.node, h.port)
+		pp := n.cfg.Topology.PeerPort(h.node, h.port)
+		install(cur, inPort, inVC, h.port)
+		n.nodes[cur].cmap.Map(routing.VCRef{Port: inPort, VC: inVC}, routing.VCRef{Port: h.port, VC: h.vc})
+		n.nodes[nb].upstream[pp][h.vc] = upRef{node: cur, port: inPort, vc: inVC}
+		conn.Path = append(conn.Path, routing.PathHop{Node: h.node, Port: h.port})
+		cur, inPort, inVC = nb, pp, h.vc
+		conn.VCs = append(conn.VCs, routing.VCRef{Port: inPort, VC: inVC})
+	}
+	install(cur, inPort, inVC, hp)
+	switch p.spec.Class {
+	case flit.ClassVBR:
+		conn.src = traffic.NewVBRSource(n.rng, n.cfg.Link, p.spec.Rate, p.spec.PeakRate, traffic.DefaultGoP())
+	default:
+		conn.src = traffic.NewCBRSource(n.cfg.Link, p.spec.Rate, n.rng.Float64())
+	}
+	n.conns = append(n.conns, conn)
+	n.m.grow(len(n.conns))
+	n.m.setupAccepted++
+	n.m.setupLatency.Add(float64(conn.SetupTime))
+	n.m.setupBacktracks.Add(float64(p.backs))
+	p.done(conn, nil)
+}

@@ -1,0 +1,118 @@
+package network
+
+import (
+	"fmt"
+
+	"mmr/internal/sim"
+	"mmr/internal/stats"
+	"mmr/internal/traffic"
+)
+
+// simTime converts a cycle count to the event engine's time type.
+func simTime(t int64) sim.Time { return sim.Time(t) }
+
+func errBadEndpoints(src, dst int) error {
+	return fmt.Errorf("network: invalid endpoints (%d,%d)", src, dst)
+}
+
+// newPoisson builds a Poisson packet generator bound to the network RNG.
+func newPoisson(n *Network, rate float64) *traffic.BestEffortSource {
+	return traffic.NewBestEffortSource(n.rng, rate)
+}
+
+// netStats is the live statistics state of a network simulation.
+type netStats struct {
+	cycles    int64
+	generated int64
+	delivered int64
+	linkFlits int64
+
+	tracker *stats.JitterTracker // end-to-end stream latency & jitter
+
+	beGenerated int64
+	beDelivered int64
+	beLatency   stats.Accumulator
+
+	setupAttempts   int64
+	setupAccepted   int64
+	setupRejected   int64
+	closed          int64
+	setupLatency    stats.Accumulator
+	setupBacktracks stats.Accumulator
+}
+
+func (m *netStats) init() { m.tracker = stats.NewJitterTracker(0) }
+
+func (m *netStats) grow(n int) { m.tracker.Grow(n) }
+
+func (m *netStats) reset() {
+	m.cycles = 0
+	m.generated = 0
+	m.delivered = 0
+	m.linkFlits = 0
+	m.tracker.Reset()
+	m.beGenerated = 0
+	m.beDelivered = 0
+	m.beLatency.Reset()
+	// Setup statistics survive reset: they describe session-level
+	// behaviour, not the warmed-up datapath.
+}
+
+// Stats is an immutable snapshot of network statistics.
+type Stats struct {
+	Cycles         int64
+	FlitsGenerated int64
+	FlitsDelivered int64
+	LinkFlits      int64
+
+	// Latency is end-to-end: flit creation at the source host to ejection
+	// at the destination host, in flit cycles. Jitter follows §5's
+	// definition over those latencies.
+	Latency stats.Accumulator
+	Jitter  stats.Accumulator
+
+	BEGenerated int64
+	BEDelivered int64
+	BELatency   stats.Accumulator
+
+	SetupAttempts   int64
+	SetupAccepted   int64
+	SetupRejected   int64
+	Closed          int64
+	SetupLatency    stats.Accumulator
+	SetupBacktracks stats.Accumulator
+}
+
+func (m *netStats) snapshot() *Stats {
+	return &Stats{
+		Cycles:          m.cycles,
+		FlitsGenerated:  m.generated,
+		FlitsDelivered:  m.delivered,
+		LinkFlits:       m.linkFlits,
+		Latency:         *m.tracker.Delay(),
+		Jitter:          *m.tracker.Jitter(),
+		BEGenerated:     m.beGenerated,
+		BEDelivered:     m.beDelivered,
+		BELatency:       m.beLatency,
+		SetupAttempts:   m.setupAttempts,
+		SetupAccepted:   m.setupAccepted,
+		SetupRejected:   m.setupRejected,
+		Closed:          m.closed,
+		SetupLatency:    m.setupLatency,
+		SetupBacktracks: m.setupBacktracks,
+	}
+}
+
+// AcceptanceRate returns accepted/attempted connection setups.
+func (s *Stats) AcceptanceRate() float64 {
+	if s.SetupAttempts == 0 {
+		return 0
+	}
+	return float64(s.SetupAccepted) / float64(s.SetupAttempts)
+}
+
+// String renders a one-line summary.
+func (s *Stats) String() string {
+	return fmt.Sprintf("cycles=%d delivered=%d latency=%.2f cyc jitter=%.3f accept=%.2f be=%d",
+		s.Cycles, s.FlitsDelivered, s.Latency.Mean(), s.Jitter.Mean(), s.AcceptanceRate(), s.BEDelivered)
+}

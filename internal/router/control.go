@@ -1,0 +1,170 @@
+package router
+
+import (
+	"fmt"
+
+	"mmr/internal/flit"
+	"mmr/internal/traffic"
+)
+
+// control.go implements §4.3's dynamic bandwidth management: "using
+// control words along a connection we can dynamically vary the bandwidth
+// requirements of a connection ... The response may involve a change in
+// data rate, selective dropping of data packets, or injection
+// limitation." Commands are encoded in control words that travel in-band
+// with the connection's flits (Myrinet-style), taking effect at the
+// router after a small propagation delay.
+
+// pendingControl is a command in flight toward the router.
+type pendingControl struct {
+	applyAt int64
+	conn    *Connection
+	word    flit.ControlWord
+}
+
+// SetBandwidth asks the source interface to change a CBR connection's
+// data rate. The command is carried by a control word: admission
+// re-checks the delta at the output link, the per-VC allocation and
+// aging interval are rewritten, and the source changes rate — all after
+// the in-band propagation delay of one flit cycle.
+func (r *Router) SetBandwidth(conn *Connection, rate traffic.Rate) error {
+	if conn.Spec.Class != flit.ClassCBR {
+		return fmt.Errorf("router: SetBandwidth supports CBR connections, got %v", conn.Spec.Class)
+	}
+	if rate <= 0 {
+		return fmt.Errorf("router: invalid rate %v", rate)
+	}
+	newAlloc := r.cfg.Link.CyclesPerRound(rate, r.cfg.RoundLen())
+	oldAlloc := r.mems[conn.Spec.In].State(conn.VC).Allocated
+	// Admission on the delta, so shrinking always succeeds and growth is
+	// subject to the same §4.2 test as establishment.
+	switch r.cfg.Admission {
+	case AdmitRate:
+		delta := float64(rate-conn.Spec.Rate) / float64(r.cfg.Link.Bandwidth)
+		if r.rateGuaranteed[conn.Spec.Out]+delta > 1+1e-9 {
+			return fmt.Errorf("router: output %d cannot grow connection %d to %v", conn.Spec.Out, conn.ID, rate)
+		}
+		r.rateGuaranteed[conn.Spec.Out] += delta
+	default:
+		if !r.alloc[conn.Spec.Out].AdjustCBR(newAlloc - oldAlloc) {
+			return fmt.Errorf("router: output %d cannot grow connection %d to %v", conn.Spec.Out, conn.ID, rate)
+		}
+	}
+	r.pendingCtl = append(r.pendingCtl, pendingControl{
+		applyAt: r.now + 1,
+		conn:    conn,
+		word:    flit.ControlWord{VC: conn.VC, Op: flit.CtlSetBandwidth, Arg: int(rate), Conn: conn.ID},
+	})
+	return nil
+}
+
+// SetPriority changes a VBR connection's static priority via a control
+// word (§4.3: the priority "can be dynamically modified by sending
+// control words from the network interface").
+func (r *Router) SetPriority(conn *Connection, priority int) error {
+	if conn.Spec.Class != flit.ClassVBR {
+		return fmt.Errorf("router: SetPriority supports VBR connections, got %v", conn.Spec.Class)
+	}
+	r.pendingCtl = append(r.pendingCtl, pendingControl{
+		applyAt: r.now + 1,
+		conn:    conn,
+		word:    flit.ControlWord{VC: conn.VC, Op: flit.CtlSetPriority, Arg: priority, Conn: conn.ID},
+	})
+	return nil
+}
+
+// AbortFrame drops a connection's queued flits at the source interface
+// and in its input VC — the §4.3 response of an interface that sees a
+// low-priority video frame making no progress: "less bandwidth is wasted
+// in the transmission of a frame that will not meet the deadline." It
+// returns the number of flits dropped.
+func (r *Router) AbortFrame(conn *Connection) int {
+	dropped := len(conn.niQueue)
+	conn.niQueue = conn.niQueue[:0]
+	mem := r.mems[conn.Spec.In]
+	for mem.Len(conn.VC) > 0 {
+		mem.Pop(conn.VC)
+		dropped++
+		// The freed slot returns a credit to the source side implicitly
+		// (injection checks Free directly); sink credits are untouched
+		// because the flits never crossed the switch.
+	}
+	r.m.framesAborted++
+	r.m.flitsDropped += int64(dropped)
+	return dropped
+}
+
+// Release tears a connection down: injection stops, buffered flits are
+// discarded (counted as dropped), the virtual channel is freed and the
+// output link's bandwidth registers are decremented (§4.2: the register
+// "is decremented when a connection is removed"). The Connection must
+// not be used afterwards.
+func (r *Router) Release(conn *Connection) error {
+	if conn.released {
+		return fmt.Errorf("router: connection %d already released", conn.ID)
+	}
+	// A credit still in flight from the sink would be returned to
+	// whatever connection reuses this VC, corrupting flow control; the
+	// return path is one cycle, so the caller just steps the router.
+	if r.credits[conn.Spec.In].Available(conn.VC) != r.cfg.VCM.Depth {
+		return fmt.Errorf("router: connection %d has credits in flight; run a cycle and retry", conn.ID)
+	}
+	conn.released = true
+	r.AbortFrame(conn) // drain NI queue and VC
+	conn.src = nil
+	mem := r.mems[conn.Spec.In]
+	mem.Release(conn.VC)
+	roundLen := r.cfg.RoundLen()
+	alloc := r.cfg.Link.CyclesPerRound(conn.Spec.Rate, roundLen)
+	switch r.cfg.Admission {
+	case AdmitRate:
+		r.rateGuaranteed[conn.Spec.Out] -= float64(conn.Spec.Rate) / float64(r.cfg.Link.Bandwidth)
+		if conn.Spec.Class == flit.ClassVBR {
+			peakFrac := float64(conn.Spec.PeakRate) / float64(r.cfg.Link.Bandwidth)
+			if pf := float64(conn.Spec.Rate) / float64(r.cfg.Link.Bandwidth); peakFrac < pf {
+				peakFrac = pf
+			}
+			r.ratePeak[conn.Spec.Out] -= peakFrac
+		}
+	default:
+		if conn.Spec.Class == flit.ClassVBR {
+			peak := r.cfg.Link.CyclesPerRound(conn.Spec.PeakRate, roundLen)
+			if peak < alloc {
+				peak = alloc
+			}
+			r.alloc[conn.Spec.Out].ReleaseVBR(alloc, peak)
+		} else {
+			r.alloc[conn.Spec.Out].ReleaseCBR(alloc)
+		}
+	}
+	return nil
+}
+
+// applyControls executes control words whose propagation delay elapsed.
+func (r *Router) applyControls(t int64) {
+	i := 0
+	for ; i < len(r.pendingCtl) && r.pendingCtl[i].applyAt <= t; i++ {
+		pc := r.pendingCtl[i]
+		if pc.conn.released {
+			continue // the connection was torn down while the word was in flight
+		}
+		st := r.mems[pc.conn.Spec.In].State(pc.conn.VC)
+		switch pc.word.Op {
+		case flit.CtlSetBandwidth:
+			rate := traffic.Rate(pc.word.Arg)
+			alloc := r.cfg.Link.CyclesPerRound(rate, r.cfg.RoundLen())
+			st.Allocated = alloc
+			st.Peak = alloc
+			st.InterArrival = float64(r.cfg.RoundLen()) / float64(alloc)
+			pc.conn.Spec.Rate = rate
+			pc.conn.src = traffic.NewCBRSource(r.cfg.Link, rate, r.rng.Float64())
+		case flit.CtlSetPriority:
+			st.BasePriority = pc.word.Arg
+			pc.conn.Spec.Priority = pc.word.Arg
+		}
+		r.m.controlWords++
+	}
+	if i > 0 {
+		r.pendingCtl = append(r.pendingCtl[:0], r.pendingCtl[i:]...)
+	}
+}

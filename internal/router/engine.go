@@ -1,0 +1,191 @@
+package router
+
+import (
+	"mmr/internal/crossbar"
+	"mmr/internal/flit"
+	"mmr/internal/sched"
+)
+
+// Step advances the router by one flit cycle (§3.4): credits return,
+// sources inject, link schedulers nominate candidates, the switch
+// scheduler arbitrates, winning flits traverse the crossbar and the
+// output links, and per-round bandwidth accounting rolls over at round
+// boundaries. Arbitration for cycle t+1 conceptually overlaps the
+// transmission of cycle t in hardware; the software model runs them in
+// sequence inside one tick, which preserves the observable timing.
+func (r *Router) Step() {
+	t := r.now
+
+	// Round boundary: reset per-round service counters (§4.1).
+	if t%int64(r.cfg.RoundLen()) == 0 {
+		for _, ls := range r.links {
+			ls.OnRoundBoundary()
+		}
+	}
+
+	// Credit return: sinks drained earlier flits.
+	for p := range r.pipes {
+		cr := r.credits[p]
+		r.pipes[p].Deliver(t, func(vc int) { cr.Return(vc) })
+	}
+
+	// In-band management commands whose propagation delay elapsed (§4.3).
+	r.applyControls(t)
+
+	// Link scheduling: each input port nominates candidates (§4.3) based
+	// on the state at the end of the previous cycle — in hardware,
+	// arbitration for cycle t overlaps transmission of cycle t-1.
+	for p := 0; p < r.cfg.Ports; p++ {
+		r.cands[p] = r.links[p].Candidates(t, r.cands[p][:0])
+	}
+	// Outputs claimed by an asynchronous control cut-through last cycle
+	// are busy during this cycle's arbitration (§3.4).
+	r.maskAsyncOutputs()
+
+	// Switch scheduling (§4.4).
+	r.arbiter.Schedule(r.cands, r.grants)
+
+	// Transmission: winners cross the switch and leave on output links.
+	r.transmit(t)
+
+	// The asynchronous transmissions that blocked this cycle are done.
+	for o := range r.outputBusyAsync {
+		r.outputBusyAsync[o] = false
+	}
+
+	// Injection: sources generate flits into NI queues; NI queues drain
+	// into input VCs while buffer space remains (source-side flow
+	// control, §4.2). Flits arriving now become schedulable next cycle.
+	r.injectStreams(t)
+	r.injectPackets(t)
+
+	r.now++
+}
+
+// maskAsyncOutputs removes candidates whose output is busy with an
+// asynchronous control transmission.
+func (r *Router) maskAsyncOutputs() {
+	anyBusy := false
+	for _, b := range r.outputBusyAsync {
+		if b {
+			anyBusy = true
+			break
+		}
+	}
+	if !anyBusy {
+		return
+	}
+	for p := range r.cands {
+		kept := r.cands[p][:0]
+		for _, c := range r.cands[p] {
+			if !r.outputBusyAsync[c.Output] {
+				kept = append(kept, c)
+			}
+		}
+		r.cands[p] = kept
+	}
+}
+
+// injectStreams ticks every connection source and moves flits from NI
+// queues into input virtual channels.
+func (r *Router) injectStreams(t int64) {
+	for _, c := range r.conns {
+		if c.src != nil {
+			for n := c.src.Tick(t); n > 0; n-- {
+				f := &flit.Flit{
+					Conn:      c.ID,
+					Class:     c.Spec.Class,
+					Type:      flit.TypeBody,
+					Seq:       c.nextSeq,
+					CreatedAt: t,
+					SrcPort:   int16(c.Spec.In),
+					DstPort:   int16(c.Spec.Out),
+				}
+				c.nextSeq++
+				c.niQueue = append(c.niQueue, f)
+				r.m.generated++
+			}
+		}
+		// Drain the NI queue into the VC while there is room.
+		mem := r.mems[c.Spec.In]
+		for len(c.niQueue) > 0 && mem.Free(c.VC) > 0 {
+			f := c.niQueue[0]
+			c.niQueue = c.niQueue[1:]
+			f.ReadyAt = t // VCM entry
+			if mem.Len(c.VC) == 0 {
+				// Straight to the head: ready to transmit through the
+				// switch — §5's delay reference point.
+				f.HeadAt = t
+			}
+			mem.Push(c.VC, f)
+			c.injected++
+		}
+	}
+}
+
+// transmit pops granted flits, moves them through the crossbar model,
+// records statistics and returns credits into the pipes.
+func (r *Router) transmit(t int64) {
+	if !r.arbiter.OutputSharing() {
+		// Configure the multiplexed crossbar for this flit cycle; the
+		// reconfiguration clock cycle is hidden inside the flit cycle
+		// (§3.3-3.4).
+		if r.xcfg == nil {
+			r.xcfg = make([]int, r.cfg.Ports)
+		}
+		for in := range r.xcfg {
+			r.xcfg[in] = crossbar.Unconnected
+			if g := r.grants[in]; g != sched.NoGrant {
+				r.xcfg[in] = r.cands[in][g].Output
+			}
+		}
+		if err := r.xbar.Configure(r.xcfg); err != nil {
+			panic("router: arbiter produced conflicting matching: " + err.Error())
+		}
+	}
+	for in := 0; in < r.cfg.Ports; in++ {
+		g := r.grants[in]
+		if g == sched.NoGrant {
+			continue
+		}
+		cand := r.cands[in][g]
+		mem := r.mems[in]
+		f := mem.Pop(cand.VC)
+		if f == nil {
+			panic("router: granted VC has no flit")
+		}
+		if !r.arbiter.OutputSharing() {
+			r.xbar.Transmit(in)
+		}
+		st := mem.State(cand.VC)
+		st.Serviced++
+		// Sink-side credit: consume on transmit, returned next cycle.
+		if r.credits[in].Consume(cand.VC) {
+			r.pipes[in].Send(t, cand.VC)
+		}
+		// The next flit (if any) reaches the head of the VC now.
+		if next := mem.Peek(cand.VC); next != nil {
+			next.HeadAt = t
+		}
+		r.m.recordDeparture(t, f, cand)
+		if f.Class == flit.ClassControl || f.Class == flit.ClassBestEffort {
+			r.finishPacketFlit(in, cand.VC, f)
+		}
+	}
+	r.m.cycleDone(r.cfg.Ports)
+}
+
+// Run executes warmup cycles, resets measurement state, then executes
+// measure cycles and returns the collected metrics. The paper runs "until
+// steady state was reached and statistics gathered over approximately
+// 100,000 router cycles" (§5).
+func (r *Router) Run(warmup, measure int64) *Metrics {
+	for i := int64(0); i < warmup; i++ {
+		r.Step()
+	}
+	r.m.reset()
+	for i := int64(0); i < measure; i++ {
+		r.Step()
+	}
+	return r.m.snapshot(r)
+}

@@ -1,0 +1,66 @@
+package router
+
+import (
+	"strings"
+	"testing"
+
+	"mmr/internal/flit"
+	"mmr/internal/traffic"
+)
+
+func TestMetricsQuantiles(t *testing.T) {
+	cfg := smallConfig()
+	r, _ := New(cfg)
+	// Two contending full-rate connections on one output: delays spread
+	// between 1 and a few cycles.
+	r.Establish(traffic.ConnSpec{Class: flit.ClassCBR, Rate: 600 * traffic.Mbps, In: 0, Out: 3})
+	r.Establish(traffic.ConnSpec{Class: flit.ClassCBR, Rate: 600 * traffic.Mbps, In: 1, Out: 3})
+	m := r.Run(2_000, 20_000)
+	if m.DelayP50 <= 0 || m.DelayP99 < m.DelayP50 {
+		t.Fatalf("quantiles disordered: p50=%v p99=%v", m.DelayP50, m.DelayP99)
+	}
+	if m.DelayP99 > m.Delay.Max()+1 {
+		t.Fatalf("p99 %.1f above max %.0f", m.DelayP99, m.Delay.Max())
+	}
+	if m.JitterP99 < 0 {
+		t.Fatalf("jitter p99 negative: %v", m.JitterP99)
+	}
+}
+
+func TestMetricsPerClassCounters(t *testing.T) {
+	cfg := smallConfig()
+	r, _ := New(cfg)
+	r.Establish(traffic.ConnSpec{Class: flit.ClassCBR, Rate: 100 * traffic.Mbps, In: 0, Out: 1})
+	r.Establish(traffic.ConnSpec{Class: flit.ClassVBR, Rate: 20 * traffic.Mbps, PeakRate: 60 * traffic.Mbps, In: 1, Out: 2})
+	r.AddBestEffortFlow(2, 3, 0.02)
+	r.AddControlFlow(3, 0, 0.01)
+	m := r.Run(1_000, 30_000)
+	if m.PerClassDelivered[flit.ClassCBR] == 0 ||
+		m.PerClassDelivered[flit.ClassVBR] == 0 ||
+		m.PerClassDelivered[flit.ClassBestEffort] == 0 ||
+		m.PerClassDelivered[flit.ClassControl] == 0 {
+		t.Fatalf("some class delivered nothing: %v", m.PerClassDelivered)
+	}
+	if m.FlitsDelivered != m.PerClassDelivered[flit.ClassCBR]+m.PerClassDelivered[flit.ClassVBR] {
+		t.Fatal("FlitsDelivered must count stream classes only")
+	}
+	if !strings.Contains(m.String(), "delivered") {
+		t.Fatal("metrics string malformed")
+	}
+}
+
+func TestMetricsWarmupDiscard(t *testing.T) {
+	cfg := smallConfig()
+	r, _ := New(cfg)
+	r.Establish(traffic.ConnSpec{Class: flit.ClassCBR, Rate: 100 * traffic.Mbps, In: 0, Out: 1})
+	m := r.Run(10_000, 1_000)
+	// Measurement window only: ~80 flits at 100 Mbps over 1000 cycles,
+	// not the ~880 of the whole run.
+	want := cfg.Link.FlitsPerCycle(100*traffic.Mbps) * 1000
+	if float64(m.FlitsDelivered) > want*1.2 {
+		t.Fatalf("warmup leaked into measurement: %d flits, want ~%.0f", m.FlitsDelivered, want)
+	}
+	if m.Cycles != 1_000 {
+		t.Fatalf("measured cycles = %d", m.Cycles)
+	}
+}

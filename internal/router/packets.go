@@ -1,0 +1,166 @@
+package router
+
+import (
+	"fmt"
+
+	"mmr/internal/flit"
+	"mmr/internal/traffic"
+	"mmr/internal/vcm"
+)
+
+// packetFlow is a generator of VCT packets between one input/output port
+// pair — control messages or best-effort traffic coexisting with the
+// streams (§3.4).
+type packetFlow struct {
+	kind    flit.PacketKind
+	in, out int
+	src     traffic.Source
+	niQueue []*flit.Flit // packets waiting for a free VC or fast path
+}
+
+// AddBestEffortFlow attaches a Poisson best-effort packet flow producing
+// packetsPerCycle single-flit packets on average from input in to output
+// out.
+func (r *Router) AddBestEffortFlow(in, out int, packetsPerCycle float64) error {
+	if err := r.checkPorts(in, out); err != nil {
+		return err
+	}
+	r.beFlows = append(r.beFlows, &packetFlow{
+		kind: flit.PacketBestEffort,
+		in:   in, out: out,
+		src: traffic.NewBestEffortSource(r.rng, packetsPerCycle),
+	})
+	return nil
+}
+
+// AddControlFlow attaches a Poisson control-message flow (probes,
+// acknowledgments, management commands) between the given ports.
+func (r *Router) AddControlFlow(in, out int, packetsPerCycle float64) error {
+	if err := r.checkPorts(in, out); err != nil {
+		return err
+	}
+	r.ctlFlows = append(r.ctlFlows, &packetFlow{
+		kind: flit.PacketControl,
+		in:   in, out: out,
+		src: traffic.NewBestEffortSource(r.rng, packetsPerCycle),
+	})
+	return nil
+}
+
+func (r *Router) checkPorts(in, out int) error {
+	if in < 0 || in >= r.cfg.Ports || out < 0 || out >= r.cfg.Ports {
+		return fmt.Errorf("router: ports (%d,%d) out of range", in, out)
+	}
+	return nil
+}
+
+// injectPackets generates VCT packets and routes them per §3.4:
+//
+//   - Control packets are forwarded immediately — bypassing flit-cycle
+//     synchronization — when the requested output link is idle; the output
+//     is then busy during the next flit cycle's arbitration.
+//   - Otherwise (and always, for best-effort packets) a free virtual
+//     channel is reserved and the packet is buffered, to be scheduled
+//     synchronously with the data streams; control packets buffer at
+//     higher precedence than streams, best-effort below them.
+//   - With no free VC the packet blocks in the NI queue (at a previous
+//     router in the real network).
+func (r *Router) injectPackets(t int64) {
+	for _, pf := range r.ctlFlows {
+		r.pumpPacketFlow(t, pf)
+	}
+	for _, pf := range r.beFlows {
+		r.pumpPacketFlow(t, pf)
+	}
+}
+
+func (r *Router) pumpPacketFlow(t int64, pf *packetFlow) {
+	for n := pf.src.Tick(t); n > 0; n-- {
+		r.pktSeq++
+		class := flit.ClassBestEffort
+		if pf.kind == flit.PacketControl {
+			class = flit.ClassControl
+		}
+		f := &flit.Flit{
+			Conn:      flit.InvalidConn,
+			Class:     class,
+			Type:      flit.TypeHead,
+			Seq:       r.pktSeq,
+			CreatedAt: t,
+			SrcPort:   int16(pf.in),
+			DstPort:   int16(pf.out),
+			Packet:    &flit.Packet{ID: r.pktSeq, Kind: pf.kind, Size: 1, CreatedAt: t},
+		}
+		pf.niQueue = append(pf.niQueue, f)
+		r.m.pktGenerated[class]++
+	}
+	// Drain the NI queue in order, stopping at the first packet that does
+	// not fit: all packets of a flow need the same resource (a free VC on
+	// the input port), so scanning past a failure cannot succeed and
+	// would make a backlogged flow cost O(queue) per cycle.
+	placed := 0
+	for _, f := range pf.niQueue {
+		if !r.placePacket(t, pf, f) {
+			break
+		}
+		placed++
+	}
+	if placed > 0 {
+		pf.niQueue = append(pf.niQueue[:0], pf.niQueue[placed:]...)
+	}
+}
+
+// placePacket attempts delivery or buffering of one packet, reporting
+// success.
+func (r *Router) placePacket(t int64, pf *packetFlow, f *flit.Flit) bool {
+	// Control fast path (§3.4): if the requested switch input port and
+	// output link are both free this flit cycle (and the output is not
+	// already claimed by another cut-through), the packet is forwarded
+	// immediately without flit-cycle synchronization; the output is then
+	// busy during the next cycle's arbitration.
+	if pf.kind == flit.PacketControl && !r.outputBusyAsync[pf.out] && r.portsIdleThisCycle(pf.in, pf.out) {
+		r.outputBusyAsync[pf.out] = true
+		r.m.recordPacketDelivery(t, f, true)
+		return true
+	}
+	// Buffered path: reserve a free VC on the input port.
+	mem := r.mems[pf.in]
+	vc := mem.FindFree(r.rng.Intn(mem.NumVCs()))
+	if vc < 0 {
+		return false // blocked: no free VC (§3.4)
+	}
+	class := flit.ClassBestEffort
+	if pf.kind == flit.PacketControl {
+		class = flit.ClassControl
+	}
+	mem.Reserve(vc, vcm.VCState{
+		Conn:   flit.InvalidConn,
+		Class:  class,
+		Output: pf.out,
+	})
+	f.ReadyAt = t
+	f.HeadAt = t
+	mem.Push(vc, f)
+	return true
+}
+
+// portsIdleThisCycle reports whether input in and output out both carried
+// no flit during the current flit cycle. For the perfect switch (no
+// crossbar state) the fast path is always available.
+func (r *Router) portsIdleThisCycle(in, out int) bool {
+	if r.arbiter.OutputSharing() {
+		return true
+	}
+	return r.xbar.InputFor(out) < 0 && r.xbar.OutputFor(in) < 0
+}
+
+// finishPacketFlit releases the packet's virtual channel once its last
+// flit has left (§3.4: "When a control or a best-effort packet is
+// completely transmitted, the corresponding virtual channel is released").
+func (r *Router) finishPacketFlit(in, vc int, f *flit.Flit) {
+	mem := r.mems[in]
+	if mem.Len(vc) == 0 {
+		mem.Release(vc)
+	}
+	r.m.recordPacketDelivery(r.now, f, false)
+}

@@ -1,0 +1,465 @@
+// Package router implements the MMR single-chip router (Figure 1 of the
+// paper): per-input-link virtual channel memories and link schedulers, a
+// multiplexed crossbar, an input-driven switch scheduler, round-based
+// bandwidth accounting and credit flow control — driven by a
+// cycle-synchronous engine whose tick is one flit cycle (§3.4). This is
+// the model behind every figure in §5: CBR/VBR connections feed input
+// virtual channels, the link schedulers nominate candidates, the switch
+// scheduler sets the crossbar, and delay/jitter are measured exactly as
+// the paper defines them.
+package router
+
+import (
+	"fmt"
+
+	"mmr/internal/admission"
+	"mmr/internal/crossbar"
+	"mmr/internal/flit"
+	"mmr/internal/flow"
+	"mmr/internal/sched"
+	"mmr/internal/sim"
+	"mmr/internal/traffic"
+	"mmr/internal/vcm"
+)
+
+// PriorityAssignment selects the static priority given to a connection
+// under the fixed scheme.
+type PriorityAssignment int
+
+// Static priority assignments.
+const (
+	// PriorityByRate derives the static priority from the connection's
+	// bandwidth — the QoS-class priority whose dynamic counterpart is the
+	// biased scheme (which grows priorities at a rate ∝ connection speed,
+	// §5.1). Strict priority by rate is stable below saturation: every
+	// class sees capacity left by faster classes.
+	PriorityByRate PriorityAssignment = iota
+	// PriorityByIndex gives earlier-established connections strictly
+	// higher priority — an ablation exhibiting classic static-priority
+	// starvation.
+	PriorityByIndex
+	// PriorityFromSpec uses ConnSpec.Priority untouched.
+	PriorityFromSpec
+)
+
+// String implements fmt.Stringer.
+func (p PriorityAssignment) String() string {
+	switch p {
+	case PriorityByRate:
+		return "by-rate"
+	case PriorityByIndex:
+		return "by-index"
+	default:
+		return "from-spec"
+	}
+}
+
+// AdmissionMode selects how Establish tests output-link capacity.
+type AdmissionMode int
+
+// Admission modes.
+const (
+	// AdmitAllocation uses the §4.2 integer cycles/round registers.
+	AdmitAllocation AdmissionMode = iota
+	// AdmitRate admits on exact connection rates (the §5 experimental
+	// assumption).
+	AdmitRate
+)
+
+// String implements fmt.Stringer.
+func (m AdmissionMode) String() string {
+	if m == AdmitRate {
+		return "rate"
+	}
+	return "allocation"
+}
+
+// ArbiterKind selects the switch scheduling algorithm (§5.1).
+type ArbiterKind int
+
+// The four algorithms compared in Figures 3-5.
+const (
+	ArbPriority ArbiterKind = iota // input-driven grant/accept with priorities
+	ArbAutonet                     // Anderson et al. randomized matching (DEC)
+	ArbPerfect                     // N× speedup reference switch
+	ArbISLIP                       // rotating-pointer iterative matching (ablation A10)
+)
+
+// String implements fmt.Stringer.
+func (k ArbiterKind) String() string {
+	switch k {
+	case ArbPriority:
+		return "priority"
+	case ArbAutonet:
+		return "autonet"
+	case ArbPerfect:
+		return "perfect"
+	case ArbISLIP:
+		return "islip"
+	default:
+		return fmt.Sprintf("ArbiterKind(%d)", int(k))
+	}
+}
+
+// Config assembles a router. The zero value is unusable; call
+// PaperConfig or fill every field and let New validate.
+type Config struct {
+	Ports int          // router radix (8×8 in §5)
+	Link  traffic.Link // physical link and flit geometry
+	VCM   vcm.Config   // per-input-port buffer organization
+
+	// K is the round-length multiplier: a round is K × VirtualChannels
+	// flit cycles (§4.1; K > 1 trades allocation granularity for jitter).
+	K int
+
+	// MaxCandidates is the link scheduler candidate count (1-8 in §5).
+	MaxCandidates int
+
+	// Scheme is the priority scheme (Biased/Fixed); Selection chooses
+	// priority-ranked vs random candidate sets; Arbiter picks the switch
+	// scheduling algorithm. The paper's four configurations are:
+	//   biased:  Scheme=Biased, Selection=Priority, Arbiter=Priority
+	//   fixed:   Scheme=Fixed,  Selection=Priority, Arbiter=Priority
+	//   autonet: Selection=Random, Arbiter=Autonet
+	//   perfect: Scheme=Biased, Arbiter=Perfect
+	Scheme       sched.PriorityScheme
+	Selection    sched.Selection
+	Arbiter      ArbiterKind
+	ArbiterIters int // grant/accept iterations; 0 = until converged
+
+	// BEReservePerRound holds back flit cycles each round for best-effort
+	// traffic (§4.2); Concurrency is the VBR concurrency factor.
+	BEReservePerRound int
+	Concurrency       float64
+
+	// EnforceAllocations applies per-round bandwidth enforcement to
+	// stream VCs (§4.3): a VC that has consumed its cycles/round waits
+	// for the next round. Disabling it lets backlogged connections catch
+	// up with unreserved bandwidth.
+	EnforceAllocations bool
+
+	// Admission selects the admission test. AdmitAllocation is the §4.2
+	// hardware mechanism (integer flit cycles/round registers); because
+	// every connection is rounded up to at least one cycle/round, it
+	// over-reserves for slow connections. AdmitRate admits on exact rates
+	// — the idealization under which the paper's §5 experiments run up to
+	// 95% offered load. Scheduling-time bandwidth enforcement always uses
+	// the integer allocation.
+	Admission AdmissionMode
+
+	// FixedAssign selects how static priorities are assigned to
+	// connections when Scheme is sched.Fixed (§4.4 "static priorities").
+	FixedAssign PriorityAssignment
+
+	Seed uint64
+}
+
+// PaperConfig returns the §5 experimental setup: an 8×8 router with 256
+// virtual channels per input port, 1.24 Gbps links, 128-bit flits and a
+// two-round multiplier.
+func PaperConfig() Config {
+	return Config{
+		Ports:              8,
+		Link:               traffic.PaperLink,
+		VCM:                vcm.PaperConfig(),
+		K:                  2,
+		MaxCandidates:      8,
+		Scheme:             sched.Biased{},
+		Selection:          sched.SelectPriority,
+		Arbiter:            ArbPriority,
+		Concurrency:        2,
+		EnforceAllocations: true,
+		Admission:          AdmitRate,
+		FixedAssign:        PriorityByRate,
+		Seed:               1,
+	}
+}
+
+func (c *Config) validate() error {
+	if c.Ports < 2 {
+		return fmt.Errorf("router: need at least 2 ports, got %d", c.Ports)
+	}
+	if c.Link.Bandwidth <= 0 || c.Link.FlitBits <= 0 {
+		return fmt.Errorf("router: invalid link %+v", c.Link)
+	}
+	if c.K < 1 {
+		return fmt.Errorf("router: round multiplier K must be >= 1, got %d", c.K)
+	}
+	if c.MaxCandidates < 1 {
+		return fmt.Errorf("router: need at least 1 candidate, got %d", c.MaxCandidates)
+	}
+	if c.Concurrency < 1 {
+		return fmt.Errorf("router: concurrency factor %.2f < 1", c.Concurrency)
+	}
+	return nil
+}
+
+// RoundLen returns the round length in flit cycles.
+func (c *Config) RoundLen() int { return c.K * c.VCM.VirtualChannels }
+
+// Connection is one established virtual circuit through the router.
+type Connection struct {
+	ID   flit.ConnID
+	Spec traffic.ConnSpec
+	VC   int // input virtual channel
+
+	src      traffic.Source
+	niQueue  []*flit.Flit // network-interface queue (policed injection, §4.2)
+	nextSeq  int64
+	injected int64
+	released bool
+}
+
+// Router is a single MMR instance.
+type Router struct {
+	cfg Config
+	rng *sim.RNG
+	now int64
+
+	mems    []*vcm.Memory      // one VCM per input port
+	credits []*flow.Credits    // sink-side credits per input port VC
+	pipes   []*flow.CreditPipe // credit return latency
+	links   []*sched.LinkScheduler
+	alloc   []*admission.LinkAllocator // per output link
+	// Rate-based admission accumulators (AdmitRate mode), as a fraction
+	// of link bandwidth per output.
+	rateGuaranteed []float64
+	ratePeak       []float64
+	xbar           *crossbar.Crossbar
+	arbiter        sched.SwitchScheduler
+
+	conns      []*Connection
+	beFlows    []*packetFlow
+	ctlFlows   []*packetFlow
+	pendingCtl []pendingControl
+	pktSeq     int64
+
+	// outputBusyAsync marks outputs occupied by an asynchronous control
+	// cut-through that overruns the current flit cycle (§3.4).
+	outputBusyAsync []bool
+
+	// scratch
+	cands  [][]sched.Candidate
+	grants []int
+	xcfg   []int
+
+	m       measurement
+	stopped bool
+}
+
+// New builds a router from cfg.
+func New(cfg Config) (*Router, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Scheme == nil {
+		cfg.Scheme = sched.Biased{}
+	}
+	r := &Router{
+		cfg:             cfg,
+		rng:             sim.NewRNG(cfg.Seed),
+		mems:            make([]*vcm.Memory, cfg.Ports),
+		credits:         make([]*flow.Credits, cfg.Ports),
+		pipes:           make([]*flow.CreditPipe, cfg.Ports),
+		links:           make([]*sched.LinkScheduler, cfg.Ports),
+		alloc:           make([]*admission.LinkAllocator, cfg.Ports),
+		rateGuaranteed:  make([]float64, cfg.Ports),
+		ratePeak:        make([]float64, cfg.Ports),
+		xbar:            crossbar.New(cfg.Ports),
+		outputBusyAsync: make([]bool, cfg.Ports),
+		cands:           make([][]sched.Candidate, cfg.Ports),
+		grants:          make([]int, cfg.Ports),
+	}
+	for p := 0; p < cfg.Ports; p++ {
+		mem, err := vcm.New(cfg.VCM)
+		if err != nil {
+			return nil, err
+		}
+		r.mems[p] = mem
+		r.credits[p] = flow.NewCredits(cfg.VCM.VirtualChannels, cfg.VCM.Depth)
+		r.pipes[p] = flow.NewCreditPipe(1)
+		r.links[p] = sched.NewLinkScheduler(sched.LinkConfig{
+			Input:         p,
+			MaxCandidates: cfg.MaxCandidates,
+			Scheme:        cfg.Scheme,
+			Selection:     cfg.Selection,
+			RNG:           r.rng,
+			NoEnforce:     !cfg.EnforceAllocations,
+		}, mem, r.credits[p])
+		a, err := admission.NewLinkAllocator(cfg.RoundLen(), cfg.BEReservePerRound, cfg.Concurrency)
+		if err != nil {
+			return nil, err
+		}
+		r.alloc[p] = a
+	}
+	switch cfg.Arbiter {
+	case ArbAutonet:
+		iters := cfg.ArbiterIters
+		if iters < 1 {
+			iters = 3
+		}
+		r.arbiter = sched.NewPIMArbiter(r.rng, iters)
+	case ArbPerfect:
+		r.arbiter = sched.PerfectSwitch{}
+	case ArbISLIP:
+		iters := cfg.ArbiterIters
+		if iters < 1 {
+			iters = 3
+		}
+		r.arbiter = sched.NewISLIPArbiter(iters)
+	default:
+		r.arbiter = sched.NewPriorityArbiter(cfg.ArbiterIters)
+	}
+	r.m.init()
+	return r, nil
+}
+
+// Config returns the router's configuration.
+func (r *Router) Config() Config { return r.cfg }
+
+// Now returns the current flit cycle.
+func (r *Router) Now() int64 { return r.now }
+
+// Connections returns the established connections.
+func (r *Router) Connections() []*Connection { return r.conns }
+
+// Allocator exposes an output link's admission state.
+func (r *Router) Allocator(out int) *admission.LinkAllocator { return r.alloc[out] }
+
+// Memory exposes an input port's VCM (primarily for tests and tools).
+func (r *Router) Memory(in int) *vcm.Memory { return r.mems[in] }
+
+// Establish admits and sets up a connection per spec: it reserves an input
+// virtual channel, allocates bandwidth at the output link (§4.2), and
+// installs the channel mapping and per-VC scheduling state (§3.2, §4.3).
+// In the single-router model the EPB probe handshake degenerates to this
+// local reservation; the network package implements the full protocol.
+func (r *Router) Establish(spec traffic.ConnSpec) (*Connection, error) {
+	if spec.In < 0 || spec.In >= r.cfg.Ports || spec.Out < 0 || spec.Out >= r.cfg.Ports {
+		return nil, fmt.Errorf("router: ports (%d,%d) out of range", spec.In, spec.Out)
+	}
+	if !spec.Class.IsStream() {
+		return nil, fmt.Errorf("router: Establish is for stream classes, got %v", spec.Class)
+	}
+	mem := r.mems[spec.In]
+	vc := mem.FindFree(r.rng.Intn(mem.NumVCs()))
+	if vc < 0 {
+		return nil, fmt.Errorf("router: no free virtual channel on input %d", spec.In)
+	}
+	roundLen := r.cfg.RoundLen()
+	alloc := r.cfg.Link.CyclesPerRound(spec.Rate, roundLen)
+	peak := alloc
+	if spec.Class == flit.ClassVBR {
+		peak = r.cfg.Link.CyclesPerRound(spec.PeakRate, roundLen)
+		if peak < alloc {
+			peak = alloc
+		}
+	}
+	if err := r.admit(spec, alloc, peak); err != nil {
+		return nil, err
+	}
+	id := flit.ConnID(len(r.conns))
+	base := spec.Priority
+	if _, isFixed := r.cfg.Scheme.(sched.Fixed); isFixed {
+		switch r.cfg.FixedAssign {
+		case PriorityByRate:
+			base = int(spec.Rate / 1000) // Kbps granularity
+		case PriorityByIndex:
+			base = -int(id)
+		}
+	}
+	// The biased scheme normalizes a head flit's waiting time by the
+	// connection's guaranteed service interval — roundLen/allocation, the
+	// QoS metric the router holds for the connection (§4.4: priorities
+	// grow "at a rate [that] is a function of the QoS metric used for the
+	// corresponding connection"). For connections whose allocation is not
+	// quantized up this equals the flit inter-arrival time; for very slow
+	// connections it caps the aging horizon at one round, keeping their
+	// delay (and hence jitter) bounded by the round length rather than by
+	// their enormous inter-arrival times.
+	interval := float64(roundLen) / float64(alloc)
+	mem.Reserve(vc, vcm.VCState{
+		Conn:         id,
+		Class:        spec.Class,
+		Allocated:    alloc,
+		Peak:         peak,
+		BasePriority: base,
+		InterArrival: interval,
+		Output:       spec.Out,
+	})
+	conn := &Connection{ID: id, Spec: spec, VC: vc}
+	switch spec.Class {
+	case flit.ClassCBR:
+		conn.src = traffic.NewCBRSource(r.cfg.Link, spec.Rate, r.rng.Float64())
+	case flit.ClassVBR:
+		conn.src = traffic.NewVBRSource(r.rng, r.cfg.Link, spec.Rate, spec.PeakRate, traffic.DefaultGoP())
+	}
+	r.conns = append(r.conns, conn)
+	r.m.grow(len(r.conns))
+	return conn, nil
+}
+
+// admit runs the configured admission test and charges the accounting
+// registers for a stream connection.
+func (r *Router) admit(spec traffic.ConnSpec, alloc, peak int) error {
+	switch r.cfg.Admission {
+	case AdmitRate:
+		const eps = 1e-9
+		frac := float64(spec.Rate) / float64(r.cfg.Link.Bandwidth)
+		if r.rateGuaranteed[spec.Out]+frac > 1+eps {
+			return fmt.Errorf("router: output %d cannot admit %v (rate admission)", spec.Out, spec.Rate)
+		}
+		if spec.Class == flit.ClassVBR {
+			peakFrac := float64(spec.PeakRate) / float64(r.cfg.Link.Bandwidth)
+			if peakFrac < frac {
+				peakFrac = frac
+			}
+			if r.ratePeak[spec.Out]+peakFrac > r.cfg.Concurrency+eps {
+				return fmt.Errorf("router: output %d cannot admit VBR peak %v (rate admission)", spec.Out, spec.PeakRate)
+			}
+			r.ratePeak[spec.Out] += peakFrac
+		}
+		r.rateGuaranteed[spec.Out] += frac
+		return nil
+	default:
+		switch spec.Class {
+		case flit.ClassVBR:
+			if !r.alloc[spec.Out].AdmitVBR(alloc, peak) {
+				return fmt.Errorf("router: output %d cannot admit VBR %v/%v", spec.Out, spec.Rate, spec.PeakRate)
+			}
+		default:
+			if !r.alloc[spec.Out].AdmitCBR(alloc) {
+				return fmt.Errorf("router: output %d cannot admit %v CBR", spec.Out, spec.Rate)
+			}
+		}
+		return nil
+	}
+}
+
+// EstablishWithSource is Establish with a caller-provided flit source —
+// e.g. an MPEG-2 frame-size trace played through internal/trace — in
+// place of the statistical CBR/VBR generators. The admission demand
+// still comes from spec.Rate/PeakRate; the caller is responsible for the
+// source respecting them (the router's policing bounds any excess).
+func (r *Router) EstablishWithSource(spec traffic.ConnSpec, src traffic.Source) (*Connection, error) {
+	conn, err := r.Establish(spec)
+	if err != nil {
+		return nil, err
+	}
+	conn.src = src
+	return conn, nil
+}
+
+// EstablishWorkload establishes every connection of a generated workload,
+// returning the count admitted. Workloads built with Generate respect
+// per-port bandwidth, so admission failures indicate VC exhaustion.
+func (r *Router) EstablishWorkload(w *traffic.Workload) (int, error) {
+	n := 0
+	for _, spec := range w.Conns {
+		if _, err := r.Establish(spec); err != nil {
+			return n, err
+		}
+		n++
+	}
+	return n, nil
+}

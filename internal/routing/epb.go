@@ -1,0 +1,124 @@
+package routing
+
+import (
+	"fmt"
+
+	"mmr/internal/topology"
+)
+
+// Dists is an all-pairs hop-distance table over a topology, the basis for
+// "profitable" (minimal-path) decisions.
+type Dists struct {
+	n int
+	d [][]int
+}
+
+// NewDists precomputes BFS distances from every node.
+func NewDists(t *topology.Topology) *Dists {
+	d := &Dists{n: t.Nodes, d: make([][]int, t.Nodes)}
+	for s := 0; s < t.Nodes; s++ {
+		d.d[s] = t.ShortestDists(s)
+	}
+	return d
+}
+
+// Between returns the hop distance from a to b (-1 if unreachable).
+func (d *Dists) Between(a, b int) int { return d.d[a][b] }
+
+// Profitable reports whether taking port p from node n moves strictly
+// closer to dest — the EPB definition of a profitable link ("an
+// exhaustive search of the minimal paths", §3.5).
+func (d *Dists) Profitable(t *topology.Topology, n, p, dest int) bool {
+	m := t.Neighbor(n, p)
+	return m >= 0 && d.d[m][dest] >= 0 && d.d[m][dest] < d.d[n][dest]
+}
+
+// EPBStep makes one routing decision for a probe at node n heading to
+// dest: the first profitable output port not yet recorded in the history
+// store and accepted by canUse (which tests VC and bandwidth
+// availability, §4.2). It returns (port, true) to advance, or (-1, false)
+// to backtrack — every profitable link from n has been searched.
+func EPBStep(t *topology.Topology, d *Dists, n, dest int, h *History, canUse func(port int) bool) (int, bool) {
+	for p := 0; p < t.Ports; p++ {
+		if h.Searched(p) || !d.Profitable(t, n, p, dest) {
+			continue
+		}
+		h.Mark(p)
+		if canUse == nil || canUse(p) {
+			return p, true
+		}
+	}
+	return -1, false
+}
+
+// PathHop is one reserved hop of an EPB search: the node and the output
+// port taken from it.
+type PathHop struct {
+	Node, Port int
+}
+
+// SearchResult reports an offline EPB search.
+type SearchResult struct {
+	Path       []PathHop // hops from src to dest (empty if src == dest)
+	Backtracks int       // how many times the probe backed up
+	Visited    int       // total forward hops taken, including undone ones
+}
+
+// Search runs the complete EPB protocol over a topology as a synchronous
+// algorithm: the probe advances over profitable links that reserve
+// successfully, backtracks when a node's profitable links are exhausted,
+// and fails only after backtracking past the source — at which point EPB
+// has provably searched every minimal path (§3.5). reserve and release
+// are the resource callbacks (nil to search topology-only).
+//
+// The event-driven network package drives the same EPBStep decision
+// function hop by hop with real probe packets; Search is the reference
+// implementation used by tests, tools and admission what-if analysis.
+func Search(t *topology.Topology, d *Dists, src, dest int,
+	reserve func(node, port int) bool, release func(node, port int)) (*SearchResult, error) {
+
+	if src < 0 || src >= t.Nodes || dest < 0 || dest >= t.Nodes {
+		return nil, fmt.Errorf("routing: endpoints (%d,%d) out of range", src, dest)
+	}
+	res := &SearchResult{}
+	if src == dest {
+		return res, nil
+	}
+	// One history store per node on the current path — in hardware this
+	// state lives with the input VC the probe occupies (§3.5).
+	hist := map[int]*History{src: {}}
+	node := src
+	for {
+		canUse := func(p int) bool {
+			if reserve == nil {
+				return true
+			}
+			return reserve(node, p)
+		}
+		port, ok := EPBStep(t, d, node, dest, hist[node], canUse)
+		if ok {
+			res.Path = append(res.Path, PathHop{Node: node, Port: port})
+			res.Visited++
+			node = t.Neighbor(node, port)
+			if node == dest {
+				return res, nil
+			}
+			if hist[node] == nil {
+				hist[node] = &History{}
+			}
+			continue
+		}
+		// Exhausted: backtrack, releasing the hop that led here.
+		delete(hist, node)
+		if node == src {
+			return nil, fmt.Errorf("routing: no minimal path with free resources from %d to %d", src, dest)
+		}
+		last := res.Path[len(res.Path)-1]
+		res.Path = res.Path[:len(res.Path)-1]
+		if release != nil {
+			release(last.Node, last.Port)
+		}
+		res.Backtracks++
+		node = last.Node
+	}
+}

@@ -1,0 +1,116 @@
+// Package routing implements the MMR's routing and arbitration unit
+// state and algorithms (§3.5): direct/reverse channel mapping tables for
+// established connections, per-virtual-channel history stores for
+// backtracking probes, the Exhaustive Profitable Backtracking (EPB)
+// connection-establishment search of Gaughan & Yalamanchili [17], and the
+// up*/down* adaptive routing used for best-effort packets on irregular
+// topologies (Silla & Duato [26,27]).
+package routing
+
+import "fmt"
+
+// VCRef names a virtual channel: a physical port plus a VC index on it
+// ("Virtual channels are specified by indicating the physical link and
+// the virtual channel on that link", §3.5).
+type VCRef struct {
+	Port int
+	VC   int
+}
+
+// Invalid is the null VCRef.
+var Invalid = VCRef{Port: -1, VC: -1}
+
+// ChannelMap stores the direct and reverse channel mappings of one router
+// (§3.5): direct maps an input VC to the output VC that continues the
+// connection (used to forward data flits); reverse maps an output VC back
+// (used by backtracking headers and returned acknowledgments).
+type ChannelMap struct {
+	ports, vcs int
+	direct     []VCRef // indexed by input port*vcs+vc
+	reverse    []VCRef // indexed by output port*vcs+vc
+}
+
+// NewChannelMap returns an empty mapping table for a router with the
+// given geometry.
+func NewChannelMap(ports, vcs int) *ChannelMap {
+	if ports < 1 || vcs < 1 {
+		panic(fmt.Sprintf("routing: invalid geometry ports=%d vcs=%d", ports, vcs))
+	}
+	m := &ChannelMap{ports: ports, vcs: vcs}
+	m.direct = make([]VCRef, ports*vcs)
+	m.reverse = make([]VCRef, ports*vcs)
+	for i := range m.direct {
+		m.direct[i] = Invalid
+		m.reverse[i] = Invalid
+	}
+	return m
+}
+
+func (m *ChannelMap) idx(r VCRef) int {
+	if r.Port < 0 || r.Port >= m.ports || r.VC < 0 || r.VC >= m.vcs {
+		panic(fmt.Sprintf("routing: VC reference %+v out of range", r))
+	}
+	return r.Port*m.vcs + r.VC
+}
+
+// Map installs the bidirectional mapping in → out. Mapping an already
+// mapped channel returns an error (the previous connection must be torn
+// down first).
+func (m *ChannelMap) Map(in, out VCRef) error {
+	if m.direct[m.idx(in)] != Invalid {
+		return fmt.Errorf("routing: input %+v already mapped", in)
+	}
+	if m.reverse[m.idx(out)] != Invalid {
+		return fmt.Errorf("routing: output %+v already mapped", out)
+	}
+	m.direct[m.idx(in)] = out
+	m.reverse[m.idx(out)] = in
+	return nil
+}
+
+// Direct returns the output VC an input VC maps to, or Invalid.
+func (m *ChannelMap) Direct(in VCRef) VCRef { return m.direct[m.idx(in)] }
+
+// Reverse returns the input VC feeding an output VC, or Invalid.
+func (m *ChannelMap) Reverse(out VCRef) VCRef { return m.reverse[m.idx(out)] }
+
+// Unmap removes the mapping rooted at input in, returning the output it
+// pointed to, or Invalid if none existed.
+func (m *ChannelMap) Unmap(in VCRef) VCRef {
+	out := m.direct[m.idx(in)]
+	if out == Invalid {
+		return Invalid
+	}
+	m.direct[m.idx(in)] = Invalid
+	m.reverse[m.idx(out)] = Invalid
+	return out
+}
+
+// Mapped returns the number of installed mappings.
+func (m *ChannelMap) Mapped() int {
+	n := 0
+	for _, r := range m.direct {
+		if r != Invalid {
+			n++
+		}
+	}
+	return n
+}
+
+// History is the per-input-VC history store of §3.5: it records the
+// output links a probe has already searched from this router, so
+// backtracking never retries them ("In order to avoid searching the same
+// links twice, a history store associated with each input virtual channel
+// records all the output links that have already been searched").
+type History struct {
+	searched uint64 // bit per output port; routers have ≤ 64 ports
+}
+
+// Mark records that output port p has been searched.
+func (h *History) Mark(p int) { h.searched |= 1 << uint(p) }
+
+// Searched reports whether output port p has been tried.
+func (h *History) Searched(p int) bool { return h.searched&(1<<uint(p)) != 0 }
+
+// Reset clears the history (when the probe is released).
+func (h *History) Reset() { h.searched = 0 }

@@ -1,0 +1,139 @@
+package sched
+
+import "fmt"
+
+// ISLIPArbiter implements rotating-pointer iterative matching in the
+// style of iSLIP (McKeown; the paper cites the same family via
+// Mekkittikul & McKeown [21]): outputs grant the requesting input nearest
+// after their grant pointer, inputs accept the granting output nearest
+// after their accept pointer, and pointers advance past a partner only
+// when a first-iteration match forms — the desynchronization that gives
+// 100% throughput on uniform traffic. It ignores flit priorities
+// entirely, which is exactly what makes it an interesting comparator for
+// the MMR's QoS-driven schedulers (ablation A10).
+type ISLIPArbiter struct {
+	iterations int
+
+	grantPtr  []int // per output
+	acceptPtr []int // per input
+
+	inMatched  []bool
+	outMatched []bool
+	requests   [][]int
+	reqIdx     [][]int
+	offerBuf   [][]islipGrant
+}
+
+// islipGrant is one output's offer to an input during a grant phase.
+type islipGrant struct{ out, idx int }
+
+// NewISLIPArbiter returns an arbiter running the given number of
+// grant/accept iterations per cycle (iSLIP typically converges in
+// log2(N) iterations; 1 iteration is classic SLIP).
+func NewISLIPArbiter(iterations int) *ISLIPArbiter {
+	if iterations < 1 {
+		iterations = 1
+	}
+	return &ISLIPArbiter{iterations: iterations}
+}
+
+// OutputSharing implements SwitchScheduler.
+func (a *ISLIPArbiter) OutputSharing() bool { return false }
+
+// Name implements SwitchScheduler.
+func (a *ISLIPArbiter) Name() string { return fmt.Sprintf("islip/%d-iter", a.iterations) }
+
+func (a *ISLIPArbiter) grow(n int) {
+	if len(a.grantPtr) != n {
+		a.grantPtr = make([]int, n)
+		a.acceptPtr = make([]int, n)
+		a.inMatched = make([]bool, n)
+		a.outMatched = make([]bool, n)
+		a.requests = make([][]int, n)
+		a.reqIdx = make([][]int, n)
+	}
+	for i := 0; i < n; i++ {
+		a.inMatched[i] = false
+		a.outMatched[i] = false
+		a.requests[i] = a.requests[i][:0]
+		a.reqIdx[i] = a.reqIdx[i][:0]
+	}
+}
+
+// Schedule implements SwitchScheduler.
+func (a *ISLIPArbiter) Schedule(cands [][]Candidate, grants []int) {
+	n := len(grants)
+	a.grow(n)
+	for i := range grants {
+		grants[i] = NoGrant
+	}
+	// Build the request matrix: requests[o] lists inputs wanting output o.
+	reqFrom := a.requests // reuse: indexed by output
+	idxFrom := a.reqIdx
+	for in := 0; in < n && in < len(cands); in++ {
+		for ci, c := range cands[in] {
+			if c.Output >= 0 && c.Output < n {
+				reqFrom[c.Output] = append(reqFrom[c.Output], in)
+				idxFrom[c.Output] = append(idxFrom[c.Output], ci)
+			}
+		}
+	}
+	for iter := 0; iter < a.iterations; iter++ {
+		// Grant phase: each unmatched output grants the unmatched
+		// requesting input nearest at/after its pointer; inputs pick among
+		// offers in the accept phase below.
+		if cap(a.offerBuf) < n {
+			a.offerBuf = make([][]islipGrant, n)
+		}
+		offers := a.offerBuf[:n]
+		for i := range offers {
+			offers[i] = offers[i][:0]
+		}
+		for o := 0; o < n; o++ {
+			if a.outMatched[o] || len(reqFrom[o]) == 0 {
+				continue
+			}
+			best, bestIdx, bestDist := -1, -1, n+1
+			for k, in := range reqFrom[o] {
+				if a.inMatched[in] {
+					continue
+				}
+				d := (in - a.grantPtr[o] + n) % n
+				if d < bestDist {
+					best, bestIdx, bestDist = in, idxFrom[o][k], d
+				}
+			}
+			if best >= 0 {
+				offers[best] = append(offers[best], islipGrant{out: o, idx: bestIdx})
+			}
+		}
+		// Accept phase: each input accepts the offering output nearest
+		// at/after its accept pointer.
+		progress := false
+		for in := 0; in < n; in++ {
+			if a.inMatched[in] || len(offers[in]) == 0 {
+				continue
+			}
+			best, bestIdx, bestDist := -1, -1, n+1
+			for _, g := range offers[in] {
+				d := (g.out - a.acceptPtr[in] + n) % n
+				if d < bestDist {
+					best, bestIdx, bestDist = g.out, g.idx, d
+				}
+			}
+			grants[in] = bestIdx
+			a.inMatched[in] = true
+			a.outMatched[best] = true
+			progress = true
+			// Pointers advance one past the partner, only on the first
+			// iteration (the iSLIP desynchronization rule).
+			if iter == 0 {
+				a.grantPtr[best] = (in + 1) % n
+				a.acceptPtr[in] = (best + 1) % n
+			}
+		}
+		if !progress {
+			break
+		}
+	}
+}

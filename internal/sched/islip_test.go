@@ -1,0 +1,134 @@
+package sched
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestISLIPValidMatching(t *testing.T) {
+	a := NewISLIPArbiter(3)
+	cands := [][]Candidate{
+		{{Input: 0, VC: 0, Output: 0}, {Input: 0, VC: 1, Output: 1}},
+		{{Input: 1, VC: 0, Output: 0}},
+		{{Input: 2, VC: 0, Output: 1}, {Input: 2, VC: 1, Output: 2}},
+	}
+	grants := make([]int, 3)
+	a.Schedule(cands, grants)
+	used := map[int]bool{}
+	matched := 0
+	for in, g := range grants {
+		if g == NoGrant {
+			continue
+		}
+		out := cands[in][g].Output
+		if used[out] {
+			t.Fatalf("output %d double-granted", out)
+		}
+		used[out] = true
+		matched++
+	}
+	if matched < 2 {
+		t.Fatalf("matched %d, want >= 2", matched)
+	}
+}
+
+func TestISLIPDesynchronizesUnderFullLoad(t *testing.T) {
+	// All inputs request all outputs: after the first few cycles the
+	// rotating pointers desynchronize and the switch matches N pairs per
+	// cycle, giving 100% throughput — the classic iSLIP property.
+	const n = 4
+	a := NewISLIPArbiter(1)
+	cands := make([][]Candidate, n)
+	for in := 0; in < n; in++ {
+		for o := 0; o < n; o++ {
+			cands[in] = append(cands[in], Candidate{Input: in, VC: o, Output: o})
+		}
+	}
+	grants := make([]int, n)
+	full := 0
+	for cycle := 0; cycle < 50; cycle++ {
+		a.Schedule(cands, grants)
+		matched := 0
+		for _, g := range grants {
+			if g != NoGrant {
+				matched++
+			}
+		}
+		if cycle >= 10 && matched == n {
+			full++
+		}
+	}
+	if full < 35 {
+		t.Fatalf("full matchings in steady state: %d of 40", full)
+	}
+}
+
+func TestISLIPFairnessRoundRobin(t *testing.T) {
+	// Two inputs perpetually contending for one output must alternate.
+	a := NewISLIPArbiter(1)
+	cands := [][]Candidate{
+		{{Input: 0, VC: 0, Output: 0}},
+		{{Input: 1, VC: 0, Output: 0}},
+	}
+	grants := make([]int, 2)
+	wins := [2]int{}
+	for cycle := 0; cycle < 100; cycle++ {
+		a.Schedule(cands, grants)
+		for in, g := range grants {
+			if g != NoGrant {
+				wins[in]++
+			}
+		}
+	}
+	if wins[0] < 45 || wins[1] < 45 {
+		t.Fatalf("round-robin fairness violated: %v", wins)
+	}
+}
+
+func TestISLIPName(t *testing.T) {
+	if NewISLIPArbiter(2).Name() != "islip/2-iter" {
+		t.Fatal("name wrong")
+	}
+	if NewISLIPArbiter(0).Name() != "islip/1-iter" {
+		t.Fatal("iteration clamp wrong")
+	}
+	if NewISLIPArbiter(1).OutputSharing() {
+		t.Fatal("islip must not share outputs")
+	}
+}
+
+// Property: iSLIP always produces a valid matching with in-range grant
+// indices, like every other arbiter.
+func TestISLIPValidityProperty(t *testing.T) {
+	a := NewISLIPArbiter(2)
+	f := func(nPorts8 uint8, raw []uint16) bool {
+		n := int(nPorts8)%6 + 2
+		cands := make([][]Candidate, n)
+		for _, r := range raw {
+			in := int(r) % n
+			cands[in] = append(cands[in], Candidate{
+				Input: in, VC: len(cands[in]), Output: int(r>>4) % n,
+			})
+		}
+		grants := make([]int, n)
+		a.Schedule(cands, grants)
+		used := map[int]bool{}
+		for in, g := range grants {
+			if g == NoGrant {
+				continue
+			}
+			if g < 0 || g >= len(cands[in]) {
+				return false
+			}
+			out := cands[in][g].Output
+			if used[out] {
+				return false
+			}
+			used[out] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

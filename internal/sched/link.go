@@ -1,0 +1,239 @@
+package sched
+
+import (
+	"mmr/internal/bitvec"
+	"mmr/internal/flit"
+	"mmr/internal/flow"
+	"mmr/internal/sim"
+	"mmr/internal/vcm"
+)
+
+// Selection is how a link scheduler picks its candidate set from the
+// eligible virtual channels. The paper's scheme ranks by priority; the
+// Autonet comparison picks at random (§5.1: the algorithms differ "in how
+// the candidates are selected at input links").
+type Selection int
+
+// Candidate-selection policies.
+const (
+	SelectPriority Selection = iota
+	SelectRandom
+)
+
+// LinkConfig configures one input port's link scheduler.
+type LinkConfig struct {
+	Input         int
+	MaxCandidates int // the paper sweeps 1, 2, 4, 8 (§5)
+	Scheme        PriorityScheme
+	Selection     Selection
+	RNG           *sim.RNG // required for SelectRandom
+	// NoEnforce disables per-round bandwidth enforcement: stream VCs are
+	// always eligible at guaranteed precedence regardless of their
+	// serviced count. Used to isolate scheduling effects from allocation
+	// quantization.
+	NoEnforce bool
+}
+
+// LinkScheduler nominates up to MaxCandidates virtual channels from one
+// input port each flit cycle, honoring the §4.3 service order: buffered
+// control packets, then CBR allocations and VBR permanent bandwidth, then
+// VBR excess bandwidth by priority (completing one connection's excess
+// before the next), then best-effort. Bandwidth enforcement is per round:
+// a VC that has consumed its allocation waits for the next round.
+type LinkScheduler struct {
+	cfg     LinkConfig
+	mem     *vcm.Memory
+	credits *flow.Credits
+
+	eligible *bitvec.Vector // scratch: flits ∧ credits
+	scratch  []Candidate
+	outTaken map[int]bool // scratch: outputs already represented
+
+	// excessVC is the VBR connection currently draining its excess
+	// bandwidth (§4.3 serves excess one connection at a time). -1 if none.
+	excessVC int
+}
+
+// NewLinkScheduler returns a scheduler over the port's VCM and its
+// downstream credit state.
+func NewLinkScheduler(cfg LinkConfig, mem *vcm.Memory, credits *flow.Credits) *LinkScheduler {
+	if cfg.MaxCandidates < 1 {
+		cfg.MaxCandidates = 1
+	}
+	if cfg.Scheme == nil {
+		cfg.Scheme = Biased{}
+	}
+	return &LinkScheduler{
+		cfg:      cfg,
+		mem:      mem,
+		credits:  credits,
+		eligible: bitvec.New(mem.NumVCs()),
+		excessVC: -1,
+	}
+}
+
+// Config returns the scheduler's configuration.
+func (ls *LinkScheduler) Config() LinkConfig { return ls.cfg }
+
+// OnRoundBoundary resets per-round bandwidth accounting (§4.1: flit cycles
+// are grouped into rounds; allocations are per round).
+func (ls *LinkScheduler) OnRoundBoundary() {
+	ls.mem.ResetRound()
+	ls.excessVC = -1
+}
+
+// classify returns the service phase of VC vc right now, or -1 if the VC
+// has exhausted its bandwidth for this round.
+func (ls *LinkScheduler) classify(vc int) (Phase, bool) {
+	st := ls.mem.State(vc)
+	switch st.Class {
+	case flit.ClassControl:
+		return PhaseControl, true
+	case flit.ClassCBR:
+		if ls.cfg.NoEnforce {
+			return PhaseGuaranteed, true
+		}
+		if st.Serviced < st.Allocated {
+			return PhaseGuaranteed, true
+		}
+		return 0, false
+	case flit.ClassVBR:
+		if ls.cfg.NoEnforce || st.Serviced < st.Allocated {
+			return PhaseGuaranteed, true
+		}
+		if st.Serviced < st.Peak {
+			return PhaseExcess, true
+		}
+		return 0, false
+	default: // best-effort
+		return PhaseBestEffort, true
+	}
+}
+
+// Candidates appends up to MaxCandidates candidates for the next flit
+// cycle to dst and returns the extended slice, best first.
+func (ls *LinkScheduler) Candidates(now int64, dst []Candidate) []Candidate {
+	ls.eligible.And(ls.mem.FlitsAvailable(), ls.credits.Vector())
+	if !ls.eligible.Any() {
+		return dst
+	}
+	ls.scratch = ls.scratch[:0]
+	excessSeen := false
+	ls.eligible.ForEach(func(vc int) bool {
+		st := ls.mem.State(vc)
+		if st.Output < 0 {
+			return true // unrouted VC (header still in the routing unit)
+		}
+		phase, ok := ls.classify(vc)
+		if !ok {
+			return true
+		}
+		if phase == PhaseExcess {
+			excessSeen = true
+			// §4.3: drain one connection's excess completely before the
+			// next. While the current excess VC is still eligible, other
+			// excess VCs stand aside.
+			if ls.excessVC >= 0 && vc != ls.excessVC {
+				return true
+			}
+		}
+		head := ls.mem.Peek(vc)
+		ls.scratch = append(ls.scratch, Candidate{
+			Input:    ls.cfg.Input,
+			VC:       vc,
+			Output:   st.Output,
+			Phase:    phase,
+			Priority: ls.cfg.Scheme.Priority(now, st, head),
+		})
+		return true
+	})
+	// If the current excess VC went ineligible, elect a successor: the
+	// eligible excess VC with the highest static priority.
+	if ls.excessVC >= 0 && !ls.stillExcessEligible(ls.excessVC) {
+		ls.excessVC = -1
+	}
+	if ls.excessVC < 0 && excessSeen {
+		ls.electExcess()
+		// Re-collect is unnecessary: excess candidates excluded above can
+		// wait one cycle; the elected VC enters the set next cycle. This
+		// mirrors hardware, where election happens in parallel with the
+		// current cycle's arbitration.
+	}
+	if len(ls.scratch) == 0 {
+		return dst
+	}
+	switch ls.cfg.Selection {
+	case SelectRandom:
+		for i := len(ls.scratch) - 1; i > 0; i-- {
+			j := ls.cfg.RNG.Intn(i + 1)
+			ls.scratch[i], ls.scratch[j] = ls.scratch[j], ls.scratch[i]
+		}
+	default:
+		sortCandidates(ls.scratch)
+	}
+	// Keep the best candidate per distinct output. An input transmits at
+	// most one flit per cycle, so a second candidate for the same output
+	// can never improve the matching — spending candidate slots on
+	// distinct outputs is what makes more candidates raise switch
+	// utilization (§5.2). The per-output winner is exactly what the
+	// output-side arbitration would pick anyway.
+	n := 0
+	for _, c := range ls.scratch {
+		if ls.outTaken == nil {
+			ls.outTaken = make(map[int]bool, ls.cfg.MaxCandidates)
+		}
+		if ls.outTaken[c.Output] {
+			continue
+		}
+		ls.outTaken[c.Output] = true
+		dst = append(dst, c)
+		n++
+		if n >= ls.cfg.MaxCandidates {
+			break
+		}
+	}
+	for o := range ls.outTaken {
+		delete(ls.outTaken, o)
+	}
+	return dst
+}
+
+// stillExcessEligible reports whether vc remains an eligible excess-phase
+// candidate.
+func (ls *LinkScheduler) stillExcessEligible(vc int) bool {
+	if !ls.eligible.Test(vc) {
+		return false
+	}
+	phase, ok := ls.classify(vc)
+	return ok && phase == PhaseExcess
+}
+
+// electExcess picks the eligible excess VC with the highest static
+// priority as the connection whose excess is served next (§4.3).
+func (ls *LinkScheduler) electExcess() {
+	best, bestPrio := -1, 0
+	ls.eligible.ForEach(func(vc int) bool {
+		if phase, ok := ls.classify(vc); ok && phase == PhaseExcess {
+			p := ls.mem.State(vc).BasePriority
+			if best < 0 || p > bestPrio {
+				best, bestPrio = vc, p
+			}
+		}
+		return true
+	})
+	ls.excessVC = best
+}
+
+// ExcessVC exposes the currently elected excess connection for tests.
+func (ls *LinkScheduler) ExcessVC() int { return ls.excessVC }
+
+// sortCandidates orders candidates best-first (insertion sort: candidate
+// sets are small — at most the eligible VC count, typically under a few
+// dozen).
+func sortCandidates(cs []Candidate) {
+	for i := 1; i < len(cs); i++ {
+		for j := i; j > 0 && Better(cs[j], cs[j-1]); j-- {
+			cs[j], cs[j-1] = cs[j-1], cs[j]
+		}
+	}
+}

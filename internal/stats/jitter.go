@@ -1,0 +1,87 @@
+package stats
+
+// JitterTracker measures per-connection jitter exactly as §5 defines it:
+// "the jitter on a connection is defined as the difference in the delays
+// of successive flits on a connection". Each connection remembers the
+// delay of its previous flit; the absolute difference to the next flit's
+// delay is one jitter sample.
+type JitterTracker struct {
+	prev     []float64
+	seen     []bool
+	jitter   Accumulator
+	delay    Accumulator
+	perConn  []Accumulator
+	perDelay []Accumulator
+}
+
+// NewJitterTracker returns a tracker for nconns connections.
+func NewJitterTracker(nconns int) *JitterTracker {
+	return &JitterTracker{
+		prev:     make([]float64, nconns),
+		seen:     make([]bool, nconns),
+		perConn:  make([]Accumulator, nconns),
+		perDelay: make([]Accumulator, nconns),
+	}
+}
+
+// Grow extends the tracker to cover at least nconns connections,
+// preserving existing state. Used when connections are admitted
+// dynamically.
+func (j *JitterTracker) Grow(nconns int) {
+	for len(j.prev) < nconns {
+		j.prev = append(j.prev, 0)
+		j.seen = append(j.seen, false)
+		j.perConn = append(j.perConn, Accumulator{})
+		j.perDelay = append(j.perDelay, Accumulator{})
+	}
+}
+
+// Record notes that a flit of connection conn experienced the given delay.
+// The first flit of a connection establishes a baseline and produces no
+// jitter sample.
+func (j *JitterTracker) Record(conn int, delay float64) {
+	j.delay.Add(delay)
+	j.perDelay[conn].Add(delay)
+	if j.seen[conn] {
+		d := delay - j.prev[conn]
+		if d < 0 {
+			d = -d
+		}
+		j.jitter.Add(d)
+		j.perConn[conn].Add(d)
+	}
+	j.prev[conn] = delay
+	j.seen[conn] = true
+}
+
+// Jitter returns the aggregate jitter accumulator across all connections.
+func (j *JitterTracker) Jitter() *Accumulator { return &j.jitter }
+
+// Delay returns the aggregate delay accumulator across all connections.
+func (j *JitterTracker) Delay() *Accumulator { return &j.delay }
+
+// ConnJitter returns the jitter accumulator for one connection.
+func (j *JitterTracker) ConnJitter(conn int) *Accumulator { return &j.perConn[conn] }
+
+// ConnDelay returns the delay accumulator for one connection.
+func (j *JitterTracker) ConnDelay(conn int) *Accumulator { return &j.perDelay[conn] }
+
+// Reset clears all statistics but keeps the per-connection baselines, so
+// warm-up samples can be discarded without fabricating a jitter spike at
+// the measurement boundary.
+func (j *JitterTracker) Reset() {
+	j.jitter.Reset()
+	j.delay.Reset()
+	for i := range j.perConn {
+		j.perConn[i].Reset()
+		j.perDelay[i].Reset()
+	}
+}
+
+// ResetAll clears statistics and baselines both.
+func (j *JitterTracker) ResetAll() {
+	j.Reset()
+	for i := range j.seen {
+		j.seen[i] = false
+	}
+}

@@ -1,0 +1,261 @@
+// Package topology describes the interconnect graphs the MMR targets:
+// switch-based cluster/LAN fabrics. Besides regular meshes and tori it
+// generates the irregular topologies the routing algorithms of §3.5 were
+// designed for (networks of workstations wired ad hoc, refs [26,27]).
+//
+// A topology is a set of nodes (routers) and bidirectional links between
+// router ports. Port 0..HostPorts-1 of every router attach to hosts;
+// the remaining ports attach to other routers or stay unwired.
+package topology
+
+import (
+	"fmt"
+
+	"mmr/internal/sim"
+)
+
+// Link is one bidirectional cable between two router ports.
+type Link struct {
+	A, B         int // router IDs
+	APort, BPort int // port on each side
+}
+
+// Topology is an undirected multigraph of routers.
+type Topology struct {
+	Nodes int
+	Ports int // ports per router available for inter-router wiring
+	Links []Link
+
+	// neighbor[n][p] = router reached from node n port p, or -1.
+	neighbor [][]int
+	// peerPort[n][p] = the port on the neighbor that the cable plugs into.
+	peerPort [][]int
+}
+
+// New returns an empty topology with the given geometry.
+func New(nodes, ports int) *Topology {
+	if nodes < 1 || ports < 1 {
+		panic(fmt.Sprintf("topology: invalid geometry nodes=%d ports=%d", nodes, ports))
+	}
+	t := &Topology{Nodes: nodes, Ports: ports}
+	t.neighbor = make([][]int, nodes)
+	t.peerPort = make([][]int, nodes)
+	for n := 0; n < nodes; n++ {
+		t.neighbor[n] = make([]int, ports)
+		t.peerPort[n] = make([]int, ports)
+		for p := 0; p < ports; p++ {
+			t.neighbor[n][p] = -1
+			t.peerPort[n][p] = -1
+		}
+	}
+	return t
+}
+
+// Connect wires port ap of node a to port bp of node b. It returns an
+// error if either port is already wired or out of range.
+func (t *Topology) Connect(a, ap, b, bp int) error {
+	if a < 0 || a >= t.Nodes || b < 0 || b >= t.Nodes {
+		return fmt.Errorf("topology: node out of range (%d,%d)", a, b)
+	}
+	if ap < 0 || ap >= t.Ports || bp < 0 || bp >= t.Ports {
+		return fmt.Errorf("topology: port out of range (%d,%d)", ap, bp)
+	}
+	if a == b {
+		return fmt.Errorf("topology: self-link on node %d", a)
+	}
+	if t.neighbor[a][ap] != -1 || t.neighbor[b][bp] != -1 {
+		return fmt.Errorf("topology: port already wired (%d.%d or %d.%d)", a, ap, b, bp)
+	}
+	t.neighbor[a][ap] = b
+	t.peerPort[a][ap] = bp
+	t.neighbor[b][bp] = a
+	t.peerPort[b][bp] = ap
+	t.Links = append(t.Links, Link{A: a, B: b, APort: ap, BPort: bp})
+	return nil
+}
+
+// Neighbor returns the router on the far side of node n's port p, or -1.
+func (t *Topology) Neighbor(n, p int) int { return t.neighbor[n][p] }
+
+// PeerPort returns the far-side port of node n's port p, or -1.
+func (t *Topology) PeerPort(n, p int) int { return t.peerPort[n][p] }
+
+// FreePort returns the lowest unwired port of node n, or -1.
+func (t *Topology) FreePort(n int) int {
+	for p := 0; p < t.Ports; p++ {
+		if t.neighbor[n][p] == -1 {
+			return p
+		}
+	}
+	return -1
+}
+
+// Degree returns the number of wired ports of node n.
+func (t *Topology) Degree(n int) int {
+	d := 0
+	for p := 0; p < t.Ports; p++ {
+		if t.neighbor[n][p] != -1 {
+			d++
+		}
+	}
+	return d
+}
+
+// PortTo returns a port of node n wired to node m, or -1.
+func (t *Topology) PortTo(n, m int) int {
+	for p := 0; p < t.Ports; p++ {
+		if t.neighbor[n][p] == m {
+			return p
+		}
+	}
+	return -1
+}
+
+// Connected reports whether the wired graph is connected.
+func (t *Topology) Connected() bool {
+	if t.Nodes == 0 {
+		return true
+	}
+	seen := make([]bool, t.Nodes)
+	stack := []int{0}
+	seen[0] = true
+	count := 1
+	for len(stack) > 0 {
+		n := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for p := 0; p < t.Ports; p++ {
+			if m := t.neighbor[n][p]; m >= 0 && !seen[m] {
+				seen[m] = true
+				count++
+				stack = append(stack, m)
+			}
+		}
+	}
+	return count == t.Nodes
+}
+
+// ShortestDists returns, for every node, its hop distance from src (-1 if
+// unreachable) — the reference for minimal-path routing checks.
+func (t *Topology) ShortestDists(src int) []int {
+	dist := make([]int, t.Nodes)
+	for i := range dist {
+		dist[i] = -1
+	}
+	dist[src] = 0
+	queue := []int{src}
+	for len(queue) > 0 {
+		n := queue[0]
+		queue = queue[1:]
+		for p := 0; p < t.Ports; p++ {
+			if m := t.neighbor[n][p]; m >= 0 && dist[m] < 0 {
+				dist[m] = dist[n] + 1
+				queue = append(queue, m)
+			}
+		}
+	}
+	return dist
+}
+
+// Mesh builds a w×h 2D mesh. Each router needs at least 4 inter-router
+// ports.
+func Mesh(w, h, ports int) (*Topology, error) {
+	if ports < 4 {
+		return nil, fmt.Errorf("topology: mesh needs >= 4 ports, got %d", ports)
+	}
+	t := New(w*h, ports)
+	id := func(x, y int) int { return y*w + x }
+	// Port convention: 0=east 1=west 2=north 3=south.
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			if x+1 < w {
+				if err := t.Connect(id(x, y), 0, id(x+1, y), 1); err != nil {
+					return nil, err
+				}
+			}
+			if y+1 < h {
+				if err := t.Connect(id(x, y), 3, id(x, y+1), 2); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	return t, nil
+}
+
+// Torus builds a w×h 2D torus (wraparound mesh). w and h must be >= 3 so
+// wrap links do not collide with mesh links on the same port pair.
+func Torus(w, h, ports int) (*Topology, error) {
+	if ports < 4 {
+		return nil, fmt.Errorf("topology: torus needs >= 4 ports, got %d", ports)
+	}
+	if w < 3 || h < 3 {
+		return nil, fmt.Errorf("topology: torus needs dimensions >= 3, got %dx%d", w, h)
+	}
+	t, err := Mesh(w, h, ports)
+	if err != nil {
+		return nil, err
+	}
+	id := func(x, y int) int { return y*w + x }
+	for y := 0; y < h; y++ {
+		if err := t.Connect(id(w-1, y), 0, id(0, y), 1); err != nil {
+			return nil, err
+		}
+	}
+	for x := 0; x < w; x++ {
+		if err := t.Connect(id(x, h-1), 3, id(x, 0), 2); err != nil {
+			return nil, err
+		}
+	}
+	return t, nil
+}
+
+// Irregular builds a random connected topology in the style of the NOW
+// networks of [26,27]: a random spanning tree (guaranteeing connectivity)
+// plus extra random links up to the requested average degree, subject to
+// port limits.
+func Irregular(nodes, ports, avgDegree int, rng *sim.RNG) (*Topology, error) {
+	if nodes < 2 {
+		return nil, fmt.Errorf("topology: need >= 2 nodes, got %d", nodes)
+	}
+	if avgDegree < 1 || avgDegree > ports {
+		return nil, fmt.Errorf("topology: average degree %d outside [1,%d]", avgDegree, ports)
+	}
+	t := New(nodes, ports)
+	// Random spanning tree: attach each node to a random earlier node
+	// that still has a free port (a popular hub can fill up).
+	perm := rng.Perm(nodes)
+	for i := 1; i < nodes; i++ {
+		a := perm[i]
+		b := -1
+		off := rng.Intn(i)
+		for k := 0; k < i; k++ {
+			cand := perm[(off+k)%i]
+			if t.FreePort(cand) >= 0 {
+				b = cand
+				break
+			}
+		}
+		if b < 0 {
+			return nil, fmt.Errorf("topology: out of ports while building spanning tree")
+		}
+		if err := t.Connect(a, t.FreePort(a), b, t.FreePort(b)); err != nil {
+			return nil, err
+		}
+	}
+	// Extra links to reach the target degree.
+	want := nodes * avgDegree / 2
+	for tries := 0; len(t.Links) < want && tries < nodes*ports*4; tries++ {
+		a, b := rng.Intn(nodes), rng.Intn(nodes)
+		if a == b || t.PortTo(a, b) >= 0 {
+			continue
+		}
+		ap, bp := t.FreePort(a), t.FreePort(b)
+		if ap < 0 || bp < 0 {
+			continue
+		}
+		if err := t.Connect(a, ap, b, bp); err != nil {
+			return nil, err
+		}
+	}
+	return t, nil
+}

@@ -1,0 +1,250 @@
+// Package trace provides MPEG video frame-size traces for VBR workloads.
+// The MMR project's follow-on evaluation ("Performance Evaluation of the
+// Multimedia Router with MPEG-2 Video Traffic") drives the router with
+// frame-size traces of real MPEG-2 sequences; those traces are not
+// redistributable, so this package supplies (a) a text trace format and
+// parser compatible with the classic frame-size trace archives (one
+// frame per line: type and size in bits), and (b) a statistical
+// generator producing synthetic traces with matched GoP structure,
+// per-type mean sizes and scene-length autocorrelation — the standard
+// substitution when the original tapes are unavailable (see DESIGN.md).
+package trace
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+
+	"mmr/internal/sim"
+	"mmr/internal/traffic"
+)
+
+// Frame is one video frame of a trace.
+type Frame struct {
+	Kind traffic.FrameKind
+	Bits int
+}
+
+// Trace is a sequence of frames at a fixed frame rate.
+type Trace struct {
+	Frames    []Frame
+	FrameRate float64 // frames per second
+}
+
+// Duration returns the trace length in seconds.
+func (t *Trace) Duration() float64 {
+	if t.FrameRate <= 0 {
+		return 0
+	}
+	return float64(len(t.Frames)) / t.FrameRate
+}
+
+// MeanRate returns the average bit rate of the trace.
+func (t *Trace) MeanRate() traffic.Rate {
+	if len(t.Frames) == 0 || t.FrameRate <= 0 {
+		return 0
+	}
+	total := 0
+	for _, f := range t.Frames {
+		total += f.Bits
+	}
+	return traffic.Rate(float64(total) / t.Duration())
+}
+
+// PeakRate returns the bit rate of the largest frame sustained over one
+// frame interval.
+func (t *Trace) PeakRate() traffic.Rate {
+	max := 0
+	for _, f := range t.Frames {
+		if f.Bits > max {
+			max = f.Bits
+		}
+	}
+	return traffic.Rate(float64(max) * t.FrameRate)
+}
+
+// Stats summarizes per-frame-type sizes.
+func (t *Trace) Stats() map[traffic.FrameKind]struct {
+	Count    int
+	MeanBits float64
+} {
+	type agg struct {
+		n   int
+		sum float64
+	}
+	acc := map[traffic.FrameKind]*agg{}
+	for _, f := range t.Frames {
+		a := acc[f.Kind]
+		if a == nil {
+			a = &agg{}
+			acc[f.Kind] = a
+		}
+		a.n++
+		a.sum += float64(f.Bits)
+	}
+	out := map[traffic.FrameKind]struct {
+		Count    int
+		MeanBits float64
+	}{}
+	for k, a := range acc {
+		out[k] = struct {
+			Count    int
+			MeanBits float64
+		}{Count: a.n, MeanBits: a.sum / float64(a.n)}
+	}
+	return out
+}
+
+// Parse reads the classic frame-size trace format: one frame per line,
+// "<type> <bits>" where type is I, P or B; '#' starts a comment; blank
+// lines are skipped. An optional header line "fps <rate>" sets the frame
+// rate (default 30).
+func Parse(r io.Reader) (*Trace, error) {
+	t := &Trace{FrameRate: 30}
+	sc := bufio.NewScanner(r)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		fields := strings.Fields(text)
+		if len(fields) != 2 {
+			return nil, fmt.Errorf("trace: line %d: want \"<type> <bits>\" or \"fps <rate>\", got %q", line, text)
+		}
+		if strings.EqualFold(fields[0], "fps") {
+			var fps float64
+			if _, err := fmt.Sscanf(fields[1], "%g", &fps); err != nil || fps <= 0 {
+				return nil, fmt.Errorf("trace: line %d: bad frame rate %q", line, fields[1])
+			}
+			t.FrameRate = fps
+			continue
+		}
+		var kind traffic.FrameKind
+		switch strings.ToUpper(fields[0]) {
+		case "I":
+			kind = traffic.FrameI
+		case "P":
+			kind = traffic.FrameP
+		case "B":
+			kind = traffic.FrameB
+		default:
+			return nil, fmt.Errorf("trace: line %d: unknown frame type %q", line, fields[0])
+		}
+		var bits int
+		if _, err := fmt.Sscanf(fields[1], "%d", &bits); err != nil || bits < 0 {
+			return nil, fmt.Errorf("trace: line %d: bad frame size %q", line, fields[1])
+		}
+		t.Frames = append(t.Frames, Frame{Kind: kind, Bits: bits})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(t.Frames) == 0 {
+		return nil, fmt.Errorf("trace: no frames")
+	}
+	return t, nil
+}
+
+// Format writes a trace in the Parse format.
+func Format(w io.Writer, t *Trace) error {
+	if _, err := fmt.Fprintf(w, "fps %g\n", t.FrameRate); err != nil {
+		return err
+	}
+	for _, f := range t.Frames {
+		var kind string
+		switch f.Kind {
+		case traffic.FrameI:
+			kind = "I"
+		case traffic.FrameP:
+			kind = "P"
+		default:
+			kind = "B"
+		}
+		if _, err := fmt.Fprintf(w, "%s %d\n", kind, f.Bits); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// GenConfig controls synthetic trace generation.
+type GenConfig struct {
+	Frames     int
+	GoP        traffic.GoP
+	MeanRate   traffic.Rate // target average bit rate
+	SceneLen   float64      // mean scene length in frames (scene changes re-draw activity)
+	SceneVar   float64      // multiplicative activity spread between scenes (e.g. 0.4)
+	FrameNoise float64      // per-frame multiplicative noise sigma
+}
+
+// DefaultGenConfig returns a plausible MPEG-2-like generator setup.
+func DefaultGenConfig(rate traffic.Rate, frames int) GenConfig {
+	return GenConfig{
+		Frames:     frames,
+		GoP:        traffic.DefaultGoP(),
+		MeanRate:   rate,
+		SceneLen:   120, // ~4 s scenes at 30 fps
+		SceneVar:   0.35,
+		FrameNoise: 0.12,
+	}
+}
+
+// Generate builds a synthetic trace: frame sizes follow the GoP pattern's
+// I/P/B weights scaled to the target mean rate, modulated by a
+// scene-level activity factor (redrawn at exponentially distributed
+// scene changes — this produces the long-range burstiness of real video)
+// and per-frame log-normal noise.
+func Generate(cfg GenConfig, rng *sim.RNG) (*Trace, error) {
+	if cfg.Frames < 1 {
+		return nil, fmt.Errorf("trace: need at least one frame")
+	}
+	if cfg.MeanRate <= 0 || cfg.GoP.FrameRate <= 0 || len(cfg.GoP.Pattern) == 0 {
+		return nil, fmt.Errorf("trace: invalid generator config")
+	}
+	meanBits := float64(cfg.MeanRate) / cfg.GoP.FrameRate
+	meanWeight := 0.0
+	for _, k := range cfg.GoP.Pattern {
+		meanWeight += gopWeight(cfg.GoP, k)
+	}
+	meanWeight /= float64(len(cfg.GoP.Pattern))
+
+	t := &Trace{FrameRate: cfg.GoP.FrameRate}
+	activity := 1.0
+	nextScene := 0
+	for i := 0; i < cfg.Frames; i++ {
+		if i >= nextScene {
+			if cfg.SceneVar > 0 {
+				activity = exp(cfg.SceneVar*rng.Norm() - cfg.SceneVar*cfg.SceneVar/2)
+			}
+			scene := cfg.SceneLen
+			if scene < 1 {
+				scene = 1
+			}
+			nextScene = i + 1 + int(rng.Exp(scene))
+		}
+		k := cfg.GoP.Pattern[i%len(cfg.GoP.Pattern)]
+		size := meanBits * gopWeight(cfg.GoP, k) / meanWeight * activity
+		if cfg.FrameNoise > 0 {
+			size *= exp(cfg.FrameNoise*rng.Norm() - cfg.FrameNoise*cfg.FrameNoise/2)
+		}
+		if size < 1 {
+			size = 1
+		}
+		t.Frames = append(t.Frames, Frame{Kind: k, Bits: int(size)})
+	}
+	return t, nil
+}
+
+func gopWeight(g traffic.GoP, k traffic.FrameKind) float64 {
+	switch k {
+	case traffic.FrameI:
+		return g.IWeight
+	case traffic.FrameP:
+		return g.PWeight
+	default:
+		return g.BWeight
+	}
+}

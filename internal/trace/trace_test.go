@@ -1,0 +1,226 @@
+package trace
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"mmr/internal/sim"
+	"mmr/internal/traffic"
+)
+
+func TestParseBasic(t *testing.T) {
+	in := `# a comment
+fps 25
+I 40000
+B 8000
+
+P 20000
+b 7000
+`
+	tr, err := Parse(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.FrameRate != 25 || len(tr.Frames) != 4 {
+		t.Fatalf("parsed %d frames at %g fps", len(tr.Frames), tr.FrameRate)
+	}
+	if tr.Frames[0].Kind != traffic.FrameI || tr.Frames[0].Bits != 40000 {
+		t.Fatalf("frame 0 wrong: %+v", tr.Frames[0])
+	}
+	if tr.Frames[3].Kind != traffic.FrameB {
+		t.Fatal("lowercase type not accepted")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		"",                // no frames
+		"I\n",             // missing size
+		"X 100\n",         // unknown type
+		"I -5\n",          // negative size (Sscanf parses; guard rejects)
+		"I abc\n",         // bad size
+		"fps -3\nI 100\n", // bad fps
+	}
+	for _, in := range cases {
+		if _, err := Parse(strings.NewReader(in)); err == nil {
+			t.Errorf("accepted %q", in)
+		}
+	}
+}
+
+func TestFormatRoundTrip(t *testing.T) {
+	tr := &Trace{
+		FrameRate: 24,
+		Frames: []Frame{
+			{traffic.FrameI, 30000}, {traffic.FrameB, 5000}, {traffic.FrameP, 12000},
+		},
+	}
+	var b strings.Builder
+	if err := Format(&b, tr); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Parse(strings.NewReader(b.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.FrameRate != tr.FrameRate || len(got.Frames) != len(tr.Frames) {
+		t.Fatal("round trip lost shape")
+	}
+	for i := range tr.Frames {
+		if got.Frames[i] != tr.Frames[i] {
+			t.Fatalf("frame %d: %+v vs %+v", i, got.Frames[i], tr.Frames[i])
+		}
+	}
+}
+
+func TestTraceArithmetic(t *testing.T) {
+	tr := &Trace{
+		FrameRate: 30,
+		Frames:    []Frame{{traffic.FrameI, 60000}, {traffic.FrameB, 30000}, {traffic.FrameB, 30000}},
+	}
+	if d := tr.Duration(); math.Abs(d-0.1) > 1e-12 {
+		t.Fatalf("duration = %v", d)
+	}
+	// 120000 bits in 0.1 s = 1.2 Mbps mean.
+	if r := tr.MeanRate(); math.Abs(float64(r)-1.2e6) > 1 {
+		t.Fatalf("mean rate = %v", r)
+	}
+	// Peak frame 60000 bits at 30 fps = 1.8 Mbps.
+	if p := tr.PeakRate(); math.Abs(float64(p)-1.8e6) > 1 {
+		t.Fatalf("peak rate = %v", p)
+	}
+	st := tr.Stats()
+	if st[traffic.FrameI].Count != 1 || st[traffic.FrameB].Count != 2 {
+		t.Fatalf("stats wrong: %+v", st)
+	}
+	if st[traffic.FrameB].MeanBits != 30000 {
+		t.Fatal("mean bits wrong")
+	}
+}
+
+func TestGenerateMatchesTargetRate(t *testing.T) {
+	rng := sim.NewRNG(3)
+	cfg := DefaultGenConfig(4*traffic.Mbps, 3600) // 2 minutes at 30 fps
+	tr, err := Generate(cfg, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Frames) != 3600 {
+		t.Fatalf("generated %d frames", len(tr.Frames))
+	}
+	got := float64(tr.MeanRate())
+	if math.Abs(got-4e6)/4e6 > 0.15 {
+		t.Fatalf("mean rate = %.0f, want ~4e6", got)
+	}
+	// I frames must be larger than B frames on average.
+	st := tr.Stats()
+	if st[traffic.FrameI].MeanBits <= st[traffic.FrameB].MeanBits {
+		t.Fatal("I frames not larger than B frames")
+	}
+}
+
+func TestGenerateSceneBurstiness(t *testing.T) {
+	rng := sim.NewRNG(9)
+	bursty := DefaultGenConfig(4*traffic.Mbps, 6000)
+	smooth := bursty
+	smooth.SceneVar = 0
+	smooth.FrameNoise = 0
+	trB, _ := Generate(bursty, rng)
+	trS, _ := Generate(smooth, rng)
+	// Coefficient of variation of I-frame sizes must be clearly larger
+	// with scene modulation on.
+	cv := func(tr *Trace) float64 {
+		var n, sum, sq float64
+		for _, f := range tr.Frames {
+			if f.Kind == traffic.FrameI {
+				n++
+				sum += float64(f.Bits)
+				sq += float64(f.Bits) * float64(f.Bits)
+			}
+		}
+		mean := sum / n
+		return math.Sqrt(sq/n-mean*mean) / mean
+	}
+	if cv(trB) < 2*cv(trS)+0.05 {
+		t.Fatalf("scene modulation missing: cv bursty=%.3f smooth=%.3f", cv(trB), cv(trS))
+	}
+}
+
+func TestGenerateErrors(t *testing.T) {
+	rng := sim.NewRNG(1)
+	if _, err := Generate(GenConfig{}, rng); err == nil {
+		t.Fatal("empty config accepted")
+	}
+	bad := DefaultGenConfig(0, 10)
+	if _, err := Generate(bad, rng); err == nil {
+		t.Fatal("zero rate accepted")
+	}
+}
+
+func TestSourceReplaysTraceRate(t *testing.T) {
+	rng := sim.NewRNG(5)
+	cfg := DefaultGenConfig(8*traffic.Mbps, 900) // 30 s
+	tr, _ := Generate(cfg, rng)
+	s := NewSource(tr, traffic.PaperLink, 0)
+	// Play exactly one full loop of the trace.
+	cycles := int64(float64(len(tr.Frames)) * traffic.PaperLink.CyclesPerSecond() / tr.FrameRate)
+	flits := 0
+	for c := int64(0); c < cycles; c++ {
+		flits += s.Tick(c)
+	}
+	gotBits := float64(flits) * float64(traffic.PaperLink.FlitBits)
+	wantBits := float64(tr.MeanRate()) * tr.Duration()
+	if math.Abs(gotBits-wantBits)/wantBits > 0.05 {
+		t.Fatalf("replayed %.0f bits, trace holds %.0f", gotBits, wantBits)
+	}
+}
+
+func TestSourceRespectsPeak(t *testing.T) {
+	tr := &Trace{FrameRate: 30, Frames: []Frame{{traffic.FrameI, 4_000_000}}} // one huge frame
+	peak := 40 * traffic.Mbps
+	s := NewSource(tr, traffic.PaperLink, peak)
+	peakPer := traffic.PaperLink.FlitsPerCycle(peak)
+	const W = 2000
+	window := 0
+	for c := int64(0); c < 400_000; c++ {
+		window += s.Tick(c)
+		if c%W == W-1 {
+			if limit := int(peakPer*W) + 2; window > limit {
+				t.Fatalf("window emitted %d flits, peak limit %d", window, limit)
+			}
+			window = 0
+		}
+	}
+}
+
+// Property: Format then Parse is the identity on generated traces.
+func TestFormatParseProperty(t *testing.T) {
+	rng := sim.NewRNG(11)
+	f := func(seed uint64, frames8 uint8) bool {
+		rng.Seed(seed)
+		cfg := DefaultGenConfig(2*traffic.Mbps, int(frames8)%200+1)
+		tr, err := Generate(cfg, rng)
+		if err != nil {
+			return false
+		}
+		var b strings.Builder
+		if Format(&b, tr) != nil {
+			return false
+		}
+		got, err := Parse(strings.NewReader(b.String()))
+		if err != nil || len(got.Frames) != len(tr.Frames) {
+			return false
+		}
+		for i := range tr.Frames {
+			if got.Frames[i] != tr.Frames[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,128 @@
+package vcm
+
+// banks.go models the timing side of §3.2: flits are low-order interleaved
+// across RAM modules, and the bank count must balance memory access time
+// against link speed and crossbar delay. The functional FIFO behaviour
+// lives in vcm.go; this file answers "how many extra cycles do concurrent
+// reads and writes cost for a given bank count?", which drives the A8
+// ablation.
+
+// BankModel computes access conflicts for a VCM built from a given number
+// of low-order-interleaved banks, each able to perform one access (read or
+// write one phit) per phit time.
+type BankModel struct {
+	Banks        int
+	PhitsPerFlit int
+}
+
+// NewBankModel returns a model for the given geometry.
+func NewBankModel(banks, phitsPerFlit int) BankModel {
+	if banks < 1 {
+		banks = 1
+	}
+	if phitsPerFlit < 1 {
+		phitsPerFlit = 1
+	}
+	return BankModel{Banks: banks, PhitsPerFlit: phitsPerFlit}
+}
+
+// BankFor returns the bank holding phit number phit of a flit stored at
+// flit-aligned address base (low-order interleaving: consecutive phits hit
+// consecutive banks).
+func (b BankModel) BankFor(base, phit int) int {
+	return (base*b.PhitsPerFlit + phit) % b.Banks
+}
+
+// FlitAccessPhits returns how many phit times a whole-flit access
+// occupies, given that the flit's phits spread across min(banks, phits)
+// banks working in parallel: ceil(phits/banks) sequential groups.
+func (b BankModel) FlitAccessPhits() int {
+	return (b.PhitsPerFlit + b.Banks - 1) / b.Banks
+}
+
+// ConcurrentAccessPhits returns the phit times needed to serve nReads
+// whole-flit reads and nWrites whole-flit writes in the same flit cycle.
+// Each access needs FlitAccessPhits() of every bank it touches; with
+// enough banks the accesses pipeline, otherwise they serialize. The model
+// is conservative: accesses are assumed to collide maximally, giving an
+// upper bound the real interleaved layout can only improve on.
+func (b BankModel) ConcurrentAccessPhits(nReads, nWrites int) int {
+	total := nReads + nWrites
+	if total == 0 {
+		return 0
+	}
+	perAccess := b.FlitAccessPhits()
+	// banksPerAccess banks are busy for each access; the bank array can
+	// sustain floor(banks/banksPerAccess) accesses in parallel, minimum 1.
+	banksPerAccess := b.PhitsPerFlit
+	if banksPerAccess > b.Banks {
+		banksPerAccess = b.Banks
+	}
+	parallel := b.Banks / banksPerAccess
+	if parallel < 1 {
+		parallel = 1
+	}
+	waves := (total + parallel - 1) / parallel
+	return waves * perAccess
+}
+
+// MeetsCycleBudget reports whether the bank array can serve one read and
+// one write per flit cycle (the steady-state demand of a link that both
+// receives and transmits every cycle) within the phit budget of one flit
+// cycle. This is the §3.2 design constraint: "the number of memory modules
+// and flit size must be selected to balance memory access time, link
+// speed, and crossbar switching delay".
+func (b BankModel) MeetsCycleBudget() bool {
+	return b.ConcurrentAccessPhits(1, 1) <= b.PhitsPerFlit
+}
+
+// PhitBuffer is the small link-side staging buffer of §3.2: deep enough to
+// hold the phits that arrive while the control word is decoded and the
+// VCM write address generated. It also gives control packets their
+// cut-through fast path (§3.2, §3.4).
+type PhitBuffer struct {
+	depth   int
+	pending int // phits currently staged
+	drops   int64
+}
+
+// NewPhitBuffer returns a buffer holding up to depth phits.
+func NewPhitBuffer(depth int) *PhitBuffer {
+	if depth < 1 {
+		depth = 1
+	}
+	return &PhitBuffer{depth: depth}
+}
+
+// Depth returns the buffer capacity in phits.
+func (p *PhitBuffer) Depth() int { return p.depth }
+
+// Pending returns the staged phit count.
+func (p *PhitBuffer) Pending() int { return p.pending }
+
+// Arrive stages n phits, reporting how many fit. Link-level flow control
+// should prevent overflow; the shortfall is counted so protocol violations
+// are observable.
+func (p *PhitBuffer) Arrive(n int) int {
+	room := p.depth - p.pending
+	if n > room {
+		p.drops += int64(n - room)
+		n = room
+	}
+	p.pending += n
+	return n
+}
+
+// Drain removes up to n staged phits (the decode stage writing them into
+// the VCM) and returns how many were removed.
+func (p *PhitBuffer) Drain(n int) int {
+	if n > p.pending {
+		n = p.pending
+	}
+	p.pending -= n
+	return n
+}
+
+// Drops returns the phits that arrived with no room — always 0 when flow
+// control is honored.
+func (p *PhitBuffer) Drops() int64 { return p.drops }

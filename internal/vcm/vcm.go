@@ -1,0 +1,275 @@
+// Package vcm implements the MMR's Virtual Channel Memory (§3.2): per-link
+// buffering organized as a large set of virtual channels stored in
+// low-order-interleaved RAM modules, fronted by small phit buffers that
+// absorb arrivals during address decoding. Instead of one queue + mux per
+// virtual channel (which the paper rejects for delay and area), the VCM is
+// a single memory with per-VC FIFO regions plus status bit vectors that
+// the link scheduler reads.
+package vcm
+
+import (
+	"fmt"
+
+	"mmr/internal/bitvec"
+	"mmr/internal/flit"
+)
+
+// Config sizes one input link's VCM.
+type Config struct {
+	VirtualChannels int // V: VCs per physical input link (256 in §5)
+	Depth           int // flits of buffering per VC (small, fixed — §1)
+	Banks           int // interleaved RAM modules (§3.2)
+	PhitsPerFlit    int // phits making up one flit
+	PhitBufferDepth int // phits the link-side staging buffer can hold
+}
+
+// PaperConfig returns the §5 arrangement: 256 VCs, small fixed per-VC
+// buffers, flits interleaved across 8 banks of 16-bit-wide RAM.
+func PaperConfig() Config {
+	return Config{
+		VirtualChannels: 256,
+		Depth:           4,
+		Banks:           8,
+		PhitsPerFlit:    8,
+		PhitBufferDepth: 16,
+	}
+}
+
+func (c Config) validate() error {
+	if c.VirtualChannels < 1 {
+		return fmt.Errorf("vcm: need at least one virtual channel, got %d", c.VirtualChannels)
+	}
+	if c.Depth < 1 {
+		return fmt.Errorf("vcm: per-VC depth must be >= 1, got %d", c.Depth)
+	}
+	if c.Banks < 1 {
+		return fmt.Errorf("vcm: need at least one bank, got %d", c.Banks)
+	}
+	if c.PhitsPerFlit < 1 {
+		return fmt.Errorf("vcm: phits per flit must be >= 1, got %d", c.PhitsPerFlit)
+	}
+	return nil
+}
+
+// VCState is the per-virtual-channel scheduling state the paper stores
+// alongside the buffers (§3.2, §4.3): connection identity, class,
+// bandwidth allocation in flit cycles/round, what has been serviced this
+// round, and the (dynamic) priority.
+type VCState struct {
+	Conn  flit.ConnID
+	Class flit.Class
+
+	// Allocated is the reserved flit cycles per round (CBR allocation, or
+	// VBR permanent bandwidth). Peak is the VBR peak allocation.
+	Allocated int
+	Peak      int
+
+	// Serviced counts flit cycles consumed in the current round.
+	Serviced int
+
+	// BasePriority is the static VBR priority (dynamically modifiable via
+	// control words, §4.3). Bias is the dynamic priority-biasing value the
+	// switch scheduler updates every flit cycle (§4.4).
+	BasePriority int
+	Bias         float64
+
+	// InterArrival caches the connection's flit inter-arrival time in
+	// cycles; the biased scheduler grows priority at a rate proportional
+	// to delay/InterArrival (§5.1).
+	InterArrival float64
+
+	// Output is the switch output port this VC is mapped to (the direct
+	// channel mapping, §3.5). -1 when unmapped.
+	Output int
+
+	// InUse marks the VC as reserved by a connection or an in-flight
+	// packet.
+	InUse bool
+}
+
+// vcQueue is a fixed-capacity ring buffer of flits.
+type vcQueue struct {
+	buf        []*flit.Flit
+	head, size int
+}
+
+func (q *vcQueue) push(f *flit.Flit) bool {
+	if q.size == len(q.buf) {
+		return false
+	}
+	q.buf[(q.head+q.size)%len(q.buf)] = f
+	q.size++
+	return true
+}
+
+func (q *vcQueue) pop() *flit.Flit {
+	if q.size == 0 {
+		return nil
+	}
+	f := q.buf[q.head]
+	q.buf[q.head] = nil
+	q.head = (q.head + 1) % len(q.buf)
+	q.size--
+	return f
+}
+
+func (q *vcQueue) peek() *flit.Flit {
+	if q.size == 0 {
+		return nil
+	}
+	return q.buf[q.head]
+}
+
+// Memory is one input link's virtual channel memory.
+type Memory struct {
+	cfg    Config
+	queues []vcQueue
+	state  []VCState
+
+	// Status bit vectors (§4.1). FlitsAvailable has a set bit for every VC
+	// with at least one buffered flit; Full for every VC at capacity;
+	// Reserved for every in-use VC.
+	flitsAvailable *bitvec.Vector
+	full           *bitvec.Vector
+	reserved       *bitvec.Vector
+
+	occupied int // total flits buffered across VCs
+}
+
+// New returns an empty VCM with the given configuration.
+func New(cfg Config) (*Memory, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	m := &Memory{
+		cfg:            cfg,
+		queues:         make([]vcQueue, cfg.VirtualChannels),
+		state:          make([]VCState, cfg.VirtualChannels),
+		flitsAvailable: bitvec.New(cfg.VirtualChannels),
+		full:           bitvec.New(cfg.VirtualChannels),
+		reserved:       bitvec.New(cfg.VirtualChannels),
+	}
+	for i := range m.queues {
+		m.queues[i].buf = make([]*flit.Flit, cfg.Depth)
+		m.state[i].Output = -1
+	}
+	return m, nil
+}
+
+// MustNew is New for static configurations known to be valid.
+func MustNew(cfg Config) *Memory {
+	m, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// Config returns the memory's configuration.
+func (m *Memory) Config() Config { return m.cfg }
+
+// NumVCs returns the number of virtual channels.
+func (m *Memory) NumVCs() int { return m.cfg.VirtualChannels }
+
+// State returns the mutable scheduling state of VC vc.
+func (m *Memory) State(vc int) *VCState { return &m.state[vc] }
+
+// Len returns the number of flits buffered in VC vc.
+func (m *Memory) Len(vc int) int { return m.queues[vc].size }
+
+// Occupied returns the total flits buffered across all VCs.
+func (m *Memory) Occupied() int { return m.occupied }
+
+// Free returns the remaining flit slots in VC vc — the credit count the
+// upstream node holds for this VC under link-level flow control.
+func (m *Memory) Free(vc int) int { return m.cfg.Depth - m.queues[vc].size }
+
+// Push appends a flit to VC vc. It reports false (dropping nothing —
+// callers must hold a credit before sending, so a full queue is a flow
+// control protocol violation they can surface) when the VC is full.
+func (m *Memory) Push(vc int, f *flit.Flit) bool {
+	q := &m.queues[vc]
+	if !q.push(f) {
+		return false
+	}
+	m.occupied++
+	m.flitsAvailable.Set(vc)
+	if q.size == len(q.buf) {
+		m.full.Set(vc)
+	}
+	return true
+}
+
+// Peek returns the head flit of VC vc without removing it, or nil.
+func (m *Memory) Peek(vc int) *flit.Flit { return m.queues[vc].peek() }
+
+// Pop removes and returns the head flit of VC vc, or nil if empty.
+func (m *Memory) Pop(vc int) *flit.Flit {
+	q := &m.queues[vc]
+	f := q.pop()
+	if f == nil {
+		return nil
+	}
+	m.occupied--
+	if q.size == 0 {
+		m.flitsAvailable.Clear(vc)
+	}
+	m.full.Clear(vc)
+	return f
+}
+
+// FlitsAvailable returns the flits_available status vector. Callers must
+// treat it as read-only; it stays current as flits move.
+func (m *Memory) FlitsAvailable() *bitvec.Vector { return m.flitsAvailable }
+
+// FullVector returns the input_buffer_full status vector (read-only).
+func (m *Memory) FullVector() *bitvec.Vector { return m.full }
+
+// ReservedVector returns the in-use status vector (read-only).
+func (m *Memory) ReservedVector() *bitvec.Vector { return m.reserved }
+
+// Reserve claims VC vc for a connection or packet, recording its class,
+// mapping and allocation. It reports false if the VC is already in use.
+func (m *Memory) Reserve(vc int, st VCState) bool {
+	if m.state[vc].InUse {
+		return false
+	}
+	st.InUse = true
+	m.state[vc] = st
+	m.reserved.Set(vc)
+	return true
+}
+
+// Release frees VC vc. Buffered flits must have drained first; releasing a
+// non-empty VC panics because it would leak flits mid-connection.
+func (m *Memory) Release(vc int) {
+	if m.queues[vc].size != 0 {
+		panic(fmt.Sprintf("vcm: release of non-empty VC %d (%d flits)", vc, m.queues[vc].size))
+	}
+	m.state[vc] = VCState{Output: -1}
+	m.reserved.Clear(vc)
+}
+
+// FindFree returns a VC that is not in use, scanning round-robin from the
+// given position, or -1 if every VC is reserved.
+func (m *Memory) FindFree(from int) int {
+	n := m.cfg.VirtualChannels
+	for i := 0; i < n; i++ {
+		vc := (from + i) % n
+		if !m.state[vc].InUse {
+			return vc
+		}
+	}
+	return -1
+}
+
+// FreeVCs returns the number of unreserved virtual channels.
+func (m *Memory) FreeVCs() int { return m.cfg.VirtualChannels - m.reserved.Count() }
+
+// ResetRound clears every VC's serviced counter — called at each round
+// (frame) boundary by the link scheduler (§4.1).
+func (m *Memory) ResetRound() {
+	for i := range m.state {
+		m.state[i].Serviced = 0
+	}
+}

@@ -1,0 +1,214 @@
+// Package mmr is a Go implementation of the MultiMedia Router (MMR) from
+// "MMR: A High-Performance Multimedia Router — Architecture and Design
+// Trade-Offs" (Duato, Yalamanchili, Caminero, Love, Quiles; HPCA 1999):
+// a single-chip cut-through router for cluster/LAN multimedia traffic
+// with per-connection QoS.
+//
+// The package is a facade over the implementation packages:
+//
+//   - Router simulates one MMR (Figure 1 of the paper) cycle by cycle:
+//     virtual channel memories, link schedulers with candidate sets,
+//     priority-biased switch scheduling, round-based bandwidth
+//     enforcement and credit flow control.
+//   - Network joins routers over a Topology with EPB connection
+//     establishment and up*/down* best-effort routing.
+//   - The exp subpackage (internal) regenerates every figure of the
+//     paper's evaluation; see cmd/mmrbench and EXPERIMENTS.md.
+//
+// Quick start:
+//
+//	r, _ := mmr.NewRouter(mmr.PaperRouterConfig())
+//	conn, _ := r.Establish(mmr.ConnSpec{Class: mmr.ClassCBR, Rate: 55 * mmr.Mbps, In: 0, Out: 3})
+//	m := r.Run(20_000, 100_000)
+//	fmt.Println(m.Delay.Mean(), m.Jitter.Mean())
+//	_ = conn
+package mmr
+
+import (
+	"io"
+
+	"mmr/internal/flit"
+	"mmr/internal/network"
+	"mmr/internal/router"
+	"mmr/internal/sched"
+	"mmr/internal/sim"
+	"mmr/internal/stats"
+	"mmr/internal/topology"
+	"mmr/internal/trace"
+	"mmr/internal/traffic"
+)
+
+// Rates and link geometry.
+type (
+	// Rate is a bandwidth in bits per second.
+	Rate = traffic.Rate
+	// Link describes a physical link and the router's flit geometry.
+	Link = traffic.Link
+)
+
+// Bandwidth units.
+const (
+	Kbps = traffic.Kbps
+	Mbps = traffic.Mbps
+	Gbps = traffic.Gbps
+)
+
+// PaperRates is the §5 connection-rate population.
+var PaperRates = traffic.PaperRates
+
+// PaperLink is the §5 link: 1.24 Gbps, 128-bit flits.
+var PaperLink = traffic.PaperLink
+
+// Service classes.
+type Class = flit.Class
+
+// The MMR's four service classes.
+const (
+	ClassCBR        = flit.ClassCBR
+	ClassVBR        = flit.ClassVBR
+	ClassControl    = flit.ClassControl
+	ClassBestEffort = flit.ClassBestEffort
+)
+
+// ConnSpec describes a connection request.
+type ConnSpec = traffic.ConnSpec
+
+// Workload generation (the §5 experimental setup).
+type (
+	// Workload is a generated set of connections.
+	Workload = traffic.Workload
+	// WorkloadConfig controls random workload generation.
+	WorkloadConfig = traffic.WorkloadConfig
+)
+
+// GenerateWorkload draws a random workload at a target offered load.
+func GenerateWorkload(cfg WorkloadConfig, seed uint64) (*Workload, error) {
+	return traffic.Generate(cfg, sim.NewRNG(seed))
+}
+
+// PaperWorkloadConfig returns the §5 workload setup at the given load.
+func PaperWorkloadConfig(load float64) WorkloadConfig {
+	return traffic.PaperWorkloadConfig(load)
+}
+
+// Single-router simulation.
+type (
+	// Router is one MMR instance.
+	Router = router.Router
+	// RouterConfig assembles a router.
+	RouterConfig = router.Config
+	// Connection is an established virtual circuit.
+	Connection = router.Connection
+	// Metrics is a measurement snapshot.
+	Metrics = router.Metrics
+	// ArbiterKind selects the switch scheduling algorithm.
+	ArbiterKind = router.ArbiterKind
+)
+
+// Switch scheduling algorithms (§5.1).
+const (
+	ArbPriority = router.ArbPriority
+	ArbAutonet  = router.ArbAutonet
+	ArbPerfect  = router.ArbPerfect
+)
+
+// Admission modes.
+const (
+	AdmitAllocation = router.AdmitAllocation
+	AdmitRate       = router.AdmitRate
+)
+
+// NewRouter builds a router.
+func NewRouter(cfg RouterConfig) (*Router, error) { return router.New(cfg) }
+
+// PaperRouterConfig returns the §5 experimental router: 8×8, 256 VCs per
+// input port, biased priorities, 8 candidates.
+func PaperRouterConfig() RouterConfig { return router.PaperConfig() }
+
+// Priority schemes (§5.1).
+type (
+	// PriorityScheme computes head-flit priorities.
+	PriorityScheme = sched.PriorityScheme
+	// Biased is the paper's dynamic priority-biasing scheme.
+	Biased = sched.Biased
+	// Fixed is the static-priority baseline.
+	Fixed = sched.Fixed
+	// OldestFirst is age-based arbitration (for ablations).
+	OldestFirst = sched.OldestFirst
+)
+
+// Topologies.
+type Topology = topology.Topology
+
+// Mesh builds a w×h 2D mesh with the given ports per router.
+func Mesh(w, h, ports int) (*Topology, error) { return topology.Mesh(w, h, ports) }
+
+// Torus builds a w×h 2D torus.
+func Torus(w, h, ports int) (*Topology, error) { return topology.Torus(w, h, ports) }
+
+// Irregular builds a random connected NOW-style topology.
+func Irregular(nodes, ports, avgDegree int, seed uint64) (*Topology, error) {
+	return topology.Irregular(nodes, ports, avgDegree, sim.NewRNG(seed))
+}
+
+// Multi-router networks.
+type (
+	// Network is a fabric of MMRs.
+	Network = network.Network
+	// NetworkConfig sizes a network.
+	NetworkConfig = network.Config
+	// NetConn is an end-to-end connection through a network.
+	NetConn = network.Conn
+	// NetStats is a network measurement snapshot.
+	NetStats = network.Stats
+)
+
+// NewNetwork builds a network.
+func NewNetwork(cfg NetworkConfig) (*Network, error) { return network.New(cfg) }
+
+// DefaultNetworkConfig returns a workable configuration for a topology.
+func DefaultNetworkConfig(t *Topology) NetworkConfig { return network.DefaultConfig(t) }
+
+// Traffic sources and video traces.
+type (
+	// Source produces flit arrivals; Tick is called once per flit cycle.
+	Source = traffic.Source
+	// Trace is an MPEG frame-size trace.
+	Trace = trace.Trace
+	// TraceGenConfig controls synthetic trace generation.
+	TraceGenConfig = trace.GenConfig
+)
+
+// ParseTrace reads a frame-size trace ("I 40000" per line, optional
+// "fps 25" header).
+func ParseTrace(r io.Reader) (*Trace, error) { return trace.Parse(r) }
+
+// FormatTrace writes a trace in the ParseTrace format.
+func FormatTrace(w io.Writer, t *Trace) error { return trace.Format(w, t) }
+
+// GenerateTrace builds a synthetic MPEG-2-like trace with scene-level
+// burstiness.
+func GenerateTrace(cfg TraceGenConfig, seed uint64) (*Trace, error) {
+	return trace.Generate(cfg, sim.NewRNG(seed))
+}
+
+// DefaultTraceGenConfig returns a plausible generator setup for the
+// given mean rate and frame count.
+func DefaultTraceGenConfig(rate Rate, frames int) TraceGenConfig {
+	return trace.DefaultGenConfig(rate, frames)
+}
+
+// NewTraceSource replays a trace as a policed VBR source on link l.
+func NewTraceSource(t *Trace, l Link, peak Rate) Source {
+	return trace.NewSource(t, l, peak)
+}
+
+// Statistics helpers.
+type (
+	// Accumulator is a streaming mean/variance/min/max.
+	Accumulator = stats.Accumulator
+	// Figure is a set of labeled series (one regenerated paper figure).
+	Figure = stats.Figure
+	// Series is one curve of a figure.
+	Series = stats.Series
+)

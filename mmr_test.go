@@ -1,0 +1,158 @@
+package mmr_test
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"mmr"
+)
+
+// TestPublicAPIQuickstart mirrors the README quick start.
+func TestPublicAPIQuickstart(t *testing.T) {
+	r, err := mmr.NewRouter(mmr.PaperRouterConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	conn, err := r.Establish(mmr.ConnSpec{Class: mmr.ClassCBR, Rate: 55 * mmr.Mbps, In: 0, Out: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if conn.ID != 0 {
+		t.Fatalf("first connection ID = %d", conn.ID)
+	}
+	m := r.Run(2_000, 20_000)
+	want := mmr.PaperLink.FlitsPerCycle(55*mmr.Mbps) * 20_000
+	if math.Abs(float64(m.FlitsDelivered)-want) > 3 {
+		t.Fatalf("delivered %d, want ~%.0f", m.FlitsDelivered, want)
+	}
+	if m.Delay.Mean() != 1 || m.Jitter.Mean() != 0 {
+		t.Fatalf("uncontended QoS wrong: delay=%v jitter=%v", m.Delay.Mean(), m.Jitter.Mean())
+	}
+}
+
+func TestPublicAPIWorkload(t *testing.T) {
+	wl, err := mmr.GenerateWorkload(mmr.PaperWorkloadConfig(0.5), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(wl.OfferedLoad-0.5) > 0.01 {
+		t.Fatalf("offered load %.3f", wl.OfferedLoad)
+	}
+	r, _ := mmr.NewRouter(mmr.PaperRouterConfig())
+	if _, err := r.EstablishWorkload(wl); err != nil {
+		t.Fatal(err)
+	}
+	m := r.Run(2_000, 10_000)
+	if math.Abs(m.SwitchUtilization-0.5) > 0.05 {
+		t.Fatalf("utilization %.3f", m.SwitchUtilization)
+	}
+}
+
+func TestPublicAPISchemes(t *testing.T) {
+	for _, scheme := range []mmr.PriorityScheme{mmr.Biased{}, mmr.Fixed{}, mmr.OldestFirst{}} {
+		cfg := mmr.PaperRouterConfig()
+		cfg.Scheme = scheme
+		if _, err := mmr.NewRouter(cfg); err != nil {
+			t.Fatalf("%s: %v", scheme.Name(), err)
+		}
+	}
+	for _, arb := range []mmr.ArbiterKind{mmr.ArbPriority, mmr.ArbAutonet, mmr.ArbPerfect} {
+		cfg := mmr.PaperRouterConfig()
+		cfg.Arbiter = arb
+		if _, err := mmr.NewRouter(cfg); err != nil {
+			t.Fatalf("arbiter %v: %v", arb, err)
+		}
+	}
+}
+
+func TestPublicAPITopologiesAndNetwork(t *testing.T) {
+	for _, build := range []func() (*mmr.Topology, error){
+		func() (*mmr.Topology, error) { return mmr.Mesh(3, 3, 4) },
+		func() (*mmr.Topology, error) { return mmr.Torus(3, 3, 4) },
+		func() (*mmr.Topology, error) { return mmr.Irregular(10, 6, 3, 5) },
+	} {
+		topo, err := build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := mmr.DefaultNetworkConfig(topo)
+		cfg.VCs = 16
+		n, err := mmr.NewNetwork(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := n.Open(0, topo.Nodes-1, mmr.ConnSpec{Class: mmr.ClassCBR, Rate: 10 * mmr.Mbps}); err != nil {
+			t.Fatal(err)
+		}
+		n.Run(5_000)
+		if n.Stats().FlitsDelivered == 0 {
+			t.Fatal("network delivered nothing")
+		}
+	}
+}
+
+func TestPublicAPITraceDrivenConnection(t *testing.T) {
+	tr, err := mmr.GenerateTrace(mmr.DefaultTraceGenConfig(8*mmr.Mbps, 600), 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, _ := mmr.NewRouter(mmr.PaperRouterConfig())
+	src := mmr.NewTraceSource(tr, mmr.PaperLink, tr.PeakRate())
+	_, err = r.EstablishWithSource(mmr.ConnSpec{
+		Class: mmr.ClassVBR, Rate: tr.MeanRate(), PeakRate: tr.PeakRate(), In: 0, Out: 1,
+	}, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := r.Run(5_000, 100_000)
+	if m.PerClassDelivered[mmr.ClassVBR] == 0 {
+		t.Fatal("trace-driven stream delivered nothing")
+	}
+}
+
+func TestPublicAPITraceRoundTrip(t *testing.T) {
+	tr, _ := mmr.GenerateTrace(mmr.DefaultTraceGenConfig(4*mmr.Mbps, 60), 1)
+	var b strings.Builder
+	if err := mmr.FormatTrace(&b, tr); err != nil {
+		t.Fatal(err)
+	}
+	got, err := mmr.ParseTrace(strings.NewReader(b.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Frames) != len(tr.Frames) {
+		t.Fatal("round trip lost frames")
+	}
+}
+
+func TestPublicAPIDynamicBandwidth(t *testing.T) {
+	r, _ := mmr.NewRouter(mmr.PaperRouterConfig())
+	conn, err := r.Establish(mmr.ConnSpec{Class: mmr.ClassCBR, Rate: 10 * mmr.Mbps, In: 0, Out: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.SetBandwidth(conn, 100*mmr.Mbps); err != nil {
+		t.Fatal(err)
+	}
+	m := r.Run(100, 20_000)
+	want := mmr.PaperLink.FlitsPerCycle(100*mmr.Mbps) * 20_000
+	if math.Abs(float64(m.FlitsDelivered)-want) > want*0.05 {
+		t.Fatalf("post-change delivery %d, want ~%.0f", m.FlitsDelivered, want)
+	}
+}
+
+func TestPublicAPIRates(t *testing.T) {
+	if len(mmr.PaperRates) != 9 {
+		t.Fatal("rate population wrong")
+	}
+	if mmr.PaperLink.FlitBits != 128 {
+		t.Fatal("paper link wrong")
+	}
+	var a mmr.Accumulator
+	a.Add(1)
+	a.Add(3)
+	if a.Mean() != 2 {
+		t.Fatal("accumulator alias broken")
+	}
+}
