@@ -1,0 +1,23 @@
+GO ?= go
+FUZZTIME ?= 30s
+
+.PHONY: build test vet race fuzz-smoke check
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+race:
+	$(GO) test -race ./...
+
+# Short coverage-guided fuzz budget over the network churn property
+# (opens, probes, teardowns, link failures/repairs interleaved).
+fuzz-smoke:
+	$(GO) test -run='^$$' -fuzz=FuzzNetworkChurn -fuzztime=$(FUZZTIME) ./internal/network
+
+check: vet test race fuzz-smoke

@@ -8,6 +8,12 @@
 //	mmrnet -topo mesh -w 4 -h 4 -conns 64
 //	mmrnet -topo irregular -nodes 16 -degree 3 -conns 100 -be 0.01
 //	mmrnet -topo torus -w 4 -h 4 -conns 80 -rate 55
+//
+// Fault injection (see docs/faults.md):
+//
+//	mmrnet -topo irregular -conns 64 -fault-links 3 -fault-downtime 5000
+//	mmrnet -topo mesh -conns 48 -fault-mtbf 20000 -fault-mttr 2000
+//	mmrnet -topo mesh -conns 48 -fault-links 2 -no-restore -fault-drop 0.001
 package main
 
 import (
@@ -15,6 +21,7 @@ import (
 	"fmt"
 	"os"
 
+	"mmr/internal/faults"
 	"mmr/internal/flit"
 	"mmr/internal/network"
 	"mmr/internal/sim"
@@ -38,6 +45,15 @@ func main() {
 		warmup = flag.Int64("warmup", 10_000, "warmup cycles")
 		vcs    = flag.Int("vcs", 64, "virtual channels per input port")
 		seed   = flag.Uint64("seed", 1, "simulation seed")
+
+		faultLinks    = flag.Int("fault-links", 0, "random link failures to inject during the measured run")
+		faultDowntime = flag.Int64("fault-downtime", 5000, "cycles a -fault-links failure lasts (0 = permanent)")
+		faultMTBF     = flag.Float64("fault-mtbf", 0, "mean cycles between stochastic failures per link (0 = off)")
+		faultMTTR     = flag.Float64("fault-mttr", 1000, "mean repair time for stochastic failures")
+		faultDrop     = flag.Float64("fault-drop", 0, "per-flit drop probability on every link")
+		faultSeed     = flag.Uint64("fault-seed", 0, "fault plan seed (0 = derive from -seed)")
+		noRestore     = flag.Bool("no-restore", false, "disable re-establishment of fault-broken connections")
+		noDegrade     = flag.Bool("no-degrade", false, "disable best-effort fallback for unrestorable connections")
 	)
 	flag.Parse()
 
@@ -61,9 +77,42 @@ func main() {
 	cfg := network.DefaultConfig(tp)
 	cfg.VCs = *vcs
 	cfg.Seed = *seed
+	cfg.Fault.Restore = !*noRestore
+	cfg.Fault.Degrade = !*noDegrade
 	n, err := network.New(cfg)
 	if err != nil {
 		fail(err)
+	}
+
+	// Fault plan: scheduled random link failures land inside the measured
+	// window; stochastic churn and impairments cover the whole run.
+	fseed := *faultSeed
+	if fseed == 0 {
+		fseed = *seed ^ 0xfa017
+	}
+	plan := faults.NewPlan(fseed)
+	horizon := *warmup + *cycles
+	if *faultLinks > 0 {
+		window := *cycles / 2
+		if window < 1 {
+			window = 1
+		}
+		plan.RandomLinkFailures(tp, *faultLinks, *warmup+*cycles/10, window, *faultDowntime)
+	}
+	if *faultMTBF > 0 {
+		plan.WithMTBF(*faultMTBF, *faultMTTR)
+	}
+	if *faultDrop > 0 {
+		for _, l := range tp.Links {
+			plan.Impair(l.A, l.APort, *faultDrop, 0)
+			plan.Impair(l.B, l.BPort, *faultDrop, 0)
+		}
+	}
+	injectFaults := len(plan.Events) > 0 || len(plan.Impairments) > 0 || plan.MTBF > 0
+	if injectFaults {
+		if err := n.ApplyPlan(plan, horizon); err != nil {
+			fail(err)
+		}
 	}
 
 	opened, backtracks := 0, 0
@@ -119,6 +168,18 @@ func main() {
 	if st.BEGenerated > 0 {
 		fmt.Printf("best-effort %d/%d packets delivered, latency %.2f cycles\n",
 			st.BEDelivered, st.BEGenerated, st.BELatency.Mean())
+	}
+	if injectFaults {
+		fmt.Printf("faults      %d link failures injected, %d repaired, %d flits lost, %d dropped on impaired links\n",
+			st.FaultsInjected, st.FaultsRepaired, st.FaultFlitsLost, st.FlitsDropped)
+		fmt.Printf("healing     %d conns broken, %d restored (mean %.0f cycles, max %.0f), %d degraded, %d lost, %d setup retries\n",
+			st.ConnsBroken, st.ConnsRestored, st.RestoreLatency.Mean(), st.RestoreLatency.Max(),
+			st.ConnsDegraded, st.ConnsLost, st.SetupRetries)
+		for _, ev := range n.SessionEvents() {
+			if ev.Kind == "conn-degraded" || ev.Kind == "conn-lost" {
+				fmt.Printf("  cycle %-8d %s conn %d: %s\n", ev.Cycle, ev.Kind, ev.Conn, ev.Detail)
+			}
+		}
 	}
 }
 

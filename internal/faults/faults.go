@@ -1,0 +1,235 @@
+// Package faults describes fault-injection plans for the multi-router
+// network: deterministic, RNG-seeded schedules of link and router
+// failures/restorations plus per-link flit impairment probabilities.
+// Real switch fabrics treat component failure as a first-class design
+// input (Tiny Tera's port cards, Autonet's reconfiguration protocol);
+// this package gives the simulator the same vocabulary. A Plan is pure
+// data — the network layer interprets it, tears down the connections a
+// fault breaks and re-establishes them on surviving paths.
+//
+// Plans are deterministic: scheduled events are explicit, and stochastic
+// failures (MTBF/MTTR) are expanded into an explicit event schedule by
+// Generate using a seeded RNG, so a (plan, seed) pair always reproduces
+// the same fault sequence.
+package faults
+
+import (
+	"fmt"
+	"sort"
+
+	"mmr/internal/sim"
+	"mmr/internal/topology"
+)
+
+// Kind classifies a fault event.
+type Kind int
+
+const (
+	// LinkDown fails the link at (Node, Port); flits in flight on it are
+	// lost and connections crossing it break.
+	LinkDown Kind = iota
+	// LinkUp restores a previously failed link.
+	LinkUp
+	// RouterDown fails a whole router: every link at Node goes down.
+	RouterDown
+	// RouterUp restores a failed router's links.
+	RouterUp
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case LinkDown:
+		return "link-down"
+	case LinkUp:
+		return "link-up"
+	case RouterDown:
+		return "router-down"
+	case RouterUp:
+		return "router-up"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Event is one scheduled fault transition.
+type Event struct {
+	Cycle int64
+	Kind  Kind
+	Node  int
+	Port  int // meaningful for link events only
+}
+
+// Impairment attaches per-flit loss and corruption probabilities to the
+// directed link leaving Node through Port. Dropped flits are detected by
+// the receiver (CRC) and discarded with their credit returned; corrupted
+// flits are delivered and counted.
+type Impairment struct {
+	Node, Port  int
+	DropProb    float64
+	CorruptProb float64
+}
+
+// Plan is a reproducible fault schedule. Zero value: no faults.
+type Plan struct {
+	Seed   uint64  // seeds stochastic expansion and datapath impairment draws
+	Events []Event // explicit transitions, any order; sorted on Apply
+
+	Impairments []Impairment
+
+	// Stochastic link failures: every link fails with exponential
+	// inter-failure times of mean MTBF cycles and is repaired after an
+	// exponential MTTR-mean downtime. Zero MTBF disables.
+	MTBF, MTTR float64
+}
+
+// NewPlan returns an empty plan with the given seed.
+func NewPlan(seed uint64) *Plan { return &Plan{Seed: seed} }
+
+// FailLinkAt schedules the link at (node, port) to fail at the given cycle.
+func (p *Plan) FailLinkAt(cycle int64, node, port int) *Plan {
+	p.Events = append(p.Events, Event{Cycle: cycle, Kind: LinkDown, Node: node, Port: port})
+	return p
+}
+
+// RestoreLinkAt schedules the link at (node, port) to come back at cycle.
+func (p *Plan) RestoreLinkAt(cycle int64, node, port int) *Plan {
+	p.Events = append(p.Events, Event{Cycle: cycle, Kind: LinkUp, Node: node, Port: port})
+	return p
+}
+
+// FailRouterAt schedules every link of node to fail at the given cycle.
+func (p *Plan) FailRouterAt(cycle int64, node int) *Plan {
+	p.Events = append(p.Events, Event{Cycle: cycle, Kind: RouterDown, Node: node})
+	return p
+}
+
+// RestoreRouterAt schedules node's links to come back at the given cycle.
+func (p *Plan) RestoreRouterAt(cycle int64, node int) *Plan {
+	p.Events = append(p.Events, Event{Cycle: cycle, Kind: RouterUp, Node: node})
+	return p
+}
+
+// Impair sets drop/corrupt probabilities on the directed link leaving
+// (node, port).
+func (p *Plan) Impair(node, port int, drop, corrupt float64) *Plan {
+	p.Impairments = append(p.Impairments, Impairment{Node: node, Port: port, DropProb: drop, CorruptProb: corrupt})
+	return p
+}
+
+// WithMTBF enables stochastic link churn with the given mean cycles
+// between failures and mean repair time.
+func (p *Plan) WithMTBF(mtbf, mttr float64) *Plan {
+	p.MTBF, p.MTTR = mtbf, mttr
+	return p
+}
+
+// Validate checks the plan against a topology: events must name wired
+// ports and valid nodes, probabilities must lie in [0,1], and stochastic
+// parameters must be non-negative.
+func (p *Plan) Validate(t *topology.Topology) error {
+	for _, e := range p.Events {
+		if e.Node < 0 || e.Node >= t.Nodes {
+			return fmt.Errorf("faults: event %+v names node outside [0,%d)", e, t.Nodes)
+		}
+		if e.Kind == LinkDown || e.Kind == LinkUp {
+			if e.Port < 0 || e.Port >= t.Ports {
+				return fmt.Errorf("faults: event %+v names port outside [0,%d)", e, t.Ports)
+			}
+			if t.Wired(e.Node, e.Port) < 0 {
+				return fmt.Errorf("faults: event %+v targets an unwired port", e)
+			}
+		}
+		if e.Cycle < 0 {
+			return fmt.Errorf("faults: event %+v scheduled before cycle 0", e)
+		}
+	}
+	for _, im := range p.Impairments {
+		if im.Node < 0 || im.Node >= t.Nodes || im.Port < 0 || im.Port >= t.Ports {
+			return fmt.Errorf("faults: impairment %+v out of range", im)
+		}
+		if t.Wired(im.Node, im.Port) < 0 {
+			return fmt.Errorf("faults: impairment %+v targets an unwired port", im)
+		}
+		if im.DropProb < 0 || im.DropProb > 1 || im.CorruptProb < 0 || im.CorruptProb > 1 {
+			return fmt.Errorf("faults: impairment %+v probability outside [0,1]", im)
+		}
+	}
+	if p.MTBF < 0 || p.MTTR < 0 {
+		return fmt.Errorf("faults: negative MTBF/MTTR (%.1f/%.1f)", p.MTBF, p.MTTR)
+	}
+	return nil
+}
+
+// Schedule returns the plan's complete, time-sorted event list over
+// [0, horizon): the explicit events plus the stochastic MTBF/MTTR churn
+// expanded per link with an RNG derived from the plan seed. Expansion is
+// deterministic — the same plan, topology and horizon always yield the
+// same schedule. Events at equal cycles keep a stable order (links before
+// routers, then by node/port).
+func (p *Plan) Schedule(t *topology.Topology, horizon int64) []Event {
+	events := make([]Event, 0, len(p.Events))
+	for _, e := range p.Events {
+		if e.Cycle < horizon {
+			events = append(events, e)
+		}
+	}
+	if p.MTBF > 0 {
+		rng := sim.NewRNG(p.Seed ^ 0xfa017ed)
+		// Walk the links in wiring order so the draw sequence is stable.
+		for _, l := range t.Links {
+			at := int64(rng.Exp(p.MTBF))
+			for at < horizon {
+				events = append(events, Event{Cycle: at, Kind: LinkDown, Node: l.A, Port: l.APort})
+				repair := at + 1 + int64(rng.Exp(p.MTTR))
+				if repair >= horizon {
+					break
+				}
+				events = append(events, Event{Cycle: repair, Kind: LinkUp, Node: l.A, Port: l.APort})
+				at = repair + 1 + int64(rng.Exp(p.MTBF))
+			}
+		}
+	}
+	sort.SliceStable(events, func(i, j int) bool {
+		a, b := events[i], events[j]
+		if a.Cycle != b.Cycle {
+			return a.Cycle < b.Cycle
+		}
+		if a.Kind != b.Kind {
+			return a.Kind < b.Kind
+		}
+		if a.Node != b.Node {
+			return a.Node < b.Node
+		}
+		return a.Port < b.Port
+	})
+	return events
+}
+
+// RandomLinkFailures appends count link failures at cycles uniformly
+// spread over [start, start+window), each picking a distinct random link,
+// with restoration after the given downtime (0 = permanent). The draws
+// come from an RNG derived from the plan seed, so the same seed always
+// injures the same links at the same cycles.
+func (p *Plan) RandomLinkFailures(t *topology.Topology, count int, start, window, downtime int64) *Plan {
+	if count <= 0 || len(t.Links) == 0 {
+		return p
+	}
+	rng := sim.NewRNG(p.Seed ^ 0x11ca61e)
+	perm := rng.Perm(len(t.Links))
+	if count > len(perm) {
+		count = len(perm)
+	}
+	for i := 0; i < count; i++ {
+		l := t.Links[perm[i]]
+		at := start
+		if window > 1 {
+			at += int64(rng.Intn(int(window)))
+		}
+		p.FailLinkAt(at, l.A, l.APort)
+		if downtime > 0 {
+			p.RestoreLinkAt(at+downtime, l.A, l.APort)
+		}
+	}
+	return p
+}

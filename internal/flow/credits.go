@@ -69,6 +69,15 @@ func (c *Credits) Return(vc int) {
 	c.avail.Set(vc)
 }
 
+// Reset restores VC vc to the full credit count. Connection teardown
+// uses it after flushing the downstream buffer: every slot is free
+// again, and any credit still in flight for the VC must have been
+// purged by the caller or Return will overflow later.
+func (c *Credits) Reset(vc int) {
+	c.counts[vc] = c.max
+	c.avail.Set(vc)
+}
+
 // CreditPipe models the return path's latency: credits issued downstream
 // become visible to the sender only after a fixed delay in cycles. The
 // zero delay degenerates to immediate visibility.

@@ -109,16 +109,39 @@ func (n *Network) deliverCredits(t int64) {
 }
 
 // deliverLinkFlits moves arrived flits from link pipes into the
-// downstream VCM.
+// downstream VCM, applying the link's impairments: a dropped flit is
+// detected by the receiver (CRC) and discarded — for a stream flit its
+// buffer slot never fills, so the credit returns upstream immediately;
+// a dropped packet dies with its reserved VC released. Corrupted flits
+// are delivered and counted. Wiring is resolved through the raw tables:
+// pipes of a failed link are purged at the failure transition, so any
+// flit still here travels a live (or just-impaired) link.
 func (n *Network) deliverLinkFlits(nd *node, t int64) {
 	for q := range nd.pipes {
 		pipe := nd.pipes[q]
+		if len(pipe) == 0 {
+			continue
+		}
+		im, impaired := n.impair[[2]int{nd.id, q}]
+		nb := n.cfg.Topology.Wired(nd.id, q)
+		pp := n.cfg.Topology.WiredPeer(nd.id, q)
+		y := n.nodes[nb]
 		i := 0
 		for ; i < len(pipe) && pipe[i].arriveAt <= t; i++ {
 			lf := pipe[i]
-			nb := n.cfg.Topology.Neighbor(nd.id, q)
-			pp := n.cfg.Topology.PeerPort(nd.id, q)
-			y := n.nodes[nb]
+			if impaired && im.DropProb > 0 && n.rng.Float64() < im.DropProb {
+				n.m.flitsDropped++
+				if lf.f.Class == flit.ClassBestEffort || lf.f.Class == flit.ClassControl {
+					y.mems[pp].Release(lf.vc)
+					y.upstream[pp][lf.vc] = noUpstream
+				} else if up := y.upstream[pp][lf.vc]; up.node >= 0 {
+					n.credits = append(n.credits, creditMsg{arriveAt: t + n.cfg.LinkDelay, to: up})
+				}
+				continue
+			}
+			if impaired && im.CorruptProb > 0 && n.rng.Float64() < im.CorruptProb {
+				n.m.flitsCorrupted++
+			}
 			lf.f.ReadyAt = t
 			if y.mems[pp].Len(lf.vc) == 0 {
 				lf.f.HeadAt = t
@@ -188,6 +211,15 @@ func (n *Network) transmit(nd *node, t int64) {
 		var targetVC int
 		if cand.Output == hp {
 			targetVC = -1 // ejection to the host
+		} else if !n.cfg.Topology.LinkUp(nd.id, cand.Output) {
+			// The chosen output died since routing: un-route packets so
+			// they pick a surviving port next cycle. (Stream VCs cannot
+			// reach here — a failure tears their connection down before
+			// the next transmit.)
+			if isPacket {
+				st.Output = -1
+			}
+			continue
 		} else if isPacket {
 			// VCT: reserve a VC at the next router now (§3.4); skip the
 			// grant if none is free this cycle.
@@ -267,7 +299,7 @@ func (n *Network) eject(nd *node, t int64, f *flit.Flit) {
 func (n *Network) injectStreams(t int64) {
 	hp := n.cfg.hostPort()
 	for _, c := range n.conns {
-		if c.closed {
+		if c.closed || c.broken {
 			continue
 		}
 		if c.open && c.src != nil {

@@ -9,66 +9,141 @@ import (
 	"mmr/internal/vcm"
 )
 
+// searchHook, when non-nil, runs inside every synchronous per-hop
+// reservation. Tests use it to inject panics mid-search and verify the
+// release-on-error path; it is never set in production code.
+var searchHook func()
+
 // Open establishes a connection from the host at src to the host at dst
 // using EPB (§3.5): the probe searches minimal paths, reserving at each
 // hop an input virtual channel on the next router and bandwidth on the
 // output link (§4.2), backtracking and releasing when a hop has no
 // resources. On success the channel mappings and per-VC scheduling state
 // are installed at every router and the source begins injecting.
+//
+// Open is a single synchronous attempt; OpenWithRetry adds bounded,
+// jittered exponential-backoff re-searches over event time.
 func (n *Network) Open(src, dst int, spec traffic.ConnSpec) (*Conn, error) {
-	if src < 0 || src >= len(n.nodes) || dst < 0 || dst >= len(n.nodes) {
-		return nil, fmt.Errorf("network: nodes (%d,%d) out of range", src, dst)
-	}
-	if src == dst {
-		return nil, fmt.Errorf("network: source and destination host on the same router")
-	}
-	if !spec.Class.IsStream() {
-		return nil, fmt.Errorf("network: Open is for stream classes, got %v", spec.Class)
+	if err := n.checkEndpoints(src, dst, spec); err != nil {
+		return nil, err
 	}
 	n.m.setupAttempts++
-
-	roundLen := n.cfg.K * n.cfg.VCs
-	alloc := n.cfg.Link.CyclesPerRound(spec.Rate, roundLen)
-	peak := alloc
-	if spec.Class == flit.ClassVBR {
-		peak = n.cfg.Link.CyclesPerRound(spec.PeakRate, roundLen)
-		if peak < alloc {
-			peak = alloc
-		}
+	conn := &Conn{ID: flit.ConnID(len(n.conns)), Src: src, Dst: dst, Spec: spec}
+	if err := n.establish(conn); err != nil {
+		n.m.setupRejected++
+		return nil, err
 	}
+	n.conns = append(n.conns, conn)
+	n.m.grow(len(n.conns))
+	n.m.setupAccepted++
+	n.m.setupLatency.Add(float64(conn.SetupTime))
+	n.m.setupBacktracks.Add(float64(conn.Backtracks))
+	return conn, nil
+}
+
+// OpenWithRetry attempts Open now and, on failure, schedules jittered
+// exponential-backoff re-searches on the event engine — up to
+// cfg.Fault.MaxRetries additional attempts — before reporting the last
+// error to done. Retries ride event time, so teardowns, restorations and
+// link repairs between attempts can free the resources a first search
+// could not find.
+func (n *Network) OpenWithRetry(src, dst int, spec traffic.ConnSpec, done func(*Conn, error)) error {
+	if err := n.checkEndpoints(src, dst, spec); err != nil {
+		return err
+	}
+	if done == nil {
+		done = func(*Conn, error) {}
+	}
+	attempt := 0
+	var try func()
+	try = func() {
+		c, err := n.Open(src, dst, spec)
+		if err == nil {
+			done(c, nil)
+			return
+		}
+		if attempt >= n.cfg.Fault.MaxRetries {
+			done(nil, err)
+			return
+		}
+		delay := n.retryBackoff(attempt)
+		attempt++
+		n.m.setupRetries++
+		n.Schedule(n.now+delay, try)
+	}
+	try()
+	return nil
+}
+
+// retryBackoff returns the wait before re-search attempt k (0-based):
+// RetryBackoff × 2^k plus up to 50% jitter, so colliding retries from
+// simultaneously broken connections decorrelate.
+func (n *Network) retryBackoff(attempt int) int64 {
+	base := n.cfg.Fault.RetryBackoff
+	if base < 1 {
+		base = 1
+	}
+	if attempt > 30 {
+		attempt = 30
+	}
+	d := base << uint(attempt)
+	return d + int64(n.rng.Float64()*float64(d)*0.5)
+}
+
+func (n *Network) checkEndpoints(src, dst int, spec traffic.ConnSpec) error {
+	if src < 0 || src >= len(n.nodes) || dst < 0 || dst >= len(n.nodes) {
+		return errBadEndpoints(src, dst)
+	}
+	if src == dst {
+		return fmt.Errorf("network: source and destination host on the same router")
+	}
+	if !spec.Class.IsStream() {
+		return fmt.Errorf("network: stream classes only, got %v", spec.Class)
+	}
+	return nil
+}
+
+// establish runs the synchronous EPB search for conn's spec and, on
+// success, installs the path state (VCs, channel mappings, upstream
+// pointers, bandwidth) into conn. It is the shared engine of Open and of
+// fault restoration. All transient holds — the entry VC and every
+// partial-path reservation — are released if the search fails or any
+// admission/demand computation panics mid-way.
+func (n *Network) establish(conn *Conn) error {
+	src, dst, spec := conn.Src, conn.Dst, conn.Spec
+	d := n.demandFor(spec)
 
 	// Entry resources: a VC on the source router's host input port.
 	hp := n.cfg.hostPort()
 	entryVC := n.nodes[src].mems[hp].FindFree(n.rng.Intn(n.cfg.VCs))
 	if entryVC < 0 {
-		n.m.setupRejected++
-		return nil, fmt.Errorf("network: no free VC on host port of node %d", src)
+		return fmt.Errorf("network: no free VC on host port of node %d", src)
 	}
 	// Transient hold until the search completes.
 	n.nodes[src].mems[hp].Reserve(entryVC, vcm.VCState{Conn: flit.InvalidConn, Class: spec.Class, Output: -1})
 
-	// Per-hop reservations made during the search, so backtracking can
-	// release them. reserve(x, p) claims bandwidth on x's output p and a
-	// VC on the neighbor's input.
-	type hopRes struct {
-		node, port int
-		vc         int // reserved VC on the neighbor's input
-	}
-	reservations := map[[2]int]hopRes{}
-	admitOut := func(x *node, p int) bool {
-		if spec.Class == flit.ClassVBR {
-			return x.alloc[p].AdmitVBR(alloc, peak)
+	// Per-hop reservations made during the search, so backtracking — or a
+	// panic escaping the search — can release them.
+	reservations := map[[2]int]probeHop{}
+	committed := false
+	defer func() {
+		if committed {
+			return
 		}
-		return x.alloc[p].AdmitCBR(alloc)
-	}
-	releaseOut := func(x *node, p int) {
-		if spec.Class == flit.ClassVBR {
-			x.alloc[p].ReleaseVBR(alloc, peak)
-		} else {
-			x.alloc[p].ReleaseCBR(alloc)
+		// Error or panic path: nothing was installed, release every hold.
+		for _, res := range reservations {
+			n.releaseOut(n.nodes[res.node], res.port, spec, d)
+			nb := n.cfg.Topology.Wired(res.node, res.port)
+			pp := n.cfg.Topology.WiredPeer(res.node, res.port)
+			n.nodes[nb].mems[pp].Release(res.vc)
 		}
-	}
+		n.nodes[src].mems[hp].Release(entryVC)
+	}()
+
 	reserve := func(nodeID, port int) bool {
+		if searchHook != nil {
+			searchHook()
+		}
 		x := n.nodes[nodeID]
 		nb := n.cfg.Topology.Neighbor(nodeID, port)
 		if nb < 0 {
@@ -80,13 +155,13 @@ func (n *Network) Open(src, dst int, spec traffic.ConnSpec) (*Conn, error) {
 		if vc < 0 {
 			return false
 		}
-		if !admitOut(x, port) {
+		if !n.admitOut(x, port, spec, d) {
 			return false
 		}
 		// Hold the VC so a concurrent hop of the same search cannot take
 		// it; the final state is installed after the search succeeds.
 		y.mems[pp].Reserve(vc, vcm.VCState{Conn: flit.InvalidConn, Class: spec.Class, Output: -1})
-		reservations[[2]int{nodeID, port}] = hopRes{node: nodeID, port: port, vc: vc}
+		reservations[[2]int{nodeID, port}] = probeHop{node: nodeID, port: port, vc: vc}
 		return true
 	}
 	release := func(nodeID, port int) {
@@ -95,111 +170,120 @@ func (n *Network) Open(src, dst int, spec traffic.ConnSpec) (*Conn, error) {
 			panic("network: release of unreserved hop")
 		}
 		delete(reservations, [2]int{nodeID, port})
-		x := n.nodes[nodeID]
-		releaseOut(x, port)
-		nb := n.cfg.Topology.Neighbor(nodeID, port)
-		pp := n.cfg.Topology.PeerPort(nodeID, port)
+		n.releaseOut(n.nodes[nodeID], port, spec, d)
+		nb := n.cfg.Topology.Wired(nodeID, port)
+		pp := n.cfg.Topology.WiredPeer(nodeID, port)
 		n.nodes[nb].mems[pp].Release(res.vc)
 	}
 
 	sr, err := routing.Search(n.cfg.Topology, n.dists, src, dst, reserve, release)
 	if err != nil {
-		n.nodes[src].mems[hp].Release(entryVC) // only held transiently above
-		n.m.setupRejected++
-		return nil, err
+		return err
 	}
 	// Ejection bandwidth on the destination router's host output port.
-	if !admitOut(n.nodes[dst], hp) {
+	if !n.admitOut(n.nodes[dst], hp, spec, d) {
 		for _, hop := range sr.Path {
 			release(hop.Node, hop.Port)
 		}
-		n.nodes[src].mems[hp].Release(entryVC)
-		n.m.setupRejected++
-		return nil, fmt.Errorf("network: destination host port of node %d cannot admit %v", dst, spec.Rate)
+		return fmt.Errorf("network: destination host port of node %d cannot admit %v", dst, spec.Rate)
 	}
 
 	// Search succeeded with all resources held: install the connection.
-	id := flit.ConnID(len(n.conns))
-	interval := float64(roundLen) / float64(alloc)
-	conn := &Conn{
-		ID: id, Src: src, Dst: dst, Spec: spec,
-		Path:       sr.Path,
-		Backtracks: sr.Backtracks,
-		open:       true,
+	committed = true
+	hops := make([]probeHop, 0, len(sr.Path))
+	for _, hop := range sr.Path {
+		hops = append(hops, reservations[[2]int{hop.Node, hop.Port}])
 	}
+	conn.Backtracks = sr.Backtracks
 	// SetupTime: the probe walks Visited hops forward plus Backtracks
 	// steps backward, then the ack retraces the final path (§4.2).
 	conn.SetupTime = n.cfg.HopLatency * int64(sr.Visited+sr.Backtracks+len(sr.Path))
+	n.installPath(conn, entryVC, hops, d)
+	return nil
+}
 
+// installPath installs an established connection along its reserved
+// resources: per-router VC scheduling state, direct channel mappings,
+// upstream credit pointers, and the conn's VCs/Path/Nodes records. The
+// entry VC sits at (conn.Src, hostPort); hops[i] carries the output
+// taken from the i-th router and the VC already reserved on the next
+// router's input. Shared by synchronous establishment, event-driven
+// probes and fault restoration.
+func (n *Network) installPath(conn *Conn, entryVC int, hops []probeHop, d demand) {
+	hp := n.cfg.hostPort()
+	roundLen := n.cfg.K * n.cfg.VCs
+	interval := float64(roundLen) / float64(d.alloc)
 	install := func(nodeID, inPort, vc, outPort int) {
 		x := n.nodes[nodeID]
 		if x.mems[inPort].State(vc).InUse {
 			x.mems[inPort].Release(vc) // replace the transient hold
 		}
 		x.mems[inPort].Reserve(vc, vcm.VCState{
-			Conn: id, Class: spec.Class,
-			Allocated: alloc, Peak: peak,
-			BasePriority: spec.Priority,
+			Conn: conn.ID, Class: conn.Spec.Class,
+			Allocated: d.alloc, Peak: d.peak,
+			BasePriority: conn.Spec.Priority,
 			InterArrival: interval,
 			Output:       outPort,
 		})
 	}
 
-	// Walk the path: the connection occupies entryVC at (src, hostPort),
-	// then the reserved VC at each subsequent router's link input port.
+	conn.Path = conn.Path[:0]
+	conn.VCs = conn.VCs[:0]
+	conn.Nodes = conn.Nodes[:0]
 	conn.VCs = append(conn.VCs, routing.VCRef{Port: hp, VC: entryVC})
+	conn.Nodes = append(conn.Nodes, conn.Src)
 	inPort, inVC := hp, entryVC
-	cur := src
-	for _, hop := range sr.Path {
-		res := reservations[[2]int{hop.Node, hop.Port}]
-		nb := n.cfg.Topology.Neighbor(hop.Node, hop.Port)
-		pp := n.cfg.Topology.PeerPort(hop.Node, hop.Port)
-		install(cur, inPort, inVC, hop.Port)
-		n.nodes[cur].cmap.Map(routing.VCRef{Port: inPort, VC: inVC}, routing.VCRef{Port: hop.Port, VC: res.vc})
+	cur := conn.Src
+	for _, h := range hops {
+		nb := n.cfg.Topology.Wired(h.node, h.port)
+		pp := n.cfg.Topology.WiredPeer(h.node, h.port)
+		install(cur, inPort, inVC, h.port)
+		n.nodes[cur].cmap.Map(routing.VCRef{Port: inPort, VC: inVC}, routing.VCRef{Port: h.port, VC: h.vc})
 		// Upstream pointer: draining the neighbor's VC returns a credit
 		// to this router's shadow for (inPort, inVC).
-		n.nodes[nb].upstream[pp][res.vc] = upRef{node: cur, port: inPort, vc: inVC}
-		cur, inPort, inVC = nb, pp, res.vc
+		n.nodes[nb].upstream[pp][h.vc] = upRef{node: cur, port: inPort, vc: inVC}
+		conn.Path = append(conn.Path, routing.PathHop{Node: h.node, Port: h.port})
+		cur, inPort, inVC = nb, pp, h.vc
 		conn.VCs = append(conn.VCs, routing.VCRef{Port: inPort, VC: inVC})
+		conn.Nodes = append(conn.Nodes, cur)
 	}
 	// Final router: eject to the host port.
 	install(cur, inPort, inVC, hp)
 
-	switch spec.Class {
-	case flit.ClassVBR:
-		conn.src = traffic.NewVBRSource(n.rng, n.cfg.Link, spec.Rate, spec.PeakRate, traffic.DefaultGoP())
-	default:
-		conn.src = traffic.NewCBRSource(n.cfg.Link, spec.Rate, n.rng.Float64())
+	if conn.src == nil {
+		switch conn.Spec.Class {
+		case flit.ClassVBR:
+			conn.src = traffic.NewVBRSource(n.rng, n.cfg.Link, conn.Spec.Rate, conn.Spec.PeakRate, traffic.DefaultGoP())
+		default:
+			conn.src = traffic.NewCBRSource(n.cfg.Link, conn.Spec.Rate, n.rng.Float64())
+		}
 	}
-	n.conns = append(n.conns, conn)
-	n.m.grow(len(n.conns))
-	n.m.setupAccepted++
-	n.m.setupLatency.Add(float64(conn.SetupTime))
-	n.m.setupBacktracks.Add(float64(sr.Backtracks))
-	return conn, nil
+	conn.open = true
+	conn.closed = false
+	conn.broken = false
 }
 
 // Close stops a connection's injection and releases every per-hop
 // resource. Buffers along the path must have drained; use DrainAndClose
-// to run the network until they have.
+// to run the network until they have. Closing an already closed (or
+// fault-broken) connection returns an error and releases nothing.
 func (n *Network) Close(conn *Conn) error {
 	if conn.closed {
 		return fmt.Errorf("network: connection %d already closed", conn.ID)
 	}
+	if conn.broken {
+		return fmt.Errorf("network: connection %d is fault-broken; its resources are already released", conn.ID)
+	}
 	// Check every hop is empty — buffers drained and all credits home
 	// (a full shadow proves no credit is still in flight for the VC, so
 	// reusing it cannot corrupt flow control) — before touching anything.
-	cur := conn.Src
 	for i, ref := range conn.VCs {
-		x := n.nodes[cur]
+		x := n.nodes[conn.Nodes[i]]
 		if x.mems[ref.Port].Len(ref.VC) != 0 {
-			return fmt.Errorf("network: connection %d still has flits buffered at node %d (hop %d)", conn.ID, cur, i)
+			return fmt.Errorf("network: connection %d still has flits buffered at node %d (hop %d)", conn.ID, conn.Nodes[i], i)
 		}
 		if x.shadow[ref.Port].Available(ref.VC) != n.cfg.Depth {
-			return fmt.Errorf("network: connection %d has credits in flight at node %d (hop %d)", conn.ID, cur, i)
-		}
-		if i < len(conn.Path) {
-			cur = n.cfg.Topology.Neighbor(conn.Path[i].Node, conn.Path[i].Port)
+			return fmt.Errorf("network: connection %d has credits in flight at node %d (hop %d)", conn.ID, conn.Nodes[i], i)
 		}
 	}
 	if len(conn.niQueue) != 0 {
@@ -208,38 +292,30 @@ func (n *Network) Close(conn *Conn) error {
 	conn.open = false
 	conn.closed = true
 	conn.src = nil
-	roundLen := n.cfg.K * n.cfg.VCs
-	alloc := n.cfg.Link.CyclesPerRound(conn.Spec.Rate, roundLen)
-	peak := alloc
-	if conn.Spec.Class == flit.ClassVBR {
-		peak = n.cfg.Link.CyclesPerRound(conn.Spec.PeakRate, roundLen)
-		if peak < alloc {
-			peak = alloc
-		}
-	}
-	releaseOut := func(x *node, p int) {
-		if conn.Spec.Class == flit.ClassVBR {
-			x.alloc[p].ReleaseVBR(alloc, peak)
-		} else {
-			x.alloc[p].ReleaseCBR(alloc)
-		}
-	}
-	cur = conn.Src
+	n.releasePath(conn)
+	n.m.closed++
+	return nil
+}
+
+// releasePath returns every resource an installed connection holds: VC
+// reservations, channel mappings, upstream pointers, and per-hop output
+// bandwidth (path hops plus destination ejection). VC buffers must
+// already be empty. It deliberately never consults link up/down state,
+// so teardown works identically on healthy and faulted fabrics.
+func (n *Network) releasePath(conn *Conn) {
+	d := n.demandFor(conn.Spec)
 	for i, ref := range conn.VCs {
-		x := n.nodes[cur]
+		x := n.nodes[conn.Nodes[i]]
 		x.mems[ref.Port].Release(ref.VC)
 		x.cmap.Unmap(routing.VCRef{Port: ref.Port, VC: ref.VC})
 		x.upstream[ref.Port][ref.VC] = noUpstream
 		if i < len(conn.Path) {
 			hop := conn.Path[i]
-			releaseOut(n.nodes[hop.Node], hop.Port)
-			cur = n.cfg.Topology.Neighbor(hop.Node, hop.Port)
+			n.releaseOut(n.nodes[hop.Node], hop.Port, conn.Spec, d)
 		} else {
-			releaseOut(x, n.cfg.hostPort())
+			n.releaseOut(x, n.cfg.hostPort(), conn.Spec, d)
 		}
 	}
-	n.m.closed++
-	return nil
 }
 
 // DrainAndClose stops injection, steps the network until the connection's
@@ -247,6 +323,11 @@ func (n *Network) Close(conn *Conn) error {
 func (n *Network) DrainAndClose(conn *Conn, limit int64) error {
 	conn.open = false // stop generating new flits; queued ones still flow
 	for i := int64(0); i < limit; i++ {
+		if conn.closed {
+			// A fault tore the connection down mid-drain (or it was
+			// already closed): nothing left to release.
+			return fmt.Errorf("network: connection %d already closed", conn.ID)
+		}
 		if err := n.Close(conn); err == nil {
 			return nil
 		}

@@ -1,0 +1,342 @@
+package network
+
+import (
+	"fmt"
+
+	"mmr/internal/faults"
+	"mmr/internal/flit"
+	"mmr/internal/traffic"
+)
+
+// faults.go is the network's self-healing layer: it interprets
+// fault-injection plans (internal/faults), tears down the connections a
+// failed link breaks — releasing every VC, channel mapping, credit and
+// bandwidth reservation hop by hop — and re-establishes them on a
+// surviving path with bounded, jittered exponential-backoff re-searches,
+// degrading to a best-effort flow (or abandoning the session) when the
+// surviving fabric cannot re-admit the stream. Routing state (EPB
+// distance tables, the up*/down* tree) is recomputed at every topology
+// transition, in the spirit of Autonet's reconfiguration protocol.
+//
+// Modeling simplifications, recorded here deliberately:
+//   - Fault detection is immediate: the cycle a link fails, every
+//     connection crossing it is known broken. Real routers detect via
+//     ack/credit timeouts; that latency can be emulated by scheduling
+//     the restoration probe later.
+//   - A router failure is modeled as the failure of all its links. Flits
+//     already buffered inside the failed router survive in place (the
+//     router is isolated, not wiped); stream flits are purged with their
+//     connection, best-effort packets wait for a live output.
+
+// ApplyPlan validates a fault plan against the network's topology,
+// installs its per-link impairments, and schedules every fault event
+// (explicit and stochastically expanded) over [0, horizon) on the event
+// engine. Call before Run; events fire as the clock reaches them.
+func (n *Network) ApplyPlan(p *faults.Plan, horizon int64) error {
+	tp := n.cfg.Topology
+	if err := p.Validate(tp); err != nil {
+		return err
+	}
+	for _, im := range p.Impairments {
+		n.impair[[2]int{im.Node, im.Port}] = im
+	}
+	for _, ev := range p.Schedule(tp, horizon) {
+		ev := ev
+		n.Schedule(ev.Cycle, func() {
+			switch ev.Kind {
+			case faults.LinkDown:
+				n.FailLink(ev.Node, ev.Port)
+			case faults.LinkUp:
+				n.RestoreLink(ev.Node, ev.Port)
+			case faults.RouterDown:
+				n.FailRouter(ev.Node)
+			case faults.RouterUp:
+				n.RestoreRouter(ev.Node)
+			}
+		})
+	}
+	return nil
+}
+
+// FailLink takes the link at (nodeID, port) down now: flits in flight on
+// it are lost, connections crossing it are torn down (and queued for
+// restoration per the fault policy), and the routing tables are rebuilt
+// around the failure. Failing an already-down or unwired link is a no-op.
+func (n *Network) FailLink(nodeID, port int) error {
+	tp := n.cfg.Topology
+	if nodeID < 0 || nodeID >= tp.Nodes || port < 0 || port >= tp.Ports || tp.Wired(nodeID, port) < 0 {
+		return fmt.Errorf("network: FailLink(%d,%d) names no wired link", nodeID, port)
+	}
+	if !tp.LinkUp(nodeID, port) {
+		return nil
+	}
+	n.failLink(nodeID, port)
+	n.afterTransition()
+	return nil
+}
+
+// RestoreLink brings the link at (nodeID, port) back up and rebuilds the
+// routing tables so new searches may use it. Restoring an up link is a
+// no-op. Broken connections in backoff find the link on their next retry.
+func (n *Network) RestoreLink(nodeID, port int) error {
+	tp := n.cfg.Topology
+	if nodeID < 0 || nodeID >= tp.Nodes || port < 0 || port >= tp.Ports || tp.Wired(nodeID, port) < 0 {
+		return fmt.Errorf("network: RestoreLink(%d,%d) names no wired link", nodeID, port)
+	}
+	if tp.LinkUp(nodeID, port) {
+		return nil
+	}
+	tp.SetLinkUp(nodeID, port, true)
+	n.m.faultsRepaired++
+	n.logEvent(SessionEvent{Kind: "link-up", Conn: flit.InvalidConn, Node: nodeID, Port: port})
+	n.afterTransition()
+	return nil
+}
+
+// FailRouter fails every wired link of nodeID — the whole-router fault
+// model. The routing rebuild happens once, after all links are down.
+func (n *Network) FailRouter(nodeID int) error {
+	tp := n.cfg.Topology
+	if nodeID < 0 || nodeID >= tp.Nodes {
+		return fmt.Errorf("network: FailRouter(%d) out of range", nodeID)
+	}
+	n.logEvent(SessionEvent{Kind: "router-down", Conn: flit.InvalidConn, Node: nodeID, Port: -1})
+	for p := 0; p < tp.Ports; p++ {
+		if tp.Wired(nodeID, p) >= 0 && tp.LinkUp(nodeID, p) {
+			n.failLink(nodeID, p)
+		}
+	}
+	n.afterTransition()
+	return nil
+}
+
+// RestoreRouter brings every wired link of nodeID back up.
+func (n *Network) RestoreRouter(nodeID int) error {
+	tp := n.cfg.Topology
+	if nodeID < 0 || nodeID >= tp.Nodes {
+		return fmt.Errorf("network: RestoreRouter(%d) out of range", nodeID)
+	}
+	n.logEvent(SessionEvent{Kind: "router-up", Conn: flit.InvalidConn, Node: nodeID, Port: -1})
+	restored := false
+	for p := 0; p < tp.Ports; p++ {
+		if tp.Wired(nodeID, p) >= 0 && !tp.LinkUp(nodeID, p) {
+			tp.SetLinkUp(nodeID, p, true)
+			n.m.faultsRepaired++
+			n.logEvent(SessionEvent{Kind: "link-up", Conn: flit.InvalidConn, Node: nodeID, Port: p})
+			restored = true
+		}
+	}
+	if restored {
+		n.afterTransition()
+	}
+	return nil
+}
+
+// failLink is FailLink without the routing rebuild, so FailRouter can
+// batch several link failures into one transition.
+func (n *Network) failLink(nodeID, port int) {
+	tp := n.cfg.Topology
+	peer := tp.Wired(nodeID, port)
+	peerPort := tp.WiredPeer(nodeID, port)
+	tp.SetLinkUp(nodeID, port, false)
+	n.m.faultsInjected++
+	n.logEvent(SessionEvent{Kind: "link-down", Conn: flit.InvalidConn, Node: nodeID, Port: port})
+
+	// Flits in flight on either direction of the link are lost. Stream
+	// flits belong to connections about to be broken — their bookkeeping
+	// is settled wholesale by breakConn; a best-effort flit must release
+	// the VC it had reserved at the receiver.
+	n.purgePipe(nodeID, port, peer, peerPort)
+	n.purgePipe(peer, peerPort, nodeID, port)
+
+	// Best-effort packets already routed toward the dead link re-route.
+	n.clearStaleOutputs(nodeID, port)
+	n.clearStaleOutputs(peer, peerPort)
+
+	// Tear down every connection whose path crosses the link, in either
+	// direction.
+	for _, c := range n.conns {
+		if c.closed || c.broken {
+			continue
+		}
+		for _, hop := range c.Path {
+			if (hop.Node == nodeID && hop.Port == port) || (hop.Node == peer && hop.Port == peerPort) {
+				n.breakConn(c, fmt.Sprintf("link %d.%d down", nodeID, port))
+				break
+			}
+		}
+	}
+}
+
+// afterTransition rebuilds routing state for the surviving topology and,
+// in paranoid mode, audits the global resource invariants.
+func (n *Network) afterTransition() {
+	n.dists.Recompute(n.cfg.Topology)
+	n.ud.Rebuild()
+	if n.cfg.Fault.Paranoid {
+		n.mustInvariants()
+	}
+}
+
+// purgePipe drops every flit in flight from (nodeID, port) toward the
+// receiver at (peer, peerPort).
+func (n *Network) purgePipe(nodeID, port, peer, peerPort int) {
+	nd := n.nodes[nodeID]
+	for _, lf := range nd.pipes[port] {
+		n.m.faultFlitsLost++
+		if lf.f.Class == flit.ClassBestEffort || lf.f.Class == flit.ClassControl {
+			// The packet dies here; free the input VC it had reserved at
+			// the receiver.
+			n.nodes[peer].mems[peerPort].Release(lf.vc)
+			n.nodes[peer].upstream[peerPort][lf.vc] = noUpstream
+		}
+	}
+	nd.pipes[port] = nd.pipes[port][:0]
+}
+
+// clearStaleOutputs un-routes best-effort packets at nodeID whose chosen
+// output is the dead port; the routing unit re-routes them next cycle
+// over the surviving up*/down* tree.
+func (n *Network) clearStaleOutputs(nodeID, port int) {
+	nd := n.nodes[nodeID]
+	for p := range nd.mems {
+		mem := nd.mems[p]
+		for vc := 0; vc < n.cfg.VCs; vc++ {
+			st := mem.State(vc)
+			if st.InUse && st.Class == flit.ClassBestEffort && st.Output == port {
+				st.Output = -1
+			}
+		}
+	}
+}
+
+// breakConn tears a fault-broken connection down hop by hop: the source
+// interface queue and every in-flight or buffered flit of the connection
+// are purged, in-flight credits for its VCs are cancelled, and each
+// hop's VC, channel mapping, upstream pointer, shadow credits and output
+// bandwidth are released. Afterwards the connection holds no resources;
+// restoration (or degradation) is scheduled per the fault policy.
+func (n *Network) breakConn(c *Conn, reason string) {
+	if c.closed || c.broken {
+		return
+	}
+	c.broken = true
+	c.open = false
+	c.brokenAt = n.now
+	n.m.connsBroken++
+	n.logEvent(SessionEvent{Kind: "conn-broken", Conn: c.ID, Node: c.Src, Port: -1, Detail: reason})
+
+	// Source-interface queue: flits not yet in the fabric are dropped.
+	n.m.faultFlitsLost += int64(len(c.niQueue))
+	c.niQueue = nil
+
+	// In-flight flits of this connection on any pipe along its path.
+	for _, hop := range c.Path {
+		nd := n.nodes[hop.Node]
+		kept := nd.pipes[hop.Port][:0]
+		for _, lf := range nd.pipes[hop.Port] {
+			if lf.f.Conn == c.ID {
+				n.m.faultFlitsLost++
+				continue
+			}
+			kept = append(kept, lf)
+		}
+		nd.pipes[hop.Port] = kept
+	}
+
+	// In-flight credit returns targeting the connection's VCs: after the
+	// shadow reset below those slots are full again, and a late Return
+	// would overflow the protocol's accounting.
+	refs := make(map[[3]int]bool, len(c.VCs))
+	for i, ref := range c.VCs {
+		refs[[3]int{c.Nodes[i], ref.Port, ref.VC}] = true
+	}
+	keptCredits := n.credits[:0]
+	for _, cm := range n.credits {
+		if cm.to.node >= 0 && refs[[3]int{cm.to.node, cm.to.port, cm.to.vc}] {
+			continue
+		}
+		keptCredits = append(keptCredits, cm)
+	}
+	n.credits = keptCredits
+
+	// Hop-by-hop release: drain buffered flits and reset the shadow
+	// credit view (the purges above guarantee no credit is still in
+	// flight for these VCs), then release the path resources exactly as
+	// a graceful close would.
+	for i, ref := range c.VCs {
+		x := n.nodes[c.Nodes[i]]
+		for x.mems[ref.Port].Len(ref.VC) > 0 {
+			x.mems[ref.Port].Pop(ref.VC)
+			n.m.faultFlitsLost++
+		}
+		x.shadow[ref.Port].Reset(ref.VC)
+	}
+	n.releasePath(c)
+
+	switch {
+	case c.Degraded:
+		// Already downgraded once; the best-effort fallback flow is in
+		// place, nothing further to restore.
+	case n.cfg.Fault.Restore:
+		n.scheduleRestore(c)
+	default:
+		n.abandon(c)
+	}
+}
+
+// scheduleRestore re-runs establishment for a broken connection against
+// the surviving topology: the first re-search fires next cycle, each
+// failure backs off exponentially with jitter, and after MaxRetries
+// additional attempts the connection is abandoned to the degrade path.
+func (n *Network) scheduleRestore(c *Conn) {
+	attempt := 0
+	var try func()
+	try = func() {
+		if c.closed || !c.broken || c.Degraded || c.lost {
+			return
+		}
+		if err := n.establish(c); err == nil {
+			c.broken = false
+			c.Restores++
+			n.m.connsRestored++
+			n.m.restoreLatency.Add(float64(n.now - c.brokenAt))
+			n.logEvent(SessionEvent{Kind: "conn-restored", Conn: c.ID, Node: c.Src, Port: -1,
+				Detail: fmt.Sprintf("after %d cycles, attempt %d", n.now-c.brokenAt, attempt+1)})
+			if n.cfg.Fault.Paranoid {
+				n.mustInvariants()
+			}
+			return
+		}
+		if attempt >= n.cfg.Fault.MaxRetries {
+			n.abandon(c)
+			return
+		}
+		delay := n.retryBackoff(attempt)
+		attempt++
+		n.m.setupRetries++
+		n.Schedule(n.now+delay, try)
+	}
+	n.Schedule(n.now+1, try)
+}
+
+// abandon gives up on restoring a broken connection: with Degrade set it
+// becomes a best-effort packet flow at the same mean rate (jitter bounds
+// are forfeit but the session survives); otherwise it is lost.
+func (n *Network) abandon(c *Conn) {
+	if n.cfg.Fault.Degrade {
+		c.Degraded = true
+		n.m.connsDegraded++
+		n.beFlows = append(n.beFlows, &beFlow{
+			src: c.Src, dst: c.Dst,
+			gen: traffic.NewCBRSource(n.cfg.Link, c.Spec.Rate, 0),
+		})
+		n.logEvent(SessionEvent{Kind: "conn-degraded", Conn: c.ID, Node: c.Src, Port: -1,
+			Detail: "restoration failed; continuing best-effort"})
+		return
+	}
+	c.lost = true
+	n.m.connsLost++
+	n.logEvent(SessionEvent{Kind: "conn-lost", Conn: c.ID, Node: c.Src, Port: -1,
+		Detail: "restoration failed; session dropped"})
+}

@@ -10,77 +10,120 @@ import (
 	"mmr/internal/traffic"
 )
 
-// TestNetworkFuzzChurn drives a small mesh with random interleaved
-// operations — synchronous opens, async probes, teardowns, best-effort
-// flows, cycle bursts — and checks invariants after each: flit
-// conservation across VCMs, wires and queues; allocator registers never
-// negative; and the resource bookkeeping of closed connections fully
-// released. Panics (flow-control violations, double releases) fail the
-// property.
-func TestNetworkFuzzChurn(t *testing.T) {
-	f := func(seed uint64, ops []uint16) bool {
-		tp, err := topology.Mesh(3, 3, 4)
-		if err != nil {
-			return false
-		}
-		cfg := DefaultConfig(tp)
-		cfg.VCs = 8
-		cfg.Seed = seed
-		n, err := New(cfg)
-		if err != nil {
-			return false
-		}
-		rng := sim.NewRNG(seed ^ 0x5ca1ab1e)
-		var open []*Conn
-		for _, op := range ops {
-			switch op % 8 {
-			case 0, 1: // synchronous open
-				src, dst := rng.Intn(9), rng.Intn(9)
-				if src == dst {
-					break
-				}
-				rate := traffic.PaperRates[rng.Intn(len(traffic.PaperRates))]
-				if c, err := n.Open(src, dst, traffic.ConnSpec{Class: flit.ClassCBR, Rate: rate}); err == nil {
-					open = append(open, c)
-				}
-			case 2: // async probe
-				src, dst := rng.Intn(9), rng.Intn(9)
-				if src == dst {
-					break
-				}
-				n.OpenAsync(src, dst, traffic.ConnSpec{Class: flit.ClassCBR, Rate: 10 * traffic.Mbps},
-					func(c *Conn, err error) {
-						if err == nil {
-							open = append(open, c)
-						}
-					})
-			case 3: // teardown one connection
-				if len(open) > 0 {
-					i := rng.Intn(len(open))
-					if err := n.DrainAndClose(open[i], 3000); err == nil {
-						open = append(open[:i], open[i+1:]...)
-					}
-				}
-			case 4: // best-effort flow
-				src, dst := rng.Intn(9), rng.Intn(9)
-				if src != dst {
-					n.AddBestEffortFlow(src, dst, 0.002)
-				}
-			default: // run cycles
-				n.Run(int64(op % 512))
-			}
-			if !networkInvariants(n) {
-				return false
-			}
-		}
-		return true
+// churn drives a small mesh with random interleaved operations —
+// synchronous opens, async probes, retried opens, teardowns, best-effort
+// flows, link failures and repairs, cycle bursts — and checks invariants
+// after each: flit conservation across VCMs, wires, queues and fault
+// losses; allocator registers never negative; the resource bookkeeping
+// of closed and fault-broken connections fully released (CheckInvariants).
+// Panics (flow-control violations, double releases, paranoid-mode audits)
+// fail the property. Shared by the quick.Check test and the native
+// fuzzer.
+func churn(seed uint64, ops []byte) bool {
+	tp, err := topology.Mesh(3, 3, 4)
+	if err != nil {
+		return false
 	}
+	cfg := DefaultConfig(tp)
+	cfg.VCs = 8
+	cfg.Seed = seed
+	n, err := New(cfg)
+	if err != nil {
+		return false
+	}
+	rng := sim.NewRNG(seed ^ 0x5ca1ab1e)
+	var open []*Conn
+	for _, op := range ops {
+		switch op % 10 {
+		case 0, 1: // synchronous open
+			src, dst := rng.Intn(9), rng.Intn(9)
+			if src == dst {
+				break
+			}
+			rate := traffic.PaperRates[rng.Intn(len(traffic.PaperRates))]
+			if c, err := n.Open(src, dst, traffic.ConnSpec{Class: flit.ClassCBR, Rate: rate}); err == nil {
+				open = append(open, c)
+			}
+		case 2: // async probe
+			src, dst := rng.Intn(9), rng.Intn(9)
+			if src == dst {
+				break
+			}
+			n.OpenAsync(src, dst, traffic.ConnSpec{Class: flit.ClassCBR, Rate: 10 * traffic.Mbps},
+				func(c *Conn, err error) {
+					if err == nil {
+						open = append(open, c)
+					}
+				})
+		case 3: // open with backoff retries
+			src, dst := rng.Intn(9), rng.Intn(9)
+			if src == dst {
+				break
+			}
+			n.OpenWithRetry(src, dst, traffic.ConnSpec{Class: flit.ClassCBR, Rate: 20 * traffic.Mbps},
+				func(c *Conn, err error) {
+					if err == nil {
+						open = append(open, c)
+					}
+				})
+		case 4: // teardown one connection
+			if len(open) > 0 {
+				i := rng.Intn(len(open))
+				if err := n.DrainAndClose(open[i], 3000); err == nil {
+					open = append(open[:i], open[i+1:]...)
+				}
+			}
+		case 5: // best-effort flow
+			src, dst := rng.Intn(9), rng.Intn(9)
+			if src != dst {
+				n.AddBestEffortFlow(src, dst, 0.002)
+			}
+		case 6: // fail a random link (paranoid audit runs inside)
+			l := tp.Links[rng.Intn(len(tp.Links))]
+			n.FailLink(l.A, l.APort)
+		case 7: // restore a random link
+			l := tp.Links[rng.Intn(len(tp.Links))]
+			n.RestoreLink(l.A, l.APort)
+		default: // run cycles
+			n.Run(int64(op)*3 + 16)
+		}
+		if !networkInvariants(n) {
+			return false
+		}
+	}
+	return true
+}
+
+// TestNetworkFuzzChurn runs the churn property under testing/quick.
+func TestNetworkFuzzChurn(t *testing.T) {
+	f := churn
 	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
 		t.Fatal(err)
 	}
 }
 
-// networkInvariants checks global conservation and bookkeeping sanity.
+// FuzzNetworkChurn runs the same churn property under Go's native
+// fuzzer, so `go test -fuzz=FuzzNetworkChurn -fuzztime=30s` explores
+// operation interleavings coverage-guided (the Makefile's fuzz-smoke
+// target runs a short budget of this in CI).
+func FuzzNetworkChurn(f *testing.F) {
+	f.Add(uint64(1), []byte{0, 9, 6, 9, 7, 4})
+	f.Add(uint64(7), []byte{2, 9, 3, 6, 9, 6, 9, 7, 7, 4, 4})
+	f.Add(uint64(42), []byte{1, 1, 5, 9, 6, 8, 7, 9, 4, 4})
+	f.Fuzz(func(t *testing.T, seed uint64, ops []byte) {
+		if len(ops) > 48 {
+			ops = ops[:48] // bound per-case runtime
+		}
+		if !churn(seed, ops) {
+			t.Fatal("network invariants violated")
+		}
+	})
+}
+
+// networkInvariants checks global conservation and bookkeeping sanity:
+// every generated flit is delivered, buffered, queued, in flight, or
+// accounted lost to a fault/impairment — and the structural audit in
+// CheckInvariants holds.
 func networkInvariants(n *Network) bool {
 	var buffered, inflight, queued int64
 	for _, nd := range n.nodes {
@@ -106,7 +149,11 @@ func networkInvariants(n *Network) bool {
 	}
 	gen := n.m.generated + n.m.beGenerated
 	del := n.m.delivered + n.m.beDelivered
-	return gen == del+buffered+queued+inflight
+	lost := n.m.faultFlitsLost + n.m.flitsDropped
+	if gen != del+buffered+queued+inflight+lost {
+		return false
+	}
+	return n.CheckInvariants() == nil
 }
 
 // TestNetworkDeterminism: identical seeds give identical multi-router

@@ -1,0 +1,150 @@
+package network
+
+import (
+	"fmt"
+
+	"mmr/internal/flit"
+)
+
+// invariants.go generalizes the fuzz harness's resource audit into a
+// first-class checker the fault layer runs after every topology
+// transition (FaultPolicy.Paranoid). It reconstructs the resource state
+// the live connections imply and compares it against what the routers
+// actually hold, so any leak — a VC kept after teardown, bandwidth
+// released twice, a credit lost or duplicated across a fault — surfaces
+// at the transition that caused it instead of as a corrupted simulation
+// thousands of cycles later.
+
+// CheckInvariants audits global resource conservation and returns the
+// first violation found (nil if the network is consistent):
+//
+//  1. Every VC a live connection claims is reserved for it, with a
+//     channel mapping on non-final hops; every other in-use VC is a
+//     best-effort/control packet in flight — or, while probes are
+//     active, a transient search hold.
+//  2. Per stream hop, credits are conserved: shadow credits + credits in
+//     flight upstream + flits buffered downstream + flits on the link
+//     pipe account for exactly the downstream buffer depth.
+//  3. Per output link, the guaranteed bandwidth register equals the sum
+//     of the live connections' demands crossing it (with transient probe
+//     holds allowed to push it higher, never lower).
+//
+// "Live" means established and not closed or fault-broken — a broken
+// connection must hold nothing at all.
+func (n *Network) CheckInvariants() error {
+	type vcKey struct{ node, port, vc int }
+	type outKey struct{ node, port int }
+
+	claimed := map[vcKey]flit.ConnID{}
+	wantBW := map[outKey]int{}
+	wantPeak := map[outKey]int{}
+	hp := n.cfg.hostPort()
+
+	for _, c := range n.conns {
+		if c.closed || c.broken {
+			continue
+		}
+		d := n.demandFor(c.Spec)
+		for i, ref := range c.VCs {
+			k := vcKey{c.Nodes[i], ref.Port, ref.VC}
+			if other, dup := claimed[k]; dup {
+				return fmt.Errorf("invariant: VC %v claimed by both conn %d and conn %d", k, other, c.ID)
+			}
+			claimed[k] = c.ID
+			st := n.nodes[c.Nodes[i]].mems[ref.Port].State(ref.VC)
+			if !st.InUse || st.Conn != c.ID {
+				return fmt.Errorf("invariant: conn %d hop %d VC %v not reserved for it (inUse=%v conn=%d)",
+					c.ID, i, k, st.InUse, st.Conn)
+			}
+			var out outKey
+			if i < len(c.Path) {
+				out = outKey{c.Path[i].Node, c.Path[i].Port}
+			} else {
+				out = outKey{c.Nodes[i], hp}
+			}
+			wantBW[out] += d.alloc
+			if c.Spec.Class == flit.ClassVBR {
+				wantPeak[out] += d.peak
+			}
+		}
+
+		// Credit conservation per inter-router hop: the upstream VC at
+		// Nodes[i] feeds the downstream VC at Nodes[i+1] over Path[i].
+		for i := 0; i < len(c.Path); i++ {
+			up, down := c.VCs[i], c.VCs[i+1]
+			shadow := n.nodes[c.Nodes[i]].shadow[up.Port].Available(up.VC)
+			inflight := 0
+			for _, cm := range n.credits {
+				if cm.to.node == c.Nodes[i] && cm.to.port == up.Port && cm.to.vc == up.VC {
+					inflight++
+				}
+			}
+			buffered := n.nodes[c.Nodes[i+1]].mems[down.Port].Len(down.VC)
+			onLink := 0
+			for _, lf := range n.nodes[c.Path[i].Node].pipes[c.Path[i].Port] {
+				if lf.f.Conn == c.ID {
+					onLink++
+				}
+			}
+			if total := shadow + inflight + buffered + onLink; total != n.cfg.Depth {
+				return fmt.Errorf("invariant: conn %d hop %d credits not conserved: shadow=%d inflight=%d buffered=%d onlink=%d, want total %d",
+					c.ID, i, shadow, inflight, buffered, onLink, n.cfg.Depth)
+			}
+		}
+	}
+
+	// Sweep every VC: claimed ones were verified above; anything else in
+	// use must be a packet in flight or a transient probe hold.
+	for _, nd := range n.nodes {
+		for p, mem := range nd.mems {
+			for vc := 0; vc < n.cfg.VCs; vc++ {
+				st := mem.State(vc)
+				if !st.InUse {
+					if l := mem.Len(vc); l != 0 {
+						return fmt.Errorf("invariant: node %d port %d VC %d free but holds %d flits", nd.id, p, vc, l)
+					}
+					continue
+				}
+				if _, ok := claimed[vcKey{nd.id, p, vc}]; ok {
+					continue
+				}
+				if st.Class == flit.ClassBestEffort || st.Class == flit.ClassControl {
+					continue
+				}
+				if st.Conn == flit.InvalidConn && n.activeProbes > 0 {
+					continue // transient EPB search hold
+				}
+				return fmt.Errorf("invariant: node %d port %d VC %d leaked (class=%v conn=%d, no live connection claims it)",
+					nd.id, p, vc, st.Class, st.Conn)
+			}
+		}
+	}
+
+	// Bandwidth registers: exact when no probe is mid-search, otherwise
+	// the transient holds may only add.
+	for _, nd := range n.nodes {
+		for p, a := range nd.alloc {
+			want := wantBW[outKey{nd.id, p}]
+			got := a.Guaranteed()
+			if got < want || (n.activeProbes == 0 && got != want) {
+				return fmt.Errorf("invariant: node %d port %d guaranteed bandwidth %d cycles, connections demand %d (probes=%d)",
+					nd.id, p, got, want, n.activeProbes)
+			}
+			wantP := wantPeak[outKey{nd.id, p}]
+			gotP := a.PeakTotal()
+			if gotP < wantP || (n.activeProbes == 0 && gotP != wantP) {
+				return fmt.Errorf("invariant: node %d port %d peak bandwidth %d cycles, connections demand %d (probes=%d)",
+					nd.id, p, gotP, wantP, n.activeProbes)
+			}
+		}
+	}
+	return nil
+}
+
+// mustInvariants panics on an invariant violation — the paranoid-mode
+// hook run after every fault transition.
+func (n *Network) mustInvariants() {
+	if err := n.CheckInvariants(); err != nil {
+		panic(fmt.Sprintf("network: cycle %d: %v", n.now, err))
+	}
+}

@@ -19,6 +19,7 @@ import (
 	"fmt"
 
 	"mmr/internal/admission"
+	"mmr/internal/faults"
 	"mmr/internal/flit"
 	"mmr/internal/flow"
 	"mmr/internal/routing"
@@ -51,6 +52,32 @@ type Config struct {
 	Concurrency        float64
 	EnforceAllocations bool
 	Seed               uint64
+
+	// Fault governs how the network reacts to injected faults (link and
+	// router failures, flit impairments) — see internal/faults.
+	Fault FaultPolicy
+}
+
+// FaultPolicy is the connection-survivability policy applied when a
+// fault breaks established connections.
+type FaultPolicy struct {
+	// Restore re-establishes broken connections on a surviving path with
+	// bounded, exponentially backed-off, jittered re-searches.
+	Restore bool
+	// MaxRetries bounds restoration (and OpenWithRetry) re-search
+	// attempts after the first.
+	MaxRetries int
+	// RetryBackoff is the base backoff in cycles; attempt k waits
+	// RetryBackoff × 2^k plus up to 50% jitter.
+	RetryBackoff int64
+	// Degrade downgrades a connection whose restoration failed (or was
+	// disabled) to a best-effort packet flow at the same rate instead of
+	// dropping the session.
+	Degrade bool
+	// Paranoid audits the global resource invariants after every fault
+	// transition and panics on a violation (test mode; the audit is only
+	// run at transitions, so it is cheap enough to leave on).
+	Paranoid bool
 }
 
 // DefaultConfig returns a workable configuration for the given topology:
@@ -69,6 +96,13 @@ func DefaultConfig(t *topology.Topology) Config {
 		Concurrency:        2,
 		EnforceAllocations: true,
 		Seed:               1,
+		Fault: FaultPolicy{
+			Restore:      true,
+			MaxRetries:   5,
+			RetryBackoff: 32,
+			Degrade:      true,
+			Paranoid:     true,
+		},
 	}
 }
 
@@ -150,15 +184,37 @@ type Conn struct {
 	Spec       traffic.ConnSpec
 	Path       []routing.PathHop // (node, outPort) hops, src router → dst router
 	VCs        []routing.VCRef   // reserved input (port, VC) at each router on the path
+	Nodes      []int             // router sequence src → dst (len(Path)+1 entries)
 	SetupTime  int64             // cycles spent establishing (probe + ack)
 	Backtracks int
 
-	src     traffic.Source
-	niQueue []*flit.Flit
-	nextSeq int64
-	open    bool // injection enabled
-	closed  bool // resources released
+	// Fault lifecycle. A connection broken by a fault has its resources
+	// fully released; restoration re-runs establishment on the surviving
+	// topology and revives the same Conn (same ID, same flit sequence).
+	Restores int  // successful re-establishments after faults
+	Degraded bool // downgraded to a best-effort flow after restoration failed
+
+	src      traffic.Source
+	niQueue  []*flit.Flit
+	nextSeq  int64
+	open     bool  // injection enabled
+	closed   bool  // resources released
+	broken   bool  // torn down by a fault; restoration may be pending
+	lost     bool  // restoration exhausted and degradation disabled
+	brokenAt int64 // cycle of the most recent fault teardown
 }
+
+// Open reports whether the connection currently carries guaranteed
+// traffic (established and not broken, closed, or degraded).
+func (c *Conn) Open() bool { return c.open && !c.closed }
+
+// Broken reports whether the connection is currently torn down by a
+// fault with restoration pending or abandoned.
+func (c *Conn) Broken() bool { return c.broken }
+
+// Lost reports whether the connection was abandoned: restoration
+// exhausted its retries and degradation was disabled.
+func (c *Conn) Lost() bool { return c.lost }
 
 // Network is the multi-router simulation.
 type Network struct {
@@ -177,7 +233,32 @@ type Network struct {
 	pktSeq       int64
 	scratchPorts []int
 
+	// Fault-injection runtime: per-directed-link impairments, in-flight
+	// probe count (transient VC holds the invariant checker must allow),
+	// and the session event log.
+	impair       map[[2]int]faults.Impairment
+	activeProbes int
+	sessionLog   []SessionEvent
+
 	m netStats
+}
+
+// SessionEvent records one connection- or fault-level transition for
+// post-mortem analysis of a run.
+type SessionEvent struct {
+	Cycle      int64
+	Kind       string // link-down, link-up, router-down, router-up, conn-broken, conn-restored, conn-degraded, conn-lost
+	Conn       flit.ConnID
+	Node, Port int
+	Detail     string
+}
+
+// SessionEvents returns the fault/connection transition log.
+func (n *Network) SessionEvents() []SessionEvent { return n.sessionLog }
+
+func (n *Network) logEvent(e SessionEvent) {
+	e.Cycle = n.now
+	n.sessionLog = append(n.sessionLog, e)
 }
 
 // New builds a network over cfg.Topology.
@@ -193,6 +274,7 @@ func New(cfg Config) (*Network, error) {
 		rng:    sim.NewRNG(cfg.Seed),
 		dists:  routing.NewDists(cfg.Topology),
 		events: sim.NewEngine(),
+		impair: map[[2]int]faults.Impairment{},
 	}
 	n.ud = routing.NewUpDown(cfg.Topology, n.dists)
 	radix := cfg.radix()

@@ -109,6 +109,7 @@ func (n *Network) OpenAsync(src, dst int, spec traffic.ConnSpec, done func(*Conn
 		hist:    map[int]*routing.History{src: {}},
 		started: n.now,
 	}
+	n.activeProbes++
 	n.Schedule(n.now+n.cfg.HopLatency, p.step)
 	return nil
 }
@@ -178,8 +179,10 @@ func (p *probe) step() {
 	last := p.hops[len(p.hops)-1]
 	p.hops = p.hops[:len(p.hops)-1]
 	n.releaseOut(n.nodes[last.node], last.port, p.spec, p.d)
-	nb := n.cfg.Topology.Neighbor(last.node, last.port)
-	pp := n.cfg.Topology.PeerPort(last.node, last.port)
+	// Release via the raw wiring: the hop's link may have failed while the
+	// probe was elsewhere, and the reservation must come back regardless.
+	nb := n.cfg.Topology.Wired(last.node, last.port)
+	pp := n.cfg.Topology.WiredPeer(last.node, last.port)
 	n.nodes[nb].mems[pp].Release(last.vc)
 	p.backs++
 	p.node = last.node
@@ -192,62 +195,39 @@ func (p *probe) failAll(err error) {
 	for i := len(p.hops) - 1; i >= 0; i-- {
 		h := p.hops[i]
 		n.releaseOut(n.nodes[h.node], h.port, p.spec, p.d)
-		nb := n.cfg.Topology.Neighbor(h.node, h.port)
-		pp := n.cfg.Topology.PeerPort(h.node, h.port)
+		nb := n.cfg.Topology.Wired(h.node, h.port)
+		pp := n.cfg.Topology.WiredPeer(h.node, h.port)
 		n.nodes[nb].mems[pp].Release(h.vc)
 	}
 	n.nodes[p.src].mems[n.cfg.hostPort()].Release(p.entryVC)
+	n.activeProbes--
 	n.m.setupRejected++
 	p.done(nil, err)
 }
 
-// complete installs the connection along the reserved path.
+// complete installs the connection along the reserved path. A link on
+// the path may have failed while the acknowledgment was retracing it;
+// in that case the whole reservation is abandoned, as the real ack would
+// never have made it back to the source.
 func (p *probe) complete() {
 	n := p.n
-	hp := n.cfg.hostPort()
-	id := flit.ConnID(len(n.conns))
-	roundLen := n.cfg.K * n.cfg.VCs
-	interval := float64(roundLen) / float64(p.d.alloc)
+	for _, h := range p.hops {
+		if !n.cfg.Topology.LinkUp(h.node, h.port) {
+			// The ejection bandwidth was admitted when the probe reached
+			// the destination; give it back along with the hop holds.
+			n.releaseOut(n.nodes[p.dst], n.cfg.hostPort(), p.spec, p.d)
+			p.failAll(fmt.Errorf("network: link %d.%d failed during establishment", h.node, h.port))
+			return
+		}
+	}
 	conn := &Conn{
-		ID: id, Src: p.src, Dst: p.dst, Spec: p.spec,
+		ID: flit.ConnID(len(n.conns)), Src: p.src, Dst: p.dst, Spec: p.spec,
 		Backtracks: p.backs,
 		SetupTime:  n.now - p.started,
-		open:       true,
 	}
-	install := func(nodeID, inPort, vc, outPort int) {
-		x := n.nodes[nodeID]
-		if x.mems[inPort].State(vc).InUse {
-			x.mems[inPort].Release(vc)
-		}
-		x.mems[inPort].Reserve(vc, vcm.VCState{
-			Conn: id, Class: p.spec.Class,
-			Allocated: p.d.alloc, Peak: p.d.peak,
-			BasePriority: p.spec.Priority,
-			InterArrival: interval,
-			Output:       outPort,
-		})
-	}
-	conn.VCs = append(conn.VCs, routing.VCRef{Port: hp, VC: p.entryVC})
-	inPort, inVC := hp, p.entryVC
-	cur := p.src
-	for _, h := range p.hops {
-		nb := n.cfg.Topology.Neighbor(h.node, h.port)
-		pp := n.cfg.Topology.PeerPort(h.node, h.port)
-		install(cur, inPort, inVC, h.port)
-		n.nodes[cur].cmap.Map(routing.VCRef{Port: inPort, VC: inVC}, routing.VCRef{Port: h.port, VC: h.vc})
-		n.nodes[nb].upstream[pp][h.vc] = upRef{node: cur, port: inPort, vc: inVC}
-		conn.Path = append(conn.Path, routing.PathHop{Node: h.node, Port: h.port})
-		cur, inPort, inVC = nb, pp, h.vc
-		conn.VCs = append(conn.VCs, routing.VCRef{Port: inPort, VC: inVC})
-	}
-	install(cur, inPort, inVC, hp)
-	switch p.spec.Class {
-	case flit.ClassVBR:
-		conn.src = traffic.NewVBRSource(n.rng, n.cfg.Link, p.spec.Rate, p.spec.PeakRate, traffic.DefaultGoP())
-	default:
-		conn.src = traffic.NewCBRSource(n.cfg.Link, p.spec.Rate, n.rng.Float64())
-	}
+	n.installPath(conn, p.entryVC, p.hops, p.d)
 	n.conns = append(n.conns, conn)
+	n.activeProbes--
 	n.m.grow(len(n.conns))
 	n.m.setupAccepted++
 	n.m.setupLatency.Add(float64(conn.SetupTime))

@@ -36,9 +36,23 @@ type netStats struct {
 	setupAttempts   int64
 	setupAccepted   int64
 	setupRejected   int64
+	setupRetries    int64
 	closed          int64
 	setupLatency    stats.Accumulator
 	setupBacktracks stats.Accumulator
+
+	// Fault injection and self-healing. Like the setup statistics these
+	// survive ResetStats: they describe session-level behaviour.
+	faultsInjected int64 // link-down transitions applied
+	faultsRepaired int64 // link-up transitions applied
+	faultFlitsLost int64 // flits purged by link failures and teardowns
+	flitsDropped   int64 // flits lost to link impairments (CRC discard)
+	flitsCorrupted int64 // flits delivered corrupted
+	connsBroken    int64 // connections torn down by faults
+	connsRestored  int64 // re-established on a surviving path
+	connsDegraded  int64 // downgraded to best-effort after failed restore
+	connsLost      int64 // abandoned (restore exhausted, degrade disabled)
+	restoreLatency stats.Accumulator // cycles from teardown to re-establishment
 }
 
 func (m *netStats) init() { m.tracker = stats.NewJitterTracker(0) }
@@ -78,9 +92,21 @@ type Stats struct {
 	SetupAttempts   int64
 	SetupAccepted   int64
 	SetupRejected   int64
+	SetupRetries    int64
 	Closed          int64
 	SetupLatency    stats.Accumulator
 	SetupBacktracks stats.Accumulator
+
+	FaultsInjected int64
+	FaultsRepaired int64
+	FaultFlitsLost int64
+	FlitsDropped   int64
+	FlitsCorrupted int64
+	ConnsBroken    int64
+	ConnsRestored  int64
+	ConnsDegraded  int64
+	ConnsLost      int64
+	RestoreLatency stats.Accumulator
 }
 
 func (m *netStats) snapshot() *Stats {
@@ -97,9 +123,20 @@ func (m *netStats) snapshot() *Stats {
 		SetupAttempts:   m.setupAttempts,
 		SetupAccepted:   m.setupAccepted,
 		SetupRejected:   m.setupRejected,
+		SetupRetries:    m.setupRetries,
 		Closed:          m.closed,
 		SetupLatency:    m.setupLatency,
 		SetupBacktracks: m.setupBacktracks,
+		FaultsInjected:  m.faultsInjected,
+		FaultsRepaired:  m.faultsRepaired,
+		FaultFlitsLost:  m.faultFlitsLost,
+		FlitsDropped:    m.flitsDropped,
+		FlitsCorrupted:  m.flitsCorrupted,
+		ConnsBroken:     m.connsBroken,
+		ConnsRestored:   m.connsRestored,
+		ConnsDegraded:   m.connsDegraded,
+		ConnsLost:       m.connsLost,
+		RestoreLatency:  m.restoreLatency,
 	}
 }
 

@@ -16,10 +16,17 @@ type Dists struct {
 // NewDists precomputes BFS distances from every node.
 func NewDists(t *topology.Topology) *Dists {
 	d := &Dists{n: t.Nodes, d: make([][]int, t.Nodes)}
+	d.Recompute(t)
+	return d
+}
+
+// Recompute refreshes the table after a topology change (a link failing
+// or being restored): distances follow only the currently-up links, so
+// minimal-path searches route around failures.
+func (d *Dists) Recompute(t *topology.Topology) {
 	for s := 0; s < t.Nodes; s++ {
 		d.d[s] = t.ShortestDists(s)
 	}
-	return d
 }
 
 // Between returns the hop distance from a to b (-1 if unreachable).

@@ -391,3 +391,80 @@ func TestDownReachable(t *testing.T) {
 		t.Fatal("root down-reachable from the far corner")
 	}
 }
+
+func TestDistsRecomputeAfterLinkFailure(t *testing.T) {
+	tp, _ := topology.Mesh(3, 3, 4)
+	d := NewDists(tp)
+	if d.Between(0, 2) != 2 {
+		t.Fatalf("dist(0,2) = %d, want 2", d.Between(0, 2))
+	}
+	// Fail the east link 1→2 of the top row; the table is stale until
+	// recomputed, then routes around (0→1→4→5→2 or 0→3→... = 4 hops).
+	p := tp.PortTo(1, 2)
+	if err := tp.SetLinkUp(1, p, false); err != nil {
+		t.Fatal(err)
+	}
+	d.Recompute(tp)
+	if d.Between(0, 2) != 4 {
+		t.Fatalf("post-failure dist(0,2) = %d, want 4", d.Between(0, 2))
+	}
+	// EPB search now finds a minimal path that avoids the dead link.
+	sr, err := Search(tp, d, 0, 2, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sr.Path) != 4 {
+		t.Fatalf("rerouted path length %d, want 4", len(sr.Path))
+	}
+	for _, hop := range sr.Path {
+		if hop.Node == 1 && hop.Port == p {
+			t.Fatal("search used the failed link")
+		}
+	}
+	// Restore and recompute: back to the original distance.
+	tp.SetLinkUp(1, p, true)
+	d.Recompute(tp)
+	if d.Between(0, 2) != 2 {
+		t.Fatalf("post-restore dist(0,2) = %d, want 2", d.Between(0, 2))
+	}
+}
+
+func TestUpDownRebuildAfterLinkFailure(t *testing.T) {
+	tp, _ := topology.Mesh(3, 3, 4)
+	d := NewDists(tp)
+	u := NewUpDown(tp, d)
+	// Fail both links into node 0 (the old root): 0-1 and 0-3.
+	for _, m := range []int{1, 3} {
+		if err := tp.SetLinkUp(0, tp.PortTo(0, m), false); err != nil {
+			t.Fatal(err)
+		}
+	}
+	d.Recompute(tp)
+	u.Rebuild()
+	// The orientation re-roots on the lowest live node and still routes
+	// between all surviving pairs.
+	for src := 1; src < tp.Nodes; src++ {
+		for dst := 1; dst < tp.Nodes; dst++ {
+			if src == dst {
+				continue
+			}
+			ports := u.Route(src, dst)
+			if ports == nil {
+				t.Fatalf("no up*/down* route %d→%d after rebuild", src, dst)
+			}
+			if !u.Legal(src, ports) {
+				t.Fatalf("illegal route %d→%d: %v", src, dst, ports)
+			}
+			node := src
+			for _, p := range ports {
+				node = tp.Neighbor(node, p)
+				if node < 0 {
+					t.Fatalf("route %d→%d crosses a down link", src, dst)
+				}
+			}
+			if node != dst {
+				t.Fatalf("route %d→%d ends at %d", src, dst, node)
+			}
+		}
+	}
+}

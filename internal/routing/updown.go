@@ -15,6 +15,7 @@ import (
 type UpDown struct {
 	t      *topology.Topology
 	d      *Dists
+	root   int   // BFS root the orientation hangs from
 	level  []int // BFS level from the root
 	parent []int // BFS-tree parent (-1 for the root)
 
@@ -25,22 +26,49 @@ type UpDown struct {
 	downReach []*bitvec.Vector
 }
 
-// NewUpDown orients the topology from root 0 (any root works; 0 keeps
-// results deterministic).
+// NewUpDown orients the topology from the lowest node that still has an
+// up link (node 0 on a healthy topology; any root works, and the lowest
+// live one keeps results deterministic).
 func NewUpDown(t *topology.Topology, d *Dists) *UpDown {
-	u := &UpDown{t: t, d: d, level: t.ShortestDists(0)}
+	u := &UpDown{t: t, d: d}
+	u.Rebuild()
+	return u
+}
+
+// Rebuild recomputes the orientation after a topology change (Autonet's
+// reconfiguration step [24]): a fresh BFS tree over the up links, rooted
+// at the lowest node with a live link, then new down-cones. Packets in
+// flight keep their old went-down state; the transient where an old-epoch
+// route briefly violates the new orientation is the reconfiguration gap
+// real networks also accept.
+func (u *UpDown) Rebuild() {
+	t := u.t
+	u.root = 0
+	for n := 0; n < t.Nodes; n++ {
+		live := false
+		for p := 0; p < t.Ports; p++ {
+			if t.Neighbor(n, p) >= 0 {
+				live = true
+				break
+			}
+		}
+		if live {
+			u.root = n
+			break
+		}
+	}
+	u.level = t.ShortestDists(u.root)
 	u.parent = make([]int, t.Nodes)
 	for n := 0; n < t.Nodes; n++ {
 		u.parent[n] = -1
 		for p := 0; p < t.Ports; p++ {
 			m := t.Neighbor(n, p)
-			if m >= 0 && u.level[m] == u.level[n]-1 && (u.parent[n] < 0 || m < u.parent[n]) {
+			if m >= 0 && u.level[m] >= 0 && u.level[m] == u.level[n]-1 && (u.parent[n] < 0 || m < u.parent[n]) {
 				u.parent[n] = m
 			}
 		}
 	}
 	u.computeDownReach()
-	return u
 }
 
 // computeDownReach fills downReach by dynamic programming over the down

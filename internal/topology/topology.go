@@ -20,7 +20,11 @@ type Link struct {
 	APort, BPort int // port on each side
 }
 
-// Topology is an undirected multigraph of routers.
+// Topology is an undirected multigraph of routers. Every wired link is
+// either up or down: routing and traversal helpers (Neighbor, PeerPort,
+// Connected, ShortestDists) see only up links, so marking a link down
+// makes path computation route around it, while the raw wiring stays
+// queryable through Wired/WiredPeer for teardown and restoration.
 type Topology struct {
 	Nodes int
 	Ports int // ports per router available for inter-router wiring
@@ -30,6 +34,13 @@ type Topology struct {
 	neighbor [][]int
 	// peerPort[n][p] = the port on the neighbor that the cable plugs into.
 	peerPort [][]int
+	// linkUp[n][p] = the cable at node n port p carries traffic. Unwired
+	// ports are never up.
+	linkUp [][]bool
+
+	// version increments on every link-state change so routing caches
+	// (distance tables, up*/down* orientation) can detect staleness.
+	version uint64
 }
 
 // New returns an empty topology with the given geometry.
@@ -40,9 +51,11 @@ func New(nodes, ports int) *Topology {
 	t := &Topology{Nodes: nodes, Ports: ports}
 	t.neighbor = make([][]int, nodes)
 	t.peerPort = make([][]int, nodes)
+	t.linkUp = make([][]bool, nodes)
 	for n := 0; n < nodes; n++ {
 		t.neighbor[n] = make([]int, ports)
 		t.peerPort[n] = make([]int, ports)
+		t.linkUp[n] = make([]bool, ports)
 		for p := 0; p < ports; p++ {
 			t.neighbor[n][p] = -1
 			t.peerPort[n][p] = -1
@@ -70,15 +83,120 @@ func (t *Topology) Connect(a, ap, b, bp int) error {
 	t.peerPort[a][ap] = bp
 	t.neighbor[b][bp] = a
 	t.peerPort[b][bp] = ap
+	t.linkUp[a][ap] = true
+	t.linkUp[b][bp] = true
 	t.Links = append(t.Links, Link{A: a, B: b, APort: ap, BPort: bp})
+	t.version++
 	return nil
 }
 
-// Neighbor returns the router on the far side of node n's port p, or -1.
-func (t *Topology) Neighbor(n, p int) int { return t.neighbor[n][p] }
+// Neighbor returns the router on the far side of node n's port p, or -1
+// when the port is unwired or its link is down.
+func (t *Topology) Neighbor(n, p int) int {
+	if !t.linkUp[n][p] {
+		return -1
+	}
+	return t.neighbor[n][p]
+}
 
-// PeerPort returns the far-side port of node n's port p, or -1.
-func (t *Topology) PeerPort(n, p int) int { return t.peerPort[n][p] }
+// PeerPort returns the far-side port of node n's port p, or -1 when the
+// port is unwired or its link is down.
+func (t *Topology) PeerPort(n, p int) int {
+	if !t.linkUp[n][p] {
+		return -1
+	}
+	return t.peerPort[n][p]
+}
+
+// Wired returns the router wired to node n's port p regardless of link
+// state, or -1 for an unwired port. Teardown paths use it so resource
+// release never depends on whether the cable is currently up.
+func (t *Topology) Wired(n, p int) int { return t.neighbor[n][p] }
+
+// WiredPeer returns the far-side port of node n's port p regardless of
+// link state, or -1 for an unwired port.
+func (t *Topology) WiredPeer(n, p int) int { return t.peerPort[n][p] }
+
+// LinkUp reports whether the link at node n port p is wired and up.
+func (t *Topology) LinkUp(n, p int) bool { return t.linkUp[n][p] }
+
+// SetLinkUp marks the link at node n port p (and its far side) up or
+// down. It returns an error for an unwired port and is a no-op when the
+// link is already in the requested state.
+func (t *Topology) SetLinkUp(n, p int, up bool) error {
+	if n < 0 || n >= t.Nodes || p < 0 || p >= t.Ports {
+		return fmt.Errorf("topology: port %d.%d out of range", n, p)
+	}
+	if t.neighbor[n][p] < 0 {
+		return fmt.Errorf("topology: port %d.%d is not wired", n, p)
+	}
+	if t.linkUp[n][p] == up {
+		return nil
+	}
+	m, mp := t.neighbor[n][p], t.peerPort[n][p]
+	t.linkUp[n][p] = up
+	t.linkUp[m][mp] = up
+	t.version++
+	return nil
+}
+
+// Version returns a counter that increments on every wiring or
+// link-state change; routing caches compare it to detect staleness.
+func (t *Topology) Version() uint64 { return t.version }
+
+// UpLinks returns how many of the topology's links are currently up.
+func (t *Topology) UpLinks() int {
+	n := 0
+	for _, l := range t.Links {
+		if t.linkUp[l.A][l.APort] {
+			n++
+		}
+	}
+	return n
+}
+
+// Validate audits the wiring invariants: neighbor/peer tables symmetric,
+// link state mirrored on both sides, every Links entry consistent with
+// the tables, and no port wired twice. It returns the first violation.
+func (t *Topology) Validate() error {
+	seen := make(map[[2]int]bool, 2*len(t.Links))
+	for _, l := range t.Links {
+		for _, side := range [2][2]int{{l.A, l.APort}, {l.B, l.BPort}} {
+			if seen[side] {
+				return fmt.Errorf("topology: port %d.%d wired twice", side[0], side[1])
+			}
+			seen[side] = true
+		}
+		if t.neighbor[l.A][l.APort] != l.B || t.peerPort[l.A][l.APort] != l.BPort {
+			return fmt.Errorf("topology: link %+v not reflected at %d.%d", l, l.A, l.APort)
+		}
+		if t.neighbor[l.B][l.BPort] != l.A || t.peerPort[l.B][l.BPort] != l.APort {
+			return fmt.Errorf("topology: link %+v not reflected at %d.%d", l, l.B, l.BPort)
+		}
+		if t.linkUp[l.A][l.APort] != t.linkUp[l.B][l.BPort] {
+			return fmt.Errorf("topology: link %+v up/down state split across sides", l)
+		}
+	}
+	for n := 0; n < t.Nodes; n++ {
+		for p := 0; p < t.Ports; p++ {
+			m := t.neighbor[n][p]
+			if m < 0 {
+				if t.linkUp[n][p] {
+					return fmt.Errorf("topology: unwired port %d.%d marked up", n, p)
+				}
+				continue
+			}
+			if !seen[[2]int{n, p}] {
+				return fmt.Errorf("topology: port %d.%d wired outside the Links list", n, p)
+			}
+			mp := t.peerPort[n][p]
+			if mp < 0 || mp >= t.Ports || t.neighbor[m][mp] != n || t.peerPort[m][mp] != p {
+				return fmt.Errorf("topology: asymmetric wiring at %d.%d", n, p)
+			}
+		}
+	}
+	return nil
+}
 
 // FreePort returns the lowest unwired port of node n, or -1.
 func (t *Topology) FreePort(n int) int {
@@ -101,17 +219,17 @@ func (t *Topology) Degree(n int) int {
 	return d
 }
 
-// PortTo returns a port of node n wired to node m, or -1.
+// PortTo returns a port of node n with an up link to node m, or -1.
 func (t *Topology) PortTo(n, m int) int {
 	for p := 0; p < t.Ports; p++ {
-		if t.neighbor[n][p] == m {
+		if t.Neighbor(n, p) == m {
 			return p
 		}
 	}
 	return -1
 }
 
-// Connected reports whether the wired graph is connected.
+// Connected reports whether the graph of up links is connected.
 func (t *Topology) Connected() bool {
 	if t.Nodes == 0 {
 		return true
@@ -124,7 +242,7 @@ func (t *Topology) Connected() bool {
 		n := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
 		for p := 0; p < t.Ports; p++ {
-			if m := t.neighbor[n][p]; m >= 0 && !seen[m] {
+			if m := t.Neighbor(n, p); m >= 0 && !seen[m] {
 				seen[m] = true
 				count++
 				stack = append(stack, m)
@@ -134,8 +252,9 @@ func (t *Topology) Connected() bool {
 	return count == t.Nodes
 }
 
-// ShortestDists returns, for every node, its hop distance from src (-1 if
-// unreachable) — the reference for minimal-path routing checks.
+// ShortestDists returns, for every node, its hop distance from src over
+// up links (-1 if unreachable) — the reference for minimal-path routing
+// checks.
 func (t *Topology) ShortestDists(src int) []int {
 	dist := make([]int, t.Nodes)
 	for i := range dist {
@@ -147,7 +266,7 @@ func (t *Topology) ShortestDists(src int) []int {
 		n := queue[0]
 		queue = queue[1:]
 		for p := 0; p < t.Ports; p++ {
-			if m := t.neighbor[n][p]; m >= 0 && dist[m] < 0 {
+			if m := t.Neighbor(n, p); m >= 0 && dist[m] < 0 {
 				dist[m] = dist[n] + 1
 				queue = append(queue, m)
 			}
@@ -256,6 +375,12 @@ func Irregular(nodes, ports, avgDegree int, rng *sim.RNG) (*Topology, error) {
 		if err := t.Connect(a, ap, b, bp); err != nil {
 			return nil, err
 		}
+	}
+	// Randomized construction: audit the wiring invariants before handing
+	// the topology out, so a generator bug cannot produce duplicate port
+	// wiring or asymmetric tables that corrupt routing later.
+	if err := t.Validate(); err != nil {
+		return nil, err
 	}
 	return t, nil
 }

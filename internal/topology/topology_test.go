@@ -158,6 +158,105 @@ func TestIrregular(t *testing.T) {
 	}
 }
 
+func TestSetLinkUp(t *testing.T) {
+	tp := New(3, 4)
+	tp.Connect(0, 0, 1, 0)
+	tp.Connect(1, 1, 2, 0)
+	v := tp.Version()
+	if err := tp.SetLinkUp(0, 0, false); err != nil {
+		t.Fatal(err)
+	}
+	if tp.Version() == v {
+		t.Fatal("version did not advance on link-state change")
+	}
+	// Both sides see the link down; raw wiring stays visible.
+	if tp.Neighbor(0, 0) != -1 || tp.Neighbor(1, 0) != -1 {
+		t.Fatal("down link still visible to Neighbor")
+	}
+	if tp.PeerPort(0, 0) != -1 || tp.LinkUp(0, 0) || tp.LinkUp(1, 0) {
+		t.Fatal("down link state not mirrored")
+	}
+	if tp.Wired(0, 0) != 1 || tp.WiredPeer(0, 0) != 0 {
+		t.Fatal("raw wiring lost when link went down")
+	}
+	if tp.Connected() {
+		t.Fatal("partitioned topology reported connected")
+	}
+	if d := tp.ShortestDists(0); d[1] != -1 || d[2] != -1 {
+		t.Fatalf("dists cross a down link: %v", d)
+	}
+	if tp.UpLinks() != 1 {
+		t.Fatalf("UpLinks = %d, want 1", tp.UpLinks())
+	}
+	if err := tp.Validate(); err != nil {
+		t.Fatalf("valid topology failed audit: %v", err)
+	}
+	// Restore: traversal sees the link again.
+	if err := tp.SetLinkUp(1, 0, true); err != nil { // far side works too
+		t.Fatal(err)
+	}
+	if tp.Neighbor(0, 0) != 1 || !tp.Connected() || tp.UpLinks() != 2 {
+		t.Fatal("restore did not bring the link back")
+	}
+	// Idempotent no-op does not bump the version.
+	v = tp.Version()
+	if err := tp.SetLinkUp(0, 0, true); err != nil || tp.Version() != v {
+		t.Fatal("no-op SetLinkUp changed state")
+	}
+	// Error paths.
+	if err := tp.SetLinkUp(0, 3, false); err == nil {
+		t.Fatal("unwired port accepted")
+	}
+	if err := tp.SetLinkUp(-1, 0, false); err == nil || tp.SetLinkUp(0, 9, false) == nil {
+		t.Fatal("out-of-range port accepted")
+	}
+}
+
+func TestValidateDetectsMalformedWiring(t *testing.T) {
+	tp := New(3, 4)
+	tp.Connect(0, 0, 1, 0)
+	if err := tp.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Duplicate port wiring smuggled into the Links list.
+	tp.Links = append(tp.Links, Link{A: 0, B: 2, APort: 0, BPort: 0})
+	if err := tp.Validate(); err == nil {
+		t.Fatal("duplicate port wiring not detected")
+	}
+	tp.Links = tp.Links[:1]
+
+	// Asymmetric neighbor table.
+	tp2 := New(3, 4)
+	tp2.Connect(0, 0, 1, 0)
+	tp2.neighbor[1][0] = 2
+	if err := tp2.Validate(); err == nil {
+		t.Fatal("asymmetric wiring not detected")
+	}
+
+	// Wiring present in the tables but missing from Links.
+	tp3 := New(3, 4)
+	tp3.Connect(0, 0, 1, 0)
+	tp3.Links = nil
+	if err := tp3.Validate(); err == nil {
+		t.Fatal("orphan wiring not detected")
+	}
+
+	// Split up/down state across the two sides of one cable.
+	tp4 := New(3, 4)
+	tp4.Connect(0, 0, 1, 0)
+	tp4.linkUp[1][0] = false
+	if err := tp4.Validate(); err == nil {
+		t.Fatal("split link state not detected")
+	}
+
+	// An unwired port marked up.
+	tp5 := New(3, 4)
+	tp5.linkUp[2][2] = true
+	if err := tp5.Validate(); err == nil {
+		t.Fatal("unwired-but-up port not detected")
+	}
+}
+
 // Property: irregular topologies are always connected and respect port
 // limits, for any seed.
 func TestIrregularProperty(t *testing.T) {
@@ -192,7 +291,7 @@ func TestIrregularProperty(t *testing.T) {
 				}
 			}
 		}
-		return true
+		return tp.Validate() == nil
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
 		t.Fatal(err)
