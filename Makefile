@@ -1,7 +1,13 @@
 GO ?= go
 FUZZTIME ?= 30s
+BENCHTIME ?= 2s
+BENCHTOL ?= 0.10
+BENCHFILE ?= BENCH_PR2.json
+# Hot-path microbenchmarks gated by bench-check; figure benchmarks are
+# recorded by `make bench` but not gated (multi-second sims, noisier).
+MICROBENCH = RouterStep|PriorityArbiter|LinkScheduler|EstablishWorkload
 
-.PHONY: build test vet race fuzz-smoke check
+.PHONY: build test vet race fuzz-smoke check bench bench-check
 
 build:
 	$(GO) build ./...
@@ -19,5 +25,21 @@ race:
 # (opens, probes, teardowns, link failures/repairs interleaved).
 fuzz-smoke:
 	$(GO) test -run='^$$' -fuzz=FuzzNetworkChurn -fuzztime=$(FUZZTIME) ./internal/network
+
+# Run the microbenchmarks and figure benchmarks with allocation stats and
+# record them into $(BENCHFILE) under the "current" section (the "pre-pr"
+# baseline section is preserved).
+bench:
+	{ $(GO) test -run='^$$' -bench='^Benchmark($(MICROBENCH))$$' -benchmem -benchtime=$(BENCHTIME) . ; \
+	  $(GO) test -run='^$$' -bench='^BenchmarkFigure[345]$$' -benchmem -benchtime=1x . ; } \
+	| tee /dev/stderr | $(GO) run ./cmd/benchjson -o $(BENCHFILE) -section current
+
+# Regression gate: rerun the microbenchmarks and fail if ns/op regresses
+# more than BENCHTOL vs the committed baseline, or if a zero-alloc
+# benchmark starts allocating. (Also part of the PR checklist: run
+# `make bench-check` alongside `make check` before merging.)
+bench-check:
+	$(GO) test -run='^$$' -bench='^Benchmark($(MICROBENCH))$$' -benchmem -benchtime=$(BENCHTIME) . \
+	| tee /dev/stderr | $(GO) run ./cmd/benchjson -check -baseline $(BENCHFILE) -against current -tol $(BENCHTOL)
 
 check: vet test race fuzz-smoke

@@ -248,6 +248,7 @@ func BenchmarkRouterStep(b *testing.B) {
 		b.Fatal(err)
 	}
 	r.Run(5_000, 0) // warm the queues
+	b.ReportAllocs() // steady state must stay 0 allocs/op (see alloc_test.go)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		r.Step()
@@ -269,6 +270,7 @@ func BenchmarkPriorityArbiter(b *testing.B) {
 		}
 	}
 	grants := make([]int, n)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		arb.Schedule(cands, grants)
@@ -294,10 +296,40 @@ func BenchmarkLinkScheduler(b *testing.B) {
 		b.Fatal(err)
 	}
 	r.Run(2_000, 0)
+	b.ReportAllocs()
 	b.ResetTimer()
 	// Step exercises all 8 link schedulers + arbiter + transmit; report
 	// per-step cost at high load.
 	for i := 0; i < b.N; i++ {
 		r.Step()
+	}
+}
+
+// BenchmarkEstablishWorkload measures setup cost: building a paper router
+// and admitting a full 0.9-load workload through Establish — the price
+// every sweep cell pays before its first cycle.
+func BenchmarkEstablishWorkload(b *testing.B) {
+	cfg := router.PaperConfig()
+	wl, err := traffic.Generate(traffic.WorkloadConfig{
+		Ports: cfg.Ports, Link: cfg.Link, Rates: traffic.PaperRates,
+		TargetLoad: 0.9, MaxPortLoad: 1,
+	}, sim.NewRNG(3))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r, err := router.New(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		n, err := r.EstablishWorkload(wl)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			b.ReportMetric(float64(n), "conns")
+		}
 	}
 }

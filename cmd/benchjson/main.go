@@ -1,0 +1,206 @@
+// Command benchjson converts `go test -bench` output into the repository's
+// BENCH_*.json trajectory format and gates regressions against a committed
+// baseline. It exists so the benchmark numbers in CI, the Makefile and the
+// docs all flow through one parser instead of ad-hoc greps.
+//
+// Record mode (default) parses benchmark output on stdin and writes it
+// into one section of a JSON file, preserving the file's other sections —
+// so a historical "pre-pr" baseline survives every refresh of "current":
+//
+//	go test -run '^$' -bench . -benchmem . | benchjson -o BENCH_PR2.json -section current
+//
+// Check mode parses a fresh run on stdin and compares it against a section
+// of the committed baseline, printing a benchstat-style delta table. It
+// exits non-zero when any benchmark regresses more than -tol in ns/op, or
+// when a benchmark whose baseline is allocation-free (0 allocs/op) starts
+// allocating:
+//
+//	go test -run '^$' -bench . -benchmem . | benchjson -check -baseline BENCH_PR2.json -against current
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Benchmark is one parsed benchmark result. Metrics holds every
+// "<value> <unit>" pair go test printed: ns/op, B/op, allocs/op and the
+// custom paper-shape metrics (e.g. jitter-biased8C@0.9).
+type Benchmark struct {
+	Iters   int64              `json:"iters"`
+	Metrics map[string]float64 `json:"metrics"`
+}
+
+// Section is one named snapshot of the benchmark suite.
+type Section struct {
+	Note       string               `json:"note,omitempty"`
+	Go         string               `json:"go,omitempty"`
+	Benchmarks map[string]Benchmark `json:"benchmarks"`
+}
+
+// File is the BENCH_*.json schema.
+type File struct {
+	Schema   string             `json:"schema"`
+	Sections map[string]Section `json:"sections"`
+}
+
+var cpuSuffix = regexp.MustCompile(`-\d+$`)
+
+// parse reads `go test -bench` output and returns the benchmarks found.
+func parse(r *bufio.Scanner) (map[string]Benchmark, error) {
+	out := map[string]Benchmark{}
+	for r.Scan() {
+		line := strings.TrimSpace(r.Text())
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 4 || len(fields)%2 != 0 {
+			continue
+		}
+		name := cpuSuffix.ReplaceAllString(fields[0], "")
+		name = strings.TrimPrefix(name, "Benchmark")
+		iters, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			continue
+		}
+		b := Benchmark{Iters: iters, Metrics: map[string]float64{}}
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				return nil, fmt.Errorf("benchjson: bad value %q in %q", fields[i], line)
+			}
+			b.Metrics[fields[i+1]] = v
+		}
+		out[name] = b
+	}
+	return out, r.Err()
+}
+
+// load reads an existing BENCH file, tolerating absence.
+func load(path string) (File, error) {
+	f := File{Schema: "mmr-bench/v1", Sections: map[string]Section{}}
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return f, nil
+	}
+	if err != nil {
+		return f, err
+	}
+	if err := json.Unmarshal(data, &f); err != nil {
+		return f, fmt.Errorf("benchjson: parsing %s: %w", path, err)
+	}
+	if f.Sections == nil {
+		f.Sections = map[string]Section{}
+	}
+	return f, nil
+}
+
+func record(benches map[string]Benchmark, out, section, note string) error {
+	f, err := load(out)
+	if err != nil {
+		return err
+	}
+	f.Schema = "mmr-bench/v1"
+	f.Sections[section] = Section{Note: note, Go: runtime.Version(), Benchmarks: benches}
+	data, err := json.MarshalIndent(f, "", "  ")
+	if err != nil {
+		return err
+	}
+	if out == "" || out == "-" {
+		_, err = os.Stdout.Write(append(data, '\n'))
+		return err
+	}
+	return os.WriteFile(out, append(data, '\n'), 0o644)
+}
+
+func check(benches map[string]Benchmark, baseline, against string, tol float64) error {
+	f, err := load(baseline)
+	if err != nil {
+		return err
+	}
+	base, ok := f.Sections[against]
+	if !ok {
+		return fmt.Errorf("benchjson: section %q not found in %s", against, baseline)
+	}
+	var names []string
+	for name := range benches {
+		if _, ok := base.Benchmarks[name]; ok {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		return fmt.Errorf("benchjson: no benchmarks in common with section %q", against)
+	}
+	fmt.Printf("%-28s %14s %14s %9s %s\n", "benchmark", "old ns/op", "new ns/op", "delta", "allocs old→new")
+	failed := false
+	for _, name := range names {
+		old, new := base.Benchmarks[name], benches[name]
+		oldNs, newNs := old.Metrics["ns/op"], new.Metrics["ns/op"]
+		oldAllocs, hasOldAllocs := old.Metrics["allocs/op"]
+		newAllocs, hasNewAllocs := new.Metrics["allocs/op"]
+		delta := 0.0
+		if oldNs > 0 {
+			delta = (newNs - oldNs) / oldNs
+		}
+		verdict := ""
+		if oldNs > 0 && delta > tol {
+			verdict = fmt.Sprintf("  FAIL: ns/op regressed %.1f%% (> %.0f%%)", delta*100, tol*100)
+			failed = true
+		}
+		if hasOldAllocs && hasNewAllocs && oldAllocs == 0 && newAllocs > 0 {
+			verdict += fmt.Sprintf("  FAIL: zero-alloc benchmark now allocates (%.0f allocs/op)", newAllocs)
+			failed = true
+		}
+		allocs := ""
+		if hasOldAllocs && hasNewAllocs {
+			allocs = fmt.Sprintf("%.0f→%.0f", oldAllocs, newAllocs)
+		}
+		fmt.Printf("%-28s %14.1f %14.1f %+8.1f%% %s%s\n", name, oldNs, newNs, delta*100, allocs, verdict)
+	}
+	if failed {
+		return fmt.Errorf("benchjson: benchmark regression against %s[%s]", baseline, against)
+	}
+	fmt.Printf("ok: within %.0f%% of %s[%s]\n", tol*100, baseline, against)
+	return nil
+}
+
+func main() {
+	var (
+		out      = flag.String("o", "-", "output JSON path (record mode); - for stdout")
+		section  = flag.String("section", "current", "section to write (record) ")
+		note     = flag.String("note", "", "free-form note stored with the section")
+		doCheck  = flag.Bool("check", false, "compare stdin against a baseline instead of recording")
+		baseline = flag.String("baseline", "BENCH_PR2.json", "baseline file (check mode)")
+		against  = flag.String("against", "current", "baseline section to compare against (check mode)")
+		tol      = flag.Float64("tol", 0.10, "allowed fractional ns/op regression (check mode)")
+	)
+	flag.Parse()
+
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	benches, err := parse(sc)
+	if err == nil && len(benches) == 0 {
+		err = fmt.Errorf("benchjson: no benchmark lines on stdin")
+	}
+	if err == nil {
+		if *doCheck {
+			err = check(benches, *baseline, *against, *tol)
+		} else {
+			err = record(benches, *out, *section, *note)
+		}
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}

@@ -67,6 +67,7 @@ type Crossbar struct {
 	n       int
 	inToOut []int
 	outToIn []int
+	seen    []bool // scratch for Configure validation, reused every cycle
 
 	reconfigs   int64 // completed reconfigurations
 	transmitted int64 // flits moved
@@ -77,7 +78,7 @@ func New(n int) *Crossbar {
 	if n < 1 {
 		panic(fmt.Sprintf("crossbar: invalid size %d", n))
 	}
-	c := &Crossbar{n: n, inToOut: make([]int, n), outToIn: make([]int, n)}
+	c := &Crossbar{n: n, inToOut: make([]int, n), outToIn: make([]int, n), seen: make([]bool, n)}
 	c.Clear()
 	return c
 }
@@ -102,7 +103,9 @@ func (c *Crossbar) Configure(out []int) error {
 	}
 	// Validate before mutating so a bad configuration leaves the previous
 	// one intact.
-	seen := make([]bool, c.n)
+	for i := range c.seen {
+		c.seen[i] = false
+	}
 	for in, o := range out {
 		if o == Unconnected {
 			continue
@@ -110,10 +113,10 @@ func (c *Crossbar) Configure(out []int) error {
 		if o < 0 || o >= c.n {
 			return fmt.Errorf("crossbar: input %d mapped to invalid output %d", in, o)
 		}
-		if seen[o] {
+		if c.seen[o] {
 			return fmt.Errorf("crossbar: output %d claimed by two inputs", o)
 		}
-		seen[o] = true
+		c.seen[o] = true
 	}
 	c.Clear()
 	for in, o := range out {

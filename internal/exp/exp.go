@@ -156,17 +156,30 @@ func RunGrid(base router.Config, loads []float64, variants []Variant, opts Optio
 	}
 	points := make([]Point, len(cells))
 	errs := make([]error, len(cells))
-	sem := make(chan struct{}, runtime.NumCPU())
-	var wg sync.WaitGroup
-	for i, c := range cells {
-		wg.Add(1)
-		go func(i int, c cell) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			points[i], errs[i] = RunPoint(base, c.load, c.v, opts)
-		}(i, c)
+	// Bounded worker pool: exactly min(NumCPU, cells) goroutines pulling
+	// cell indices from a channel. Spawning one goroutine per cell and
+	// gating on a semaphore would create hundreds of idle goroutines (and
+	// their stacks) on large sweeps before any work starts.
+	workers := runtime.NumCPU()
+	if workers > len(cells) {
+		workers = len(cells)
 	}
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				c := cells[i]
+				points[i], errs[i] = RunPoint(base, c.load, c.v, opts)
+			}
+		}()
+	}
+	for i := range cells {
+		idx <- i
+	}
+	close(idx)
 	wg.Wait()
 	for _, err := range errs {
 		if err != nil {

@@ -1,0 +1,111 @@
+package exp
+
+import (
+	"encoding/json"
+	"flag"
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite testdata/golden_figures.json from the current implementation")
+
+// goldenOpts is a shortened but fully deterministic measurement window:
+// small enough for CI, long enough that every figure has non-trivial
+// steady-state samples at every load.
+func goldenOpts() Options {
+	return Options{Warmup: 2_000, Measure: 10_000, Seed: 1, Loads: []float64{0.3, 0.9}}
+}
+
+// goldenPoint is one (series, x) → y sample, with y stored as IEEE-754
+// bits so the comparison is exact, not within-epsilon.
+type goldenPoint struct {
+	Figure string  `json:"figure"`
+	Series string  `json:"series"`
+	X      float64 `json:"x"`
+	YBits  uint64  `json:"y_bits"`
+	Y      float64 `json:"y"` // human-readable; YBits is authoritative
+}
+
+// collectGolden runs Figures 3-5 at the fixed seed and flattens every
+// series point.
+func collectGolden(t *testing.T) []goldenPoint {
+	t.Helper()
+	var pts []goldenPoint
+	for _, run := range []struct {
+		name string
+		fn   func(Options) (*FigureResult, error)
+	}{
+		{"Figure3", Figure3},
+		{"Figure4", Figure4},
+		{"Figure5", Figure5},
+	} {
+		res, err := run.fn(goldenOpts())
+		if err != nil {
+			t.Fatalf("%s: %v", run.name, err)
+		}
+		for _, fig := range res.Figures {
+			for _, s := range fig.Series {
+				for _, p := range s.Points {
+					pts = append(pts, goldenPoint{
+						Figure: fig.Title,
+						Series: s.Name,
+						X:      p.X,
+						YBits:  math.Float64bits(p.Y),
+						Y:      p.Y,
+					})
+				}
+			}
+		}
+	}
+	return pts
+}
+
+// TestFiguresGolden locks the §5 figure series to bit-identical values at
+// a fixed seed. Any change to the flit cycle — pooling, scheduling order,
+// iteration order — that perturbs a single sample fails this test; run
+// with -update only for changes that intentionally alter the model.
+func TestFiguresGolden(t *testing.T) {
+	if testing.Short() {
+		t.Skip("golden figure regeneration is not -short")
+	}
+	path := filepath.Join("testdata", "golden_figures.json")
+	got := collectGolden(t)
+	if *updateGolden {
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		data, err := json.MarshalIndent(got, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %d golden points to %s", len(got), path)
+		return
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("reading golden file (regenerate with -update): %v", err)
+	}
+	var want []goldenPoint
+	if err := json.Unmarshal(data, &want); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("golden point count changed: got %d, want %d", len(got), len(want))
+	}
+	for i := range want {
+		g, w := got[i], want[i]
+		if g.Figure != w.Figure || g.Series != w.Series || g.X != w.X {
+			t.Fatalf("point %d identity changed: got %s/%s@%v, want %s/%s@%v",
+				i, g.Figure, g.Series, g.X, w.Figure, w.Series, w.X)
+		}
+		if g.YBits != w.YBits {
+			t.Errorf("%s / %s @ %v: y changed: got %v (bits %#x), want %v (bits %#x)",
+				g.Figure, g.Series, g.X, g.Y, g.YBits, w.Y, w.YBits)
+		}
+	}
+}

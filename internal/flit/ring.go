@@ -1,0 +1,68 @@
+package flit
+
+// Ring is an unbounded FIFO of flits over a growable ring buffer — the
+// network-interface queue representation. Unlike the `q = q[1:]` slice
+// shift it replaces, popping clears the vacated slot, so a drained queue
+// never pins retired flits in its backing array (they would otherwise stay
+// reachable and defeat both the GC and pool recycling), and pushing reuses
+// the buffer instead of sliding an ever-growing window through memory.
+// Capacity doubles on overflow (amortized O(1)); at steady state the
+// buffer reaches the high-water mark once and pushes allocate nothing.
+type Ring struct {
+	buf        []*Flit
+	head, size int
+}
+
+// Len returns the number of queued flits.
+func (r *Ring) Len() int { return r.size }
+
+// Empty reports whether the ring holds no flits.
+func (r *Ring) Empty() bool { return r.size == 0 }
+
+// Push appends f to the tail, growing the buffer if full.
+func (r *Ring) Push(f *Flit) {
+	if r.size == len(r.buf) {
+		r.grow()
+	}
+	r.buf[(r.head+r.size)&(len(r.buf)-1)] = f
+	r.size++
+}
+
+// Pop removes and returns the head flit, or nil if empty. The vacated
+// slot is cleared so the ring never retains a popped flit.
+func (r *Ring) Pop() *Flit {
+	if r.size == 0 {
+		return nil
+	}
+	f := r.buf[r.head]
+	r.buf[r.head] = nil
+	r.head = (r.head + 1) & (len(r.buf) - 1)
+	r.size--
+	return f
+}
+
+// Peek returns the head flit without removing it, or nil if empty.
+func (r *Ring) Peek() *Flit {
+	if r.size == 0 {
+		return nil
+	}
+	return r.buf[r.head]
+}
+
+// Cap returns the current buffer capacity (for tests and tooling).
+func (r *Ring) Cap() int { return len(r.buf) }
+
+// grow doubles the buffer (minimum 8, always a power of two so indexing
+// stays a mask) and linearizes the queue at the front.
+func (r *Ring) grow() {
+	n := len(r.buf) * 2
+	if n == 0 {
+		n = 8
+	}
+	buf := make([]*Flit, n)
+	for i := 0; i < r.size; i++ {
+		buf[i] = r.buf[(r.head+i)&(len(r.buf)-1)]
+	}
+	r.buf = buf
+	r.head = 0
+}

@@ -17,7 +17,7 @@ type creditMsg struct {
 type beFlow struct {
 	src, dst int
 	gen      interface{ Tick(int64) int }
-	niQueue  []*flit.Flit
+	niQueue  flit.Ring
 }
 
 // AddBestEffortFlow injects Poisson best-effort packets (one flit each,
@@ -163,19 +163,20 @@ func (n *Network) routePackets(nd *node) {
 	hp := n.cfg.hostPort()
 	for p := range nd.mems {
 		mem := nd.mems[p]
-		mem.FlitsAvailable().ForEach(func(vc int) bool {
+		avail := mem.FlitsAvailable()
+		for vc := avail.NextSet(0); vc >= 0; vc = avail.NextSet(vc + 1) {
 			st := mem.State(vc)
 			if st.Class != flit.ClassBestEffort || st.Output >= 0 {
-				return true
+				continue
 			}
 			head := mem.Peek(vc)
 			if head == nil || head.Packet == nil {
-				return true
+				continue
 			}
 			dst := int(head.Dst)
 			if dst == nd.id {
 				st.Output = hp
-				return true
+				continue
 			}
 			wentDown := head.Packet.WentDown
 			n.scratchPorts = n.ud.NextPorts(nd.id, dst, wentDown, n.scratchPorts[:0])
@@ -186,8 +187,7 @@ func (n *Network) routePackets(nd *node) {
 					break
 				}
 			}
-			return true
-		})
+		}
 	}
 }
 
@@ -310,15 +310,14 @@ func (n *Network) injectStreams(t int64) {
 					Src: int32(c.Src), Dst: int32(c.Dst),
 				}
 				c.nextSeq++
-				c.niQueue = append(c.niQueue, f)
+				c.niQueue.Push(f)
 				n.m.generated++
 			}
 		}
 		mem := n.nodes[c.Src].mems[hp]
 		entry := c.VCs[0]
-		for len(c.niQueue) > 0 && mem.Free(entry.VC) > 0 {
-			f := c.niQueue[0]
-			c.niQueue = c.niQueue[1:]
+		for c.niQueue.Len() > 0 && mem.Free(entry.VC) > 0 {
+			f := c.niQueue.Pop()
 			f.ReadyAt = t
 			if mem.Len(entry.VC) == 0 {
 				f.HeadAt = t
@@ -335,7 +334,7 @@ func (n *Network) injectPackets(t int64) {
 	for _, bf := range n.beFlows {
 		for k := bf.gen.Tick(t); k > 0; k-- {
 			n.pktSeq++
-			bf.niQueue = append(bf.niQueue, &flit.Flit{
+			bf.niQueue.Push(&flit.Flit{
 				Conn: flit.InvalidConn, Class: flit.ClassBestEffort, Type: flit.TypeHead,
 				Seq: n.pktSeq, CreatedAt: t,
 				Src: int32(bf.src), Dst: int32(bf.dst),
@@ -344,20 +343,16 @@ func (n *Network) injectPackets(t int64) {
 			n.m.beGenerated++
 		}
 		mem := n.nodes[bf.src].mems[hp]
-		placed := 0
-		for _, f := range bf.niQueue {
+		for bf.niQueue.Len() > 0 {
 			vc := mem.FindFree(n.rng.Intn(n.cfg.VCs))
 			if vc < 0 {
 				break // all queued packets need the same resource
 			}
+			f := bf.niQueue.Pop()
 			mem.Reserve(vc, vcm.VCState{Conn: flit.InvalidConn, Class: flit.ClassBestEffort, Output: -1})
 			f.ReadyAt = t
 			f.HeadAt = t
 			mem.Push(vc, f)
-			placed++
-		}
-		if placed > 0 {
-			bf.niQueue = append(bf.niQueue[:0], bf.niQueue[placed:]...)
 		}
 	}
 }

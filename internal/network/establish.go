@@ -286,8 +286,8 @@ func (n *Network) Close(conn *Conn) error {
 			return fmt.Errorf("network: connection %d has credits in flight at node %d (hop %d)", conn.ID, conn.Nodes[i], i)
 		}
 	}
-	if len(conn.niQueue) != 0 {
-		return fmt.Errorf("network: connection %d still has %d flits at the source interface", conn.ID, len(conn.niQueue))
+	if conn.niQueue.Len() != 0 {
+		return fmt.Errorf("network: connection %d still has %d flits at the source interface", conn.ID, conn.niQueue.Len())
 	}
 	conn.open = false
 	conn.closed = true

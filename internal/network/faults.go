@@ -227,8 +227,10 @@ func (n *Network) breakConn(c *Conn, reason string) {
 	n.logEvent(SessionEvent{Kind: "conn-broken", Conn: c.ID, Node: c.Src, Port: -1, Detail: reason})
 
 	// Source-interface queue: flits not yet in the fabric are dropped.
-	n.m.faultFlitsLost += int64(len(c.niQueue))
-	c.niQueue = nil
+	n.m.faultFlitsLost += int64(c.niQueue.Len())
+	for c.niQueue.Len() > 0 {
+		c.niQueue.Pop()
+	}
 
 	// In-flight flits of this connection on any pipe along its path.
 	for _, hop := range c.Path {

@@ -404,7 +404,7 @@ func TestDrainAndCloseUnderContention(t *testing.T) {
 	// flight, so a 1-cycle drain limit cannot possibly finish (the flit
 	// must still traverse hops, and its credits take another wire delay).
 	buffered := func(c *Conn) int {
-		total := len(c.niQueue)
+		total := c.niQueue.Len()
 		for i, ref := range c.VCs {
 			total += n.nodes[c.Nodes[i]].mems[ref.Port].Len(ref.VC)
 		}

@@ -142,10 +142,10 @@ func networkInvariants(n *Network) bool {
 		}
 	}
 	for _, c := range n.conns {
-		queued += int64(len(c.niQueue))
+		queued += int64(c.niQueue.Len())
 	}
 	for _, bf := range n.beFlows {
-		queued += int64(len(bf.niQueue))
+		queued += int64(bf.niQueue.Len())
 	}
 	gen := n.m.generated + n.m.beGenerated
 	del := n.m.delivered + n.m.beDelivered

@@ -195,7 +195,7 @@ type Conn struct {
 	Degraded bool // downgraded to a best-effort flow after restoration failed
 
 	src      traffic.Source
-	niQueue  []*flit.Flit
+	niQueue  flit.Ring
 	nextSeq  int64
 	open     bool  // injection enabled
 	closed   bool  // resources released

@@ -150,7 +150,7 @@ func TestFlitConservationAcrossNetwork(t *testing.T) {
 		}
 	}
 	for _, c := range n.conns {
-		queued += int64(len(c.niQueue))
+		queued += int64(c.niQueue.Len())
 	}
 	if st.FlitsGenerated != st.FlitsDelivered+buffered+queued+inflight {
 		t.Fatalf("conservation: gen=%d del=%d buf=%d q=%d wire=%d",

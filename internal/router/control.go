@@ -79,11 +79,14 @@ func (r *Router) SetPriority(conn *Connection, priority int) error {
 // in the transmission of a frame that will not meet the deadline." It
 // returns the number of flits dropped.
 func (r *Router) AbortFrame(conn *Connection) int {
-	dropped := len(conn.niQueue)
-	conn.niQueue = conn.niQueue[:0]
+	dropped := 0
+	for conn.niQueue.Len() > 0 {
+		r.pool.Put(conn.niQueue.Pop())
+		dropped++
+	}
 	mem := r.mems[conn.Spec.In]
 	for mem.Len(conn.VC) > 0 {
-		mem.Pop(conn.VC)
+		r.pool.Put(mem.Pop(conn.VC))
 		dropped++
 		// The freed slot returns a credit to the source side implicitly
 		// (injection checks Free directly); sink credits are untouched

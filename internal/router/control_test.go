@@ -127,14 +127,14 @@ func TestAbortFrame(t *testing.T) {
 	conn, _ := r.Establish(traffic.ConnSpec{Class: flit.ClassVBR, Rate: 20 * traffic.Mbps, PeakRate: 60 * traffic.Mbps, In: 0, Out: 1})
 	// Build a backlog by injecting directly.
 	for i := 0; i < 20; i++ {
-		conn.niQueue = append(conn.niQueue, &flit.Flit{Conn: conn.ID, Class: flit.ClassVBR})
+		conn.niQueue.Push(&flit.Flit{Conn: conn.ID, Class: flit.ClassVBR})
 	}
 	r.Step() // some flits enter the VC
 	dropped := r.AbortFrame(conn)
 	if dropped == 0 {
 		t.Fatal("nothing dropped")
 	}
-	if len(conn.niQueue) != 0 || r.Memory(0).Len(conn.VC) != 0 {
+	if conn.niQueue.Len() != 0 || r.Memory(0).Len(conn.VC) != 0 {
 		t.Fatal("abort left flits queued")
 	}
 	m := r.Run(0, 1)

@@ -25,8 +25,7 @@ func (r *Router) Step() {
 
 	// Credit return: sinks drained earlier flits.
 	for p := range r.pipes {
-		cr := r.credits[p]
-		r.pipes[p].Deliver(t, func(vc int) { cr.Return(vc) })
+		r.pipes[p].DeliverTo(t, r.credits[p])
 	}
 
 	// In-band management commands whose propagation delay elapsed (§4.3).
@@ -92,25 +91,23 @@ func (r *Router) injectStreams(t int64) {
 	for _, c := range r.conns {
 		if c.src != nil {
 			for n := c.src.Tick(t); n > 0; n-- {
-				f := &flit.Flit{
-					Conn:      c.ID,
-					Class:     c.Spec.Class,
-					Type:      flit.TypeBody,
-					Seq:       c.nextSeq,
-					CreatedAt: t,
-					SrcPort:   int16(c.Spec.In),
-					DstPort:   int16(c.Spec.Out),
-				}
+				f := r.pool.Get()
+				f.Conn = c.ID
+				f.Class = c.Spec.Class
+				f.Type = flit.TypeBody
+				f.Seq = c.nextSeq
+				f.CreatedAt = t
+				f.SrcPort = int16(c.Spec.In)
+				f.DstPort = int16(c.Spec.Out)
 				c.nextSeq++
-				c.niQueue = append(c.niQueue, f)
+				c.niQueue.Push(f)
 				r.m.generated++
 			}
 		}
 		// Drain the NI queue into the VC while there is room.
 		mem := r.mems[c.Spec.In]
-		for len(c.niQueue) > 0 && mem.Free(c.VC) > 0 {
-			f := c.niQueue[0]
-			c.niQueue = c.niQueue[1:]
+		for c.niQueue.Len() > 0 && mem.Free(c.VC) > 0 {
+			f := c.niQueue.Pop()
 			f.ReadyAt = t // VCM entry
 			if mem.Len(c.VC) == 0 {
 				// Straight to the head: ready to transmit through the
@@ -170,6 +167,11 @@ func (r *Router) transmit(t int64) {
 		r.m.recordDeparture(t, f, cand)
 		if f.Class == flit.ClassControl || f.Class == flit.ClassBestEffort {
 			r.finishPacketFlit(in, cand.VC, f)
+		} else {
+			// Departure is the single-router sink: the flit is fully
+			// accounted (metrics copy what they need) and returns to the
+			// pool for the next injection.
+			r.pool.Put(f)
 		}
 	}
 	r.m.cycleDone(r.cfg.Ports)

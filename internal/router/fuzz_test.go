@@ -83,13 +83,13 @@ func TestRouterFuzzInvariants(t *testing.T) {
 				buffered += int64(occ)
 			}
 			for _, c := range r.Connections() {
-				queued += int64(len(c.niQueue))
+				queued += int64(c.niQueue.Len())
 			}
 			for _, pf := range r.beFlows {
-				queued += int64(len(pf.niQueue))
+				queued += int64(pf.niQueue.Len())
 			}
 			for _, pf := range r.ctlFlows {
-				queued += int64(len(pf.niQueue))
+				queued += int64(pf.niQueue.Len())
 			}
 			gen := r.m.generated
 			for _, n := range r.m.pktGenerated {

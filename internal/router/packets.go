@@ -15,7 +15,7 @@ type packetFlow struct {
 	kind    flit.PacketKind
 	in, out int
 	src     traffic.Source
-	niQueue []*flit.Flit // packets waiting for a free VC or fast path
+	niQueue flit.Ring // packets waiting for a free VC or fast path
 }
 
 // AddBestEffortFlow attaches a Poisson best-effort packet flow producing
@@ -81,38 +81,35 @@ func (r *Router) pumpPacketFlow(t int64, pf *packetFlow) {
 		if pf.kind == flit.PacketControl {
 			class = flit.ClassControl
 		}
-		f := &flit.Flit{
-			Conn:      flit.InvalidConn,
-			Class:     class,
-			Type:      flit.TypeHead,
-			Seq:       r.pktSeq,
-			CreatedAt: t,
-			SrcPort:   int16(pf.in),
-			DstPort:   int16(pf.out),
-			Packet:    &flit.Packet{ID: r.pktSeq, Kind: pf.kind, Size: 1, CreatedAt: t},
-		}
-		pf.niQueue = append(pf.niQueue, f)
+		f := r.pool.Get()
+		f.Conn = flit.InvalidConn
+		f.Class = class
+		f.Type = flit.TypeHead
+		f.Seq = r.pktSeq
+		f.CreatedAt = t
+		f.SrcPort = int16(pf.in)
+		f.DstPort = int16(pf.out)
+		pk := r.pool.GetPacket()
+		pk.ID = r.pktSeq
+		pk.Kind = pf.kind
+		pk.Size = 1
+		pk.CreatedAt = t
+		f.Packet = pk
+		pf.niQueue.Push(f)
 		r.m.pktGenerated[class]++
 	}
 	// Drain the NI queue in order, stopping at the first packet that does
 	// not fit: all packets of a flow need the same resource (a free VC on
 	// the input port), so scanning past a failure cannot succeed and
 	// would make a backlogged flow cost O(queue) per cycle.
-	placed := 0
-	for _, f := range pf.niQueue {
-		if !r.placePacket(t, pf, f) {
-			break
-		}
-		placed++
-	}
-	if placed > 0 {
-		pf.niQueue = append(pf.niQueue[:0], pf.niQueue[placed:]...)
+	for pf.niQueue.Len() > 0 && r.placePacket(t, pf) {
 	}
 }
 
-// placePacket attempts delivery or buffering of one packet, reporting
-// success.
-func (r *Router) placePacket(t int64, pf *packetFlow, f *flit.Flit) bool {
+// placePacket attempts delivery or buffering of the flow's head packet,
+// popping it from the NI queue and reporting success.
+func (r *Router) placePacket(t int64, pf *packetFlow) bool {
+	f := pf.niQueue.Peek()
 	// Control fast path (§3.4): if the requested switch input port and
 	// output link are both free this flit cycle (and the output is not
 	// already claimed by another cut-through), the packet is forwarded
@@ -121,6 +118,8 @@ func (r *Router) placePacket(t int64, pf *packetFlow, f *flit.Flit) bool {
 	if pf.kind == flit.PacketControl && !r.outputBusyAsync[pf.out] && r.portsIdleThisCycle(pf.in, pf.out) {
 		r.outputBusyAsync[pf.out] = true
 		r.m.recordPacketDelivery(t, f, true)
+		pf.niQueue.Pop()
+		r.pool.Put(f) // delivered: the cut-through leaves the router now
 		return true
 	}
 	// Buffered path: reserve a free VC on the input port.
@@ -140,6 +139,7 @@ func (r *Router) placePacket(t int64, pf *packetFlow, f *flit.Flit) bool {
 	})
 	f.ReadyAt = t
 	f.HeadAt = t
+	pf.niQueue.Pop()
 	mem.Push(vc, f)
 	return true
 }
@@ -163,4 +163,5 @@ func (r *Router) finishPacketFlit(in, vc int, f *flit.Flit) {
 		mem.Release(vc)
 	}
 	r.m.recordPacketDelivery(r.now, f, false)
+	r.pool.Put(f) // retires the packet payload too
 }

@@ -204,7 +204,7 @@ type Connection struct {
 	VC   int // input virtual channel
 
 	src      traffic.Source
-	niQueue  []*flit.Flit // network-interface queue (policed injection, §4.2)
+	niQueue  flit.Ring // network-interface queue (policed injection, §4.2)
 	nextSeq  int64
 	injected int64
 	released bool
@@ -212,9 +212,10 @@ type Connection struct {
 
 // Router is a single MMR instance.
 type Router struct {
-	cfg Config
-	rng *sim.RNG
-	now int64
+	cfg  Config
+	rng  *sim.RNG
+	now  int64
+	pool *flit.Pool // per-router free list; see docs/performance.md
 
 	mems    []*vcm.Memory      // one VCM per input port
 	credits []*flow.Credits    // sink-side credits per input port VC
@@ -258,6 +259,7 @@ func New(cfg Config) (*Router, error) {
 	r := &Router{
 		cfg:             cfg,
 		rng:             sim.NewRNG(cfg.Seed),
+		pool:            flit.NewPool(),
 		mems:            make([]*vcm.Memory, cfg.Ports),
 		credits:         make([]*flow.Credits, cfg.Ports),
 		pipes:           make([]*flow.CreditPipe, cfg.Ports),
@@ -281,6 +283,7 @@ func New(cfg Config) (*Router, error) {
 		r.links[p] = sched.NewLinkScheduler(sched.LinkConfig{
 			Input:         p,
 			MaxCandidates: cfg.MaxCandidates,
+			Outputs:       cfg.Ports,
 			Scheme:        cfg.Scheme,
 			Selection:     cfg.Selection,
 			RNG:           r.rng,
@@ -328,6 +331,10 @@ func (r *Router) Allocator(out int) *admission.LinkAllocator { return r.alloc[ou
 
 // Memory exposes an input port's VCM (primarily for tests and tools).
 func (r *Router) Memory(in int) *vcm.Memory { return r.mems[in] }
+
+// Pool exposes the router's flit free list (primarily for tests asserting
+// get/put balance and recycling hygiene).
+func (r *Router) Pool() *flit.Pool { return r.pool }
 
 // Establish admits and sets up a connection per spec: it reserves an input
 // virtual channel, allocates bandwidth at the output link (§4.2), and

@@ -161,22 +161,6 @@ func (a *PriorityArbiter) augmentMatching(cands [][]Candidate, grants []int) {
 			a.matchIn[cands[in][g].Output] = in
 		}
 	}
-	var try func(in int) bool
-	try = func(in int) bool {
-		for ci, c := range cands[in] {
-			o := c.Output
-			if o < 0 || o >= n || a.visited[o] {
-				continue
-			}
-			a.visited[o] = true
-			if a.matchIn[o] < 0 || try(a.matchIn[o]) {
-				a.matchIn[o] = in
-				grants[in] = ci
-				return true
-			}
-		}
-		return false
-	}
 	for in := 0; in < n && in < len(cands); in++ {
 		if grants[in] != NoGrant || len(cands[in]) == 0 {
 			continue
@@ -184,8 +168,29 @@ func (a *PriorityArbiter) augmentMatching(cands [][]Candidate, grants []int) {
 		for o := 0; o < n; o++ {
 			a.visited[o] = false
 		}
-		try(in)
+		a.tryAugment(cands, grants, in)
 	}
+}
+
+// tryAugment searches for an augmenting path from input in. It is a
+// method (not a recursive closure) so the per-cycle Schedule call stays
+// allocation-free — a self-referential `var try func(...)` closure is
+// heap-allocated on every invocation.
+func (a *PriorityArbiter) tryAugment(cands [][]Candidate, grants []int, in int) bool {
+	n := len(grants)
+	for ci, c := range cands[in] {
+		o := c.Output
+		if o < 0 || o >= n || a.visited[o] {
+			continue
+		}
+		a.visited[o] = true
+		if a.matchIn[o] < 0 || a.tryAugment(cands, grants, a.matchIn[o]) {
+			a.matchIn[o] = in
+			grants[in] = ci
+			return true
+		}
+	}
+	return false
 }
 
 // PIMArbiter reproduces the Autonet/DEC comparison algorithm (§5.1, after

@@ -24,9 +24,13 @@ const (
 type LinkConfig struct {
 	Input         int
 	MaxCandidates int // the paper sweeps 1, 2, 4, 8 (§5)
-	Scheme        PriorityScheme
-	Selection     Selection
-	RNG           *sim.RNG // required for SelectRandom
+	// Outputs is the router's output port count, sizing the per-output
+	// dedup table at construction. Zero is allowed (the table grows on
+	// first use) but costs one allocation per new high-water output index.
+	Outputs   int
+	Scheme    PriorityScheme
+	Selection Selection
+	RNG       *sim.RNG // required for SelectRandom
 	// NoEnforce disables per-round bandwidth enforcement: stream VCs are
 	// always eligible at guaranteed precedence regardless of their
 	// serviced count. Used to isolate scheduling effects from allocation
@@ -47,7 +51,8 @@ type LinkScheduler struct {
 
 	eligible *bitvec.Vector // scratch: flits ∧ credits
 	scratch  []Candidate
-	outTaken map[int]bool // scratch: outputs already represented
+	outTaken []bool // scratch, port-indexed: outputs already represented
+	taken    []int  // scratch: outputs marked in outTaken this cycle
 
 	// excessVC is the VBR connection currently draining its excess
 	// bandwidth (§4.3 serves excess one connection at a time). -1 if none.
@@ -68,6 +73,8 @@ func NewLinkScheduler(cfg LinkConfig, mem *vcm.Memory, credits *flow.Credits) *L
 		mem:      mem,
 		credits:  credits,
 		eligible: bitvec.New(mem.NumVCs()),
+		outTaken: make([]bool, cfg.Outputs),
+		taken:    make([]int, 0, cfg.MaxCandidates),
 		excessVC: -1,
 	}
 }
@@ -119,14 +126,17 @@ func (ls *LinkScheduler) Candidates(now int64, dst []Candidate) []Candidate {
 	}
 	ls.scratch = ls.scratch[:0]
 	excessSeen := false
-	ls.eligible.ForEach(func(vc int) bool {
+	// Word-level scan of the eligibility vector (bits.TrailingZeros64 under
+	// NextSet) instead of a per-bit callback: this loop runs for every
+	// eligible VC on every port every cycle.
+	for vc := ls.eligible.NextSet(0); vc >= 0; vc = ls.eligible.NextSet(vc + 1) {
 		st := ls.mem.State(vc)
 		if st.Output < 0 {
-			return true // unrouted VC (header still in the routing unit)
+			continue // unrouted VC (header still in the routing unit)
 		}
 		phase, ok := ls.classify(vc)
 		if !ok {
-			return true
+			continue
 		}
 		if phase == PhaseExcess {
 			excessSeen = true
@@ -134,7 +144,7 @@ func (ls *LinkScheduler) Candidates(now int64, dst []Candidate) []Candidate {
 			// next. While the current excess VC is still eligible, other
 			// excess VCs stand aside.
 			if ls.excessVC >= 0 && vc != ls.excessVC {
-				return true
+				continue
 			}
 		}
 		head := ls.mem.Peek(vc)
@@ -145,8 +155,7 @@ func (ls *LinkScheduler) Candidates(now int64, dst []Candidate) []Candidate {
 			Phase:    phase,
 			Priority: ls.cfg.Scheme.Priority(now, st, head),
 		})
-		return true
-	})
+	}
 	// If the current excess VC went ineligible, elect a successor: the
 	// eligible excess VC with the highest static priority.
 	if ls.excessVC >= 0 && !ls.stillExcessEligible(ls.excessVC) {
@@ -179,22 +188,26 @@ func (ls *LinkScheduler) Candidates(now int64, dst []Candidate) []Candidate {
 	// output-side arbitration would pick anyway.
 	n := 0
 	for _, c := range ls.scratch {
-		if ls.outTaken == nil {
-			ls.outTaken = make(map[int]bool, ls.cfg.MaxCandidates)
+		if c.Output >= len(ls.outTaken) {
+			grown := make([]bool, c.Output+1)
+			copy(grown, ls.outTaken)
+			ls.outTaken = grown
 		}
 		if ls.outTaken[c.Output] {
 			continue
 		}
 		ls.outTaken[c.Output] = true
+		ls.taken = append(ls.taken, c.Output)
 		dst = append(dst, c)
 		n++
 		if n >= ls.cfg.MaxCandidates {
 			break
 		}
 	}
-	for o := range ls.outTaken {
-		delete(ls.outTaken, o)
+	for _, o := range ls.taken {
+		ls.outTaken[o] = false
 	}
+	ls.taken = ls.taken[:0]
 	return dst
 }
 
@@ -212,15 +225,14 @@ func (ls *LinkScheduler) stillExcessEligible(vc int) bool {
 // priority as the connection whose excess is served next (§4.3).
 func (ls *LinkScheduler) electExcess() {
 	best, bestPrio := -1, 0
-	ls.eligible.ForEach(func(vc int) bool {
+	for vc := ls.eligible.NextSet(0); vc >= 0; vc = ls.eligible.NextSet(vc + 1) {
 		if phase, ok := ls.classify(vc); ok && phase == PhaseExcess {
 			p := ls.mem.State(vc).BasePriority
 			if best < 0 || p > bestPrio {
 				best, bestPrio = vc, p
 			}
 		}
-		return true
-	})
+	}
 	ls.excessVC = best
 }
 
