@@ -20,6 +20,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 
 	"mmr/internal/faults"
 	"mmr/internal/flit"
@@ -31,20 +32,22 @@ import (
 
 func main() {
 	var (
-		topo   = flag.String("topo", "mesh", "topology: mesh, torus, irregular")
-		w      = flag.Int("w", 4, "mesh/torus width")
-		h      = flag.Int("h", 4, "mesh/torus height")
-		nodes  = flag.Int("nodes", 16, "irregular topology node count")
-		degree = flag.Int("degree", 3, "irregular topology average degree")
-		ports  = flag.Int("ports", 4, "inter-router ports per router")
-		conns  = flag.Int("conns", 48, "connections to open at random endpoints")
-		rate   = flag.Float64("rate", 0, "connection rate in Mbps (0 = draw from the paper's rate set)")
-		vbr    = flag.Float64("vbr", 0, "fraction of connections that are VBR (peak 3×)")
-		be     = flag.Float64("be", 0, "best-effort packets/cycle per node pair (adds 2×nodes flows)")
-		cycles = flag.Int64("cycles", 50_000, "measured cycles after warmup")
-		warmup = flag.Int64("warmup", 10_000, "warmup cycles")
-		vcs    = flag.Int("vcs", 64, "virtual channels per input port")
-		seed   = flag.Uint64("seed", 1, "simulation seed")
+		topo       = flag.String("topo", "mesh", "topology: mesh, torus, irregular")
+		w          = flag.Int("w", 4, "mesh/torus width")
+		h          = flag.Int("h", 4, "mesh/torus height")
+		nodes      = flag.Int("nodes", 16, "irregular topology node count")
+		degree     = flag.Int("degree", 3, "irregular topology average degree")
+		ports      = flag.Int("ports", 4, "inter-router ports per router")
+		conns      = flag.Int("conns", 48, "connections to open at random endpoints")
+		rate       = flag.Float64("rate", 0, "connection rate in Mbps (0 = draw from the paper's rate set)")
+		vbr        = flag.Float64("vbr", 0, "fraction of connections that are VBR (peak 3×)")
+		be         = flag.Float64("be", 0, "best-effort packets/cycle per node pair (adds 2×nodes flows)")
+		cycles     = flag.Int64("cycles", 50_000, "measured cycles after warmup")
+		warmup     = flag.Int64("warmup", 10_000, "warmup cycles")
+		vcs        = flag.Int("vcs", 64, "virtual channels per input port")
+		seed       = flag.Uint64("seed", 1, "simulation seed")
+		netWorkers = flag.Int("net-workers", runtime.GOMAXPROCS(0),
+			"worker goroutines stepping the network (1 = serial; results are identical at any setting)")
 
 		faultLinks    = flag.Int("fault-links", 0, "random link failures to inject during the measured run")
 		faultDowntime = flag.Int64("fault-downtime", 5000, "cycles a -fault-links failure lasts (0 = permanent)")
@@ -77,12 +80,14 @@ func main() {
 	cfg := network.DefaultConfig(tp)
 	cfg.VCs = *vcs
 	cfg.Seed = *seed
+	cfg.Workers = *netWorkers
 	cfg.Fault.Restore = !*noRestore
 	cfg.Fault.Degrade = !*noDegrade
 	n, err := network.New(cfg)
 	if err != nil {
 		fail(err)
 	}
+	defer n.Shutdown()
 
 	// Fault plan: scheduled random link failures land inside the measured
 	// window; stochastic churn and impairments cover the whole run.

@@ -25,6 +25,11 @@ type Options struct {
 	Seed    uint64
 	// Loads overrides the offered-load sweep; nil means PaperLoads.
 	Loads []float64
+	// NetWorkers sizes the network simulator's worker pool for the
+	// multi-router sweeps (0 or 1 = serial). Any value produces
+	// bit-identical figures; >1 trades barrier overhead for wall-clock
+	// on multicore hosts.
+	NetWorkers int
 }
 
 // loads returns the sweep to use.

@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"math"
 	"strings"
 	"testing"
 
@@ -192,3 +193,34 @@ func TestNetworkSweepShape(t *testing.T) {
 
 // paperBase is the §5 router configuration.
 func paperBase() router.Config { return router.PaperConfig() }
+
+// TestNetworkSweepWorkerDeterminism: the network figure series are
+// bit-identical (math.Float64bits) whether the simulator steps serially
+// or across a worker pool — the parallel cycle may not perturb published
+// curves at any worker count.
+func TestNetworkSweepWorkerDeterminism(t *testing.T) {
+	opts := tinyOpts()
+	opts.Loads = []float64{0.2, 0.4}
+	serial, err := NetworkSweep(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts.NetWorkers = 4
+	parallel, err := NetworkSweep(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for si, s := range serial.Figures[0].Series {
+		p := parallel.Figures[0].Series[si]
+		if len(p.Points) != len(s.Points) {
+			t.Fatalf("series %q: %d vs %d points", s.Name, len(s.Points), len(p.Points))
+		}
+		for pi, sp := range s.Points {
+			pp := p.Points[pi]
+			if math.Float64bits(sp.X) != math.Float64bits(pp.X) || math.Float64bits(sp.Y) != math.Float64bits(pp.Y) {
+				t.Errorf("series %q point %d diverged: serial (%v,%v) vs 4 workers (%v,%v)",
+					s.Name, pi, sp.X, sp.Y, pp.X, pp.Y)
+			}
+		}
+	}
+}

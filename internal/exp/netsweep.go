@@ -53,10 +53,12 @@ func runNetworkPoint(load float64, opts Options) (*network.Stats, error) {
 	cfg := network.DefaultConfig(tp)
 	cfg.VCs = 64
 	cfg.Seed = opts.Seed
+	cfg.Workers = opts.NetWorkers
 	n, err := network.New(cfg)
 	if err != nil {
 		return nil, err
 	}
+	defer n.Shutdown()
 	rng := sim.NewRNG(opts.Seed*104729 + uint64(load*1000))
 	inj := make([]float64, tp.Nodes)
 	for fails := 0; fails < 300; {

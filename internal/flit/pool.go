@@ -92,3 +92,46 @@ func (p *Pool) Puts() int64 { return p.puts }
 
 // FreeLen returns the flits currently parked on the free list.
 func (p *Pool) FreeLen() int { return len(p.flits) }
+
+// FreePackets returns the packets currently parked on the free list.
+func (p *Pool) FreePackets() int { return len(p.packets) }
+
+// MoveFreeFlits transfers up to k parked flits to dst's free list and
+// reports how many moved. The gets/puts counters of both pools are left
+// untouched: the flits were retired and stay retired, they merely change
+// home. Used by multi-pool simulations (one pool per router, flits minted
+// at sources and retired at destinations) to rebalance free lists so
+// source-heavy pools stop allocating.
+func (p *Pool) MoveFreeFlits(dst *Pool, k int) int {
+	if k > len(p.flits) {
+		k = len(p.flits)
+	}
+	if k <= 0 {
+		return 0
+	}
+	cut := len(p.flits) - k
+	dst.flits = append(dst.flits, p.flits[cut:]...)
+	for i := cut; i < len(p.flits); i++ {
+		p.flits[i] = nil
+	}
+	p.flits = p.flits[:cut]
+	return k
+}
+
+// MoveFreePackets transfers up to k parked packets to dst's free list,
+// mirroring MoveFreeFlits.
+func (p *Pool) MoveFreePackets(dst *Pool, k int) int {
+	if k > len(p.packets) {
+		k = len(p.packets)
+	}
+	if k <= 0 {
+		return 0
+	}
+	cut := len(p.packets) - k
+	dst.packets = append(dst.packets, p.packets[cut:]...)
+	for i := cut; i < len(p.packets); i++ {
+		p.packets[i] = nil
+	}
+	p.packets = p.packets[:cut]
+	return k
+}

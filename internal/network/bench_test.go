@@ -1,0 +1,83 @@
+package network
+
+import (
+	"fmt"
+	"testing"
+
+	"mmr/internal/flit"
+	"mmr/internal/sim"
+	"mmr/internal/topology"
+	"mmr/internal/traffic"
+)
+
+// benchNet builds the steady-state workload BenchmarkNetworkStep measures:
+// a 4×4 mesh (16 routers) carrying EPB-established CBR connections between
+// random host pairs plus Poisson best-effort background flows, warmed past
+// its allocation high-water mark. The scenario is fixed-seed so the pre-pr
+// and current sections of BENCH_PR3.json measure the same traffic.
+func benchNet(b *testing.B) *Network {
+	b.Helper()
+	tp, err := topology.Mesh(4, 4, 4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := DefaultConfig(tp)
+	cfg.Seed = 7
+	n, err := New(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := sim.NewRNG(42)
+	opened := 0
+	for i := 0; i < 400 && opened < 96; i++ {
+		src, dst := rng.Intn(tp.Nodes), rng.Intn(tp.Nodes)
+		if src == dst {
+			continue
+		}
+		rate := traffic.PaperRates[rng.Intn(len(traffic.PaperRates))]
+		if _, err := n.Open(src, dst, traffic.ConnSpec{Class: flit.ClassCBR, Rate: rate}); err == nil {
+			opened++
+		}
+	}
+	if opened < 32 {
+		b.Fatalf("benchNet: only %d connections established", opened)
+	}
+	for i := 0; i < 32; i++ {
+		src, dst := rng.Intn(tp.Nodes), rng.Intn(tp.Nodes)
+		if src != dst {
+			n.AddBestEffortFlow(src, dst, 0.02)
+		}
+	}
+	n.Run(2000) // steady state: queues, lanes and pools at high water
+	return n
+}
+
+// BenchmarkNetworkStep measures one serial network cycle of the loaded
+// 16-router mesh. Gated by make bench-check against BENCH_PR3.json.
+func BenchmarkNetworkStep(b *testing.B) {
+	n := benchNet(b)
+	defer n.Shutdown()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n.Step()
+	}
+}
+
+// BenchmarkNetworkStepParallel measures the same cycle sharded across the
+// worker pool, at the scaling points the ISSUE's acceptance criterion
+// names (≥2× at 4 workers vs the serial pre-pr baseline).
+func BenchmarkNetworkStepParallel(b *testing.B) {
+	for _, w := range []int{2, 4, 8} {
+		b.Run(fmt.Sprintf("w=%d", w), func(b *testing.B) {
+			n := benchNet(b)
+			defer n.Shutdown()
+			n.SetWorkers(w)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				n.Step()
+			}
+		})
+	}
+}

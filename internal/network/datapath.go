@@ -4,8 +4,39 @@ import (
 	"mmr/internal/flit"
 	"mmr/internal/routing"
 	"mmr/internal/sched"
+	"mmr/internal/traffic"
 	"mmr/internal/vcm"
 )
+
+// The flit cycle is organized as three barrier-separated phases, each
+// sharded by node across the worker pool (workers.go). Every cross-node
+// effect moves through a single-writer staging lane (lanes.go) and is
+// committed in a fixed order, so the simulation is bit-identical for any
+// worker count — including Workers=1, which runs the same sharded code
+// inline.
+//
+//	deliver   (receiver-driven) round boundary; drain inbound credit
+//	          lanes into the local shadow; drain inbound flit lanes into
+//	          the local VCMs, applying link impairments with the
+//	          receiver's RNG stream (drop-synthesized credits are staged
+//	          node-locally).
+//	schedule  route buffered best-effort packets (cross-node *reads* of
+//	          neighbor free-VC counts only); link scheduling and switch
+//	          arbitration over local state; resolve each grant to a
+//	          target VC — packets claim a downstream VC by reading the
+//	          neighbor's memory and staging the claim in a sender-owned
+//	          slot (nothing mutates VC reservations in this phase, so
+//	          the reads are race-free and the claim stays valid).
+//	commit    (sender-driven, local writes + own lanes only) flush
+//	          staged drop credits; execute grants — pop, return credits
+//	          onto own lanes, append flits to own pipes, eject into the
+//	          local stats shard; commit inbound claims (each input port
+//	          has exactly one wired upstream, so at most one claim
+//	          targets a given memory); inject from sources homed here.
+//
+// Claims survive the gap between schedule and commit because commit only
+// ever *frees* VCs before applying claims, and fault transitions fire on
+// the serial event path between cycles, never mid-cycle.
 
 // creditMsg is a credit travelling back upstream.
 type creditMsg struct {
@@ -22,62 +53,38 @@ type beFlow struct {
 
 // AddBestEffortFlow injects Poisson best-effort packets (one flit each,
 // §3.4) from the host at src to the host at dst at the given mean rate in
-// packets per cycle.
+// packets per cycle. The generator is bound to the source node's RNG
+// stream so injection is independent of worker scheduling.
 func (n *Network) AddBestEffortFlow(src, dst int, packetsPerCycle float64) error {
 	if src < 0 || src >= len(n.nodes) || dst < 0 || dst >= len(n.nodes) || src == dst {
 		return errBadEndpoints(src, dst)
 	}
-	n.beFlows = append(n.beFlows, &beFlow{src: src, dst: dst, gen: newPoisson(n, packetsPerCycle)})
+	bf := &beFlow{src: src, dst: dst, gen: traffic.NewBestEffortSource(n.nodes[src].rng, packetsPerCycle)}
+	n.beFlows = append(n.beFlows, bf)
+	n.nodes[src].beSrc = append(n.nodes[src].beSrc, bf)
 	return nil
 }
 
-// Step advances the whole network by one flit cycle: session events fire,
-// credits and link flits arrive, best-effort packets route, every router
-// schedules and transmits, and sources inject.
+// Step advances the whole network by one flit cycle: session events fire
+// serially, then the three sharded phases run across the worker pool.
 func (n *Network) Step() {
 	t := n.now
 
 	// Session-level events scheduled for this cycle (connection arrivals,
-	// teardowns) fire first.
+	// teardowns, fault transitions) fire first, on the stepping goroutine.
 	n.events.Run(simTime(t))
 
-	// Round boundary.
-	if t%int64(n.cfg.K*n.cfg.VCs) == 0 {
-		for _, nd := range n.nodes {
-			for _, ls := range nd.links {
-				ls.OnRoundBoundary()
-			}
-		}
+	// Flits are minted from the source node's pool and retired into the
+	// destination node's, so free lists drift toward the sinks; level them
+	// periodically (serial, hence worker-count independent) so
+	// source-heavy pools stop hitting the allocator.
+	if t%poolRebalanceInterval == 0 {
+		n.rebalancePools()
 	}
 
-	// Deliver credits that have propagated back.
-	n.deliverCredits(t)
-
-	// Deliver link flits into downstream VCMs.
-	for _, nd := range n.nodes {
-		n.deliverLinkFlits(nd, t)
-	}
-
-	// Route best-effort packets that are still waiting for an output
-	// choice (their VCState.Output is -1 until the routing unit decides).
-	for _, nd := range n.nodes {
-		n.routePackets(nd)
-	}
-
-	// Schedule and transmit at every router.
-	for _, nd := range n.nodes {
-		for p := range nd.links {
-			nd.cands[p] = nd.links[p].Candidates(t, nd.cands[p][:0])
-		}
-		nd.arb.Schedule(nd.cands, nd.grants)
-	}
-	for _, nd := range n.nodes {
-		n.transmit(nd, t)
-	}
-
-	// Inject from hosts.
-	n.injectStreams(t)
-	n.injectPackets(t)
+	n.runPhase(phaseDeliver, t)
+	n.runPhase(phaseSchedule, t)
+	n.runPhase(phaseCommit, t)
 
 	n.now++
 	n.m.cycles++
@@ -91,74 +98,397 @@ func (n *Network) Run(cycles int64) {
 }
 
 // ResetStats discards accumulated statistics (warmup boundary).
-func (n *Network) ResetStats() { n.m.reset() }
-
-// deliverCredits processes the global credit return queue.
-func (n *Network) deliverCredits(t int64) {
-	i := 0
-	for ; i < len(n.credits) && n.credits[i].arriveAt <= t; i++ {
-		to := n.credits[i].to
-		if to.node < 0 {
-			continue
-		}
-		n.nodes[to.node].shadow[to.port].Return(to.vc)
-	}
-	if i > 0 {
-		n.credits = append(n.credits[:0], n.credits[i:]...)
+func (n *Network) ResetStats() {
+	n.m.reset()
+	for _, nd := range n.nodes {
+		nd.stats.reset()
 	}
 }
 
-// deliverLinkFlits moves arrived flits from link pipes into the
-// downstream VCM, applying the link's impairments: a dropped flit is
-// detected by the receiver (CRC) and discarded — for a stream flit its
-// buffer slot never fills, so the credit returns upstream immediately;
-// a dropped packet dies with its reserved VC released. Corrupted flits
-// are delivered and counted. Wiring is resolved through the raw tables:
-// pipes of a failed link are purged at the failure transition, so any
-// flit still here travels a live (or just-impaired) link.
-func (n *Network) deliverLinkFlits(nd *node, t int64) {
-	for q := range nd.pipes {
-		pipe := nd.pipes[q]
-		if len(pipe) == 0 {
+// phaseDeliver is the receiver side of the cycle: node nd drains every
+// inbound lane — credits and flits its wired peers staged for it — in
+// ascending port order. All writes are nd-local (its shadow credits, its
+// VCMs, its stats shard); peers' lanes are advanced via the head index,
+// which the owner only touches in its commit phase, a barrier away.
+func (n *Network) phaseDeliver(nd *node, t int64) {
+	// Round boundary (§4.1): per-round bandwidth accounting resets.
+	if t%int64(n.cfg.K*n.cfg.VCs) == 0 {
+		for _, ls := range nd.links {
+			ls.OnRoundBoundary()
+		}
+	}
+
+	tp := n.cfg.Topology
+	for q := 0; q < tp.Ports; q++ {
+		x := tp.Wired(nd.id, q)
+		if x < 0 {
 			continue
 		}
-		im, impaired := n.impair[[2]int{nd.id, q}]
-		nb := n.cfg.Topology.Wired(nd.id, q)
-		pp := n.cfg.Topology.WiredPeer(nd.id, q)
-		y := n.nodes[nb]
-		i := 0
-		for ; i < len(pipe) && pipe[i].arriveAt <= t; i++ {
-			lf := pipe[i]
-			if impaired && im.DropProb > 0 && n.rng.Float64() < im.DropProb {
-				n.m.flitsDropped++
+		xp := tp.WiredPeer(nd.id, q)
+		src := n.nodes[x]
+
+		// Credits our downstream neighbor returned for flits it drained:
+		// they mature into this node's shadow credit view.
+		cl := &src.credOut[xp]
+		for cl.head < len(cl.buf) && cl.buf[cl.head].arriveAt <= t {
+			to := cl.buf[cl.head].to
+			cl.head++
+			nd.shadow[to.port].Return(to.vc)
+		}
+		cl.compact()
+
+		// Flits in flight toward input port q, applying the directed
+		// link's impairments with this receiver's RNG stream: a dropped
+		// flit is detected by CRC and discarded — a dropped packet dies
+		// with its reserved VC released; a dropped stream flit's buffer
+		// slot never fills, so its credit returns upstream immediately
+		// (staged: the lane owner may be draining it this phase).
+		fl := &src.pipes[xp]
+		if fl.head == len(fl.buf) {
+			continue
+		}
+		im, impaired := n.impair[[2]int{x, xp}]
+		mem := nd.mems[q]
+		for fl.head < len(fl.buf) && fl.buf[fl.head].arriveAt <= t {
+			lf := fl.buf[fl.head]
+			fl.head++
+			if impaired && im.DropProb > 0 && nd.rng.Float64() < im.DropProb {
+				nd.stats.flitsDropped++
 				if lf.f.Class == flit.ClassBestEffort || lf.f.Class == flit.ClassControl {
-					y.mems[pp].Release(lf.vc)
-					y.upstream[pp][lf.vc] = noUpstream
-				} else if up := y.upstream[pp][lf.vc]; up.node >= 0 {
-					n.credits = append(n.credits, creditMsg{arriveAt: t + n.cfg.LinkDelay, to: up})
+					mem.Release(lf.vc)
+					nd.upstream[q][lf.vc] = noUpstream
+				} else if up := nd.upstream[q][lf.vc]; up.node >= 0 {
+					nd.dropCredits = append(nd.dropCredits, stagedCredit{
+						port: q, cm: creditMsg{arriveAt: t + n.cfg.LinkDelay, to: up},
+					})
 				}
+				nd.pool.Put(lf.f)
 				continue
 			}
-			if impaired && im.CorruptProb > 0 && n.rng.Float64() < im.CorruptProb {
-				n.m.flitsCorrupted++
+			if impaired && im.CorruptProb > 0 && nd.rng.Float64() < im.CorruptProb {
+				nd.stats.flitsCorrupted++
 			}
 			lf.f.ReadyAt = t
-			if y.mems[pp].Len(lf.vc) == 0 {
+			if mem.Len(lf.vc) == 0 {
 				lf.f.HeadAt = t
 			}
-			if !y.mems[pp].Push(lf.vc, lf.f) {
+			if !mem.Push(lf.vc, lf.f) {
 				panic("network: flow control violation — downstream VC full")
 			}
 		}
-		if i > 0 {
-			nd.pipes[q] = append(pipe[:0], pipe[i:]...)
+		fl.compact()
+	}
+}
+
+// phaseSchedule routes packets, nominates candidates, arbitrates the
+// switch and resolves every grant to a target VC. Cross-node access is
+// read-only (neighbor free-VC counts and FindFree scans); nothing in this
+// phase mutates any VC reservation, so the reads race with nothing.
+func (n *Network) phaseSchedule(nd *node, t int64) {
+	n.routePackets(nd)
+	for p := range nd.links {
+		nd.cands[p] = nd.links[p].Candidates(t, nd.cands[p][:0])
+	}
+	nd.arb.Schedule(nd.cands, nd.grants)
+
+	// Clear our claim slots: the unique downstream readers consumed last
+	// cycle's claims during their commit phase.
+	for p := range nd.claim {
+		nd.claim[p].vc = -1
+	}
+
+	hp := n.cfg.hostPort()
+	for in := range nd.grants {
+		nd.grantVC[in] = grantSkip
+		g := nd.grants[in]
+		if g == sched.NoGrant {
+			continue
+		}
+		cand := nd.cands[in][g]
+		mem := nd.mems[in]
+		head := mem.Peek(cand.VC)
+		if head == nil {
+			panic("network: granted VC empty")
+		}
+		st := mem.State(cand.VC)
+		isPacket := st.Class == flit.ClassBestEffort || st.Class == flit.ClassControl
+
+		switch {
+		case cand.Output == hp:
+			nd.grantVC[in] = grantEject
+		case !n.cfg.Topology.LinkUp(nd.id, cand.Output):
+			// The chosen output died since routing: un-route packets so
+			// they pick a surviving port next cycle. (Stream VCs cannot
+			// reach here — a failure tears their connection down before
+			// the next transmit.)
+			if isPacket {
+				st.Output = -1
+			}
+		case isPacket:
+			// VCT: claim a VC at the next router now (§3.4); skip the
+			// grant if none is free this cycle. The reservation itself
+			// is committed by the receiver (commit phase).
+			nb := n.cfg.Topology.Neighbor(nd.id, cand.Output)
+			pp := n.cfg.Topology.PeerPort(nd.id, cand.Output)
+			targetVC := n.nodes[nb].mems[pp].FindFree(nd.rng.Intn(n.cfg.VCs))
+			if targetVC < 0 {
+				continue
+			}
+			nd.claim[cand.Output] = claimSlot{vc: targetVC, class: st.Class}
+			if !n.ud.IsUp(nd.id, cand.Output) {
+				head.Packet.WentDown = true
+			}
+			nd.grantVC[in] = targetVC
+		default:
+			// Stream: the reserved next-hop VC from the channel mapping.
+			out := nd.cmap.Direct(routing.VCRef{Port: in, VC: cand.VC})
+			if out == routing.Invalid {
+				panic("network: stream VC without channel mapping")
+			}
+			nd.grantVC[in] = out.VC
+		}
+	}
+}
+
+// phaseCommit is the sender side of the cycle: flush staged drop credits,
+// execute this node's grants onto its own lanes, commit the claims its
+// wired upstreams staged on it, and inject from the sources homed here.
+// Every write is to nd-local state or an nd-owned lane.
+func (n *Network) phaseCommit(nd *node, t int64) {
+	// Drop-synthesized credits staged during delivery go out first,
+	// preserving the serial engine's order (drop credits precede this
+	// cycle's transmit credits on the same lane).
+	if len(nd.dropCredits) > 0 {
+		for _, sc := range nd.dropCredits {
+			nd.credOut[sc.port].push(sc.cm)
+		}
+		nd.dropCredits = nd.dropCredits[:0]
+	}
+
+	n.executeGrants(nd, t)
+	n.commitClaims(nd)
+	n.injectStreams(nd, t)
+	n.injectPackets(nd, t)
+}
+
+// executeGrants performs the transfers resolved in the schedule phase.
+func (n *Network) executeGrants(nd *node, t int64) {
+	for in := range nd.grants {
+		g := nd.grants[in]
+		if g == sched.NoGrant || nd.grantVC[in] == grantSkip {
+			continue
+		}
+		targetVC := nd.grantVC[in]
+		cand := nd.cands[in][g]
+		mem := nd.mems[in]
+		st := mem.State(cand.VC)
+		isPacket := st.Class == flit.ClassBestEffort || st.Class == flit.ClassControl
+		if !isPacket && targetVC >= 0 {
+			if !nd.shadow[in].Consume(cand.VC) {
+				panic("network: scheduler granted a VC without credits")
+			}
+		}
+
+		f := mem.Pop(cand.VC)
+		st.Serviced++
+		if next := mem.Peek(cand.VC); next != nil {
+			next.HeadAt = t
+		}
+		// Free the local slot: return a credit upstream (after the wire
+		// delay), unless a host interface feeds this VC directly.
+		if up := nd.upstream[in][cand.VC]; up.node >= 0 {
+			nd.credOut[in].push(creditMsg{arriveAt: t + n.cfg.LinkDelay, to: up})
+		}
+		if isPacket {
+			// Single-flit packet: its VC frees entirely.
+			mem.Release(cand.VC)
+			nd.upstream[in][cand.VC] = noUpstream
+		}
+
+		if targetVC == grantEject {
+			n.eject(nd, t, f)
+			continue
+		}
+		nd.pipes[cand.Output].push(linkFlit{
+			arriveAt: t + n.cfg.LinkDelay,
+			vc:       targetVC,
+			f:        f,
+		})
+		nd.stats.linkFlits++
+	}
+}
+
+// commitClaims applies the packet VC claims this node's wired upstreams
+// staged during the schedule phase. Each input port has exactly one wired
+// upstream, so each memory sees at most one claim; the claimed VC is
+// still free because the commit phase only releases VCs before this point.
+func (n *Network) commitClaims(nd *node) {
+	tp := n.cfg.Topology
+	for q := 0; q < tp.Ports; q++ {
+		x := tp.Wired(nd.id, q)
+		if x < 0 {
+			continue
+		}
+		slot := n.nodes[x].claim[tp.WiredPeer(nd.id, q)]
+		if slot.vc < 0 {
+			continue
+		}
+		if !nd.mems[q].Reserve(slot.vc, vcm.VCState{
+			Conn: flit.InvalidConn, Class: slot.class, Output: -1,
+		}) {
+			panic("network: claimed VC no longer free at commit")
+		}
+		// The sender released its own VC already (single-flit packets);
+		// the arriving packet has no upstream to credit.
+		nd.upstream[q][slot.vc] = noUpstream
+	}
+}
+
+// eject delivers a flit to the local host, records statistics in this
+// node's shard, and retires the flit to this node's pool (the pooling
+// ownership-transfer rule: whichever node retires a flit puts it).
+func (n *Network) eject(nd *node, t int64, f *flit.Flit) {
+	switch f.Class {
+	case flit.ClassBestEffort:
+		nd.stats.beDelivered++
+		nd.stats.beLatency.Add(float64(t - f.CreatedAt))
+	default:
+		nd.stats.tracker.Record(int(f.Conn), float64(t-f.CreatedAt))
+		nd.stats.delivered++
+	}
+	nd.pool.Put(f)
+}
+
+// injectStreams moves source flits into the entry VCs of the connections
+// whose source host sits on this node. Sources are bound to this node's
+// RNG stream, and flits come from this node's pool.
+func (n *Network) injectStreams(nd *node, t int64) {
+	hp := n.cfg.hostPort()
+	for _, c := range nd.srcConns {
+		if c.closed || c.broken {
+			continue
+		}
+		if c.open && c.src != nil {
+			for k := c.src.Tick(t); k > 0; k-- {
+				f := nd.pool.Get()
+				f.Conn, f.Class, f.Type = c.ID, c.Spec.Class, flit.TypeBody
+				f.Seq, f.CreatedAt = c.nextSeq, t
+				f.Src, f.Dst = int32(c.Src), int32(c.Dst)
+				c.nextSeq++
+				c.niQueue.Push(f)
+				nd.stats.generated++
+			}
+		}
+		mem := nd.mems[hp]
+		entry := c.VCs[0]
+		for c.niQueue.Len() > 0 && mem.Free(entry.VC) > 0 {
+			f := c.niQueue.Pop()
+			f.ReadyAt = t
+			if mem.Len(entry.VC) == 0 {
+				f.HeadAt = t
+			}
+			mem.Push(entry.VC, f)
+		}
+	}
+}
+
+// injectPackets places best-effort packets from the flows homed on this
+// node into free VCs on its host port.
+func (n *Network) injectPackets(nd *node, t int64) {
+	hp := n.cfg.hostPort()
+	for _, bf := range nd.beSrc {
+		for k := bf.gen.Tick(t); k > 0; k-- {
+			nd.pktSeq++
+			// Node-unique sequence: local counter tagged with the node id.
+			seq := nd.pktSeq<<20 | int64(nd.id)
+			f := nd.pool.Get()
+			f.Conn, f.Class, f.Type = flit.InvalidConn, flit.ClassBestEffort, flit.TypeHead
+			f.Seq, f.CreatedAt = seq, t
+			f.Src, f.Dst = int32(bf.src), int32(bf.dst)
+			pk := nd.pool.GetPacket()
+			pk.ID, pk.Kind, pk.Size, pk.CreatedAt = seq, flit.PacketBestEffort, 1, t
+			f.Packet = pk
+			bf.niQueue.Push(f)
+			nd.stats.beGenerated++
+		}
+		mem := nd.mems[hp]
+		for bf.niQueue.Len() > 0 {
+			vc := mem.FindFree(nd.rng.Intn(n.cfg.VCs))
+			if vc < 0 {
+				break // all queued packets need the same resource
+			}
+			f := bf.niQueue.Pop()
+			mem.Reserve(vc, vcm.VCState{Conn: flit.InvalidConn, Class: flit.ClassBestEffort, Output: -1})
+			f.ReadyAt = t
+			f.HeadAt = t
+			mem.Push(vc, f)
+		}
+	}
+}
+
+// poolRebalanceInterval is how often (in cycles) free flits are leveled
+// across the per-node pools. Short enough that a source-heavy node's
+// share covers its outflow between rebalances once the free population
+// has grown to match the workload; long enough that the O(nodes) scan is
+// noise.
+const poolRebalanceInterval = 128
+
+// rebalancePools levels the per-node free lists: every pool ends within
+// one flit (and one packet) of the mean, donors and receivers visited in
+// ascending node order. Runs on the serial path, so the result — like
+// everything else in the cycle — is independent of the worker count.
+func (n *Network) rebalancePools() {
+	if len(n.nodes) < 2 {
+		return
+	}
+	var totalF, totalP int
+	for _, nd := range n.nodes {
+		totalF += nd.pool.FreeLen()
+		totalP += nd.pool.FreePackets()
+	}
+	meanF := totalF / len(n.nodes)
+	meanP := totalP / len(n.nodes)
+
+	di := 0 // donor cursor: donors are consumed in ascending order
+	for _, rd := range n.nodes {
+		need := meanF - rd.pool.FreeLen()
+		for need > 0 && di < len(n.nodes) {
+			donor := n.nodes[di]
+			surplus := donor.pool.FreeLen() - meanF
+			if donor == rd || surplus <= 0 {
+				di++
+				continue
+			}
+			k := surplus
+			if k > need {
+				k = need
+			}
+			need -= donor.pool.MoveFreeFlits(rd.pool, k)
+		}
+	}
+	di = 0
+	for _, rd := range n.nodes {
+		need := meanP - rd.pool.FreePackets()
+		for need > 0 && di < len(n.nodes) {
+			donor := n.nodes[di]
+			surplus := donor.pool.FreePackets() - meanP
+			if donor == rd || surplus <= 0 {
+				di++
+				continue
+			}
+			k := surplus
+			if k > need {
+				k = need
+			}
+			need -= donor.pool.MoveFreePackets(rd.pool, k)
 		}
 	}
 }
 
 // routePackets runs the routing unit for buffered best-effort packets
 // that have no output assignment yet: pick an up*/down* legal port
-// (minimal first) whose downstream router has a free VC.
+// (minimal first) whose downstream router has a free VC. Neighbor state
+// is read-only here.
 func (n *Network) routePackets(nd *node) {
 	hp := n.cfg.hostPort()
 	for p := range nd.mems {
@@ -179,180 +509,14 @@ func (n *Network) routePackets(nd *node) {
 				continue
 			}
 			wentDown := head.Packet.WentDown
-			n.scratchPorts = n.ud.NextPorts(nd.id, dst, wentDown, n.scratchPorts[:0])
-			for _, q := range n.scratchPorts {
+			nd.scratchPorts = n.ud.NextPorts(nd.id, dst, wentDown, nd.scratchPorts[:0])
+			for _, q := range nd.scratchPorts {
 				nb := n.cfg.Topology.Neighbor(nd.id, q)
 				if n.nodes[nb].mems[n.cfg.Topology.PeerPort(nd.id, q)].FreeVCs() > 0 {
 					st.Output = q
 					break
 				}
 			}
-		}
-	}
-}
-
-// transmit executes one router's granted transfers.
-func (n *Network) transmit(nd *node, t int64) {
-	hp := n.cfg.hostPort()
-	for in := range nd.grants {
-		g := nd.grants[in]
-		if g == sched.NoGrant {
-			continue
-		}
-		cand := nd.cands[in][g]
-		mem := nd.mems[in]
-		head := mem.Peek(cand.VC)
-		if head == nil {
-			panic("network: granted VC empty")
-		}
-		st := mem.State(cand.VC)
-		isPacket := st.Class == flit.ClassBestEffort || st.Class == flit.ClassControl
-
-		var targetVC int
-		if cand.Output == hp {
-			targetVC = -1 // ejection to the host
-		} else if !n.cfg.Topology.LinkUp(nd.id, cand.Output) {
-			// The chosen output died since routing: un-route packets so
-			// they pick a surviving port next cycle. (Stream VCs cannot
-			// reach here — a failure tears their connection down before
-			// the next transmit.)
-			if isPacket {
-				st.Output = -1
-			}
-			continue
-		} else if isPacket {
-			// VCT: reserve a VC at the next router now (§3.4); skip the
-			// grant if none is free this cycle.
-			nb := n.cfg.Topology.Neighbor(nd.id, cand.Output)
-			pp := n.cfg.Topology.PeerPort(nd.id, cand.Output)
-			targetVC = n.nodes[nb].mems[pp].FindFree(n.rng.Intn(n.cfg.VCs))
-			if targetVC < 0 {
-				continue
-			}
-			n.nodes[nb].mems[pp].Reserve(targetVC, vcm.VCState{
-				Conn: flit.InvalidConn, Class: st.Class, Output: -1,
-			})
-			if !n.ud.IsUp(nd.id, cand.Output) {
-				head.Packet.WentDown = true
-			}
-		} else {
-			// Stream: the reserved next-hop VC from the channel mapping.
-			out := nd.cmap.Direct(routing.VCRef{Port: in, VC: cand.VC})
-			if out == routing.Invalid {
-				panic("network: stream VC without channel mapping")
-			}
-			targetVC = out.VC
-			if !nd.shadow[in].Consume(cand.VC) {
-				panic("network: scheduler granted a VC without credits")
-			}
-		}
-
-		f := mem.Pop(cand.VC)
-		st.Serviced++
-		if next := mem.Peek(cand.VC); next != nil {
-			next.HeadAt = t
-		}
-		// Free the local slot: return a credit upstream (after the wire
-		// delay), unless a host interface feeds this VC directly.
-		if up := nd.upstream[in][cand.VC]; up.node >= 0 {
-			n.credits = append(n.credits, creditMsg{arriveAt: t + n.cfg.LinkDelay, to: up})
-		}
-		if isPacket {
-			// Single-flit packet: its VC frees entirely.
-			mem.Release(cand.VC)
-			nd.upstream[in][cand.VC] = noUpstream
-		}
-
-		if cand.Output == hp {
-			n.eject(nd, t, f)
-			continue
-		}
-		nd.pipes[cand.Output] = append(nd.pipes[cand.Output], linkFlit{
-			arriveAt: t + n.cfg.LinkDelay,
-			vc:       targetVC,
-			f:        f,
-		})
-		if isPacket {
-			// The receiving router's routing unit sees the packet when it
-			// arrives; record the upstream as none (VC released already).
-			nb := n.cfg.Topology.Neighbor(nd.id, cand.Output)
-			pp := n.cfg.Topology.PeerPort(nd.id, cand.Output)
-			n.nodes[nb].upstream[pp][targetVC] = noUpstream
-		}
-		n.m.linkFlits++
-	}
-}
-
-// eject delivers a flit to the local host and records statistics.
-func (n *Network) eject(nd *node, t int64, f *flit.Flit) {
-	switch f.Class {
-	case flit.ClassBestEffort:
-		n.m.beDelivered++
-		n.m.beLatency.Add(float64(t - f.CreatedAt))
-	default:
-		n.m.tracker.Record(int(f.Conn), float64(t-f.CreatedAt))
-		n.m.delivered++
-	}
-}
-
-// injectStreams moves source flits into the entry VCs.
-func (n *Network) injectStreams(t int64) {
-	hp := n.cfg.hostPort()
-	for _, c := range n.conns {
-		if c.closed || c.broken {
-			continue
-		}
-		if c.open && c.src != nil {
-			for k := c.src.Tick(t); k > 0; k-- {
-				f := &flit.Flit{
-					Conn: c.ID, Class: c.Spec.Class, Type: flit.TypeBody,
-					Seq: c.nextSeq, CreatedAt: t,
-					Src: int32(c.Src), Dst: int32(c.Dst),
-				}
-				c.nextSeq++
-				c.niQueue.Push(f)
-				n.m.generated++
-			}
-		}
-		mem := n.nodes[c.Src].mems[hp]
-		entry := c.VCs[0]
-		for c.niQueue.Len() > 0 && mem.Free(entry.VC) > 0 {
-			f := c.niQueue.Pop()
-			f.ReadyAt = t
-			if mem.Len(entry.VC) == 0 {
-				f.HeadAt = t
-			}
-			mem.Push(entry.VC, f)
-		}
-	}
-}
-
-// injectPackets places best-effort packets into free VCs on the source
-// router's host port.
-func (n *Network) injectPackets(t int64) {
-	hp := n.cfg.hostPort()
-	for _, bf := range n.beFlows {
-		for k := bf.gen.Tick(t); k > 0; k-- {
-			n.pktSeq++
-			bf.niQueue.Push(&flit.Flit{
-				Conn: flit.InvalidConn, Class: flit.ClassBestEffort, Type: flit.TypeHead,
-				Seq: n.pktSeq, CreatedAt: t,
-				Src: int32(bf.src), Dst: int32(bf.dst),
-				Packet: &flit.Packet{ID: n.pktSeq, Kind: flit.PacketBestEffort, Size: 1, CreatedAt: t},
-			})
-			n.m.beGenerated++
-		}
-		mem := n.nodes[bf.src].mems[hp]
-		for bf.niQueue.Len() > 0 {
-			vc := mem.FindFree(n.rng.Intn(n.cfg.VCs))
-			if vc < 0 {
-				break // all queued packets need the same resource
-			}
-			f := bf.niQueue.Pop()
-			mem.Reserve(vc, vcm.VCState{Conn: flit.InvalidConn, Class: flit.ClassBestEffort, Output: -1})
-			f.ReadyAt = t
-			f.HeadAt = t
-			mem.Push(vc, f)
 		}
 	}
 }

@@ -34,7 +34,8 @@ func (n *Network) Open(src, dst int, spec traffic.ConnSpec) (*Conn, error) {
 		return nil, err
 	}
 	n.conns = append(n.conns, conn)
-	n.m.grow(len(n.conns))
+	n.nodes[src].srcConns = append(n.nodes[src].srcConns, conn)
+	n.growTrackers(len(n.conns))
 	n.m.setupAccepted++
 	n.m.setupLatency.Add(float64(conn.SetupTime))
 	n.m.setupBacktracks.Add(float64(conn.Backtracks))
@@ -253,8 +254,13 @@ func (n *Network) installPath(conn *Conn, entryVC int, hops []probeHop, d demand
 	if conn.src == nil {
 		switch conn.Spec.Class {
 		case flit.ClassVBR:
-			conn.src = traffic.NewVBRSource(n.rng, n.cfg.Link, conn.Spec.Rate, conn.Spec.PeakRate, traffic.DefaultGoP())
+			// The VBR generator draws randomness at injection time, which
+			// runs inside the parallel commit phase: bind it to the source
+			// node's RNG stream so the draw order is per-node and therefore
+			// independent of worker scheduling.
+			conn.src = traffic.NewVBRSource(n.nodes[conn.Src].rng, n.cfg.Link, conn.Spec.Rate, conn.Spec.PeakRate, traffic.DefaultGoP())
 		default:
+			// CBR draws only its phase, here on the serial control path.
 			conn.src = traffic.NewCBRSource(n.cfg.Link, conn.Spec.Rate, n.rng.Float64())
 		}
 	}

@@ -182,7 +182,7 @@ func (n *Network) afterTransition() {
 // receiver at (peer, peerPort).
 func (n *Network) purgePipe(nodeID, port, peer, peerPort int) {
 	nd := n.nodes[nodeID]
-	for _, lf := range nd.pipes[port] {
+	for _, lf := range nd.pipes[port].pending() {
 		n.m.faultFlitsLost++
 		if lf.f.Class == flit.ClassBestEffort || lf.f.Class == flit.ClassControl {
 			// The packet dies here; free the input VC it had reserved at
@@ -190,8 +190,9 @@ func (n *Network) purgePipe(nodeID, port, peer, peerPort int) {
 			n.nodes[peer].mems[peerPort].Release(lf.vc)
 			n.nodes[peer].upstream[peerPort][lf.vc] = noUpstream
 		}
+		nd.pool.Put(lf.f)
 	}
-	nd.pipes[port] = nd.pipes[port][:0]
+	nd.pipes[port].reset()
 }
 
 // clearStaleOutputs un-routes best-effort packets at nodeID whose chosen
@@ -226,41 +227,37 @@ func (n *Network) breakConn(c *Conn, reason string) {
 	n.m.connsBroken++
 	n.logEvent(SessionEvent{Kind: "conn-broken", Conn: c.ID, Node: c.Src, Port: -1, Detail: reason})
 
-	// Source-interface queue: flits not yet in the fabric are dropped.
+	// Source-interface queue: flits not yet in the fabric are dropped
+	// (back into the source node's pool, which minted them).
 	n.m.faultFlitsLost += int64(c.niQueue.Len())
+	srcPool := n.nodes[c.Src].pool
 	for c.niQueue.Len() > 0 {
-		c.niQueue.Pop()
+		srcPool.Put(c.niQueue.Pop())
 	}
 
 	// In-flight flits of this connection on any pipe along its path.
 	for _, hop := range c.Path {
 		nd := n.nodes[hop.Node]
-		kept := nd.pipes[hop.Port][:0]
-		for _, lf := range nd.pipes[hop.Port] {
+		nd.pipes[hop.Port].filter(func(lf linkFlit) bool {
 			if lf.f.Conn == c.ID {
 				n.m.faultFlitsLost++
-				continue
+				nd.pool.Put(lf.f)
+				return false
 			}
-			kept = append(kept, lf)
-		}
-		nd.pipes[hop.Port] = kept
+			return true
+		})
 	}
 
 	// In-flight credit returns targeting the connection's VCs: after the
 	// shadow reset below those slots are full again, and a late Return
-	// would overflow the protocol's accounting.
-	refs := make(map[[3]int]bool, len(c.VCs))
-	for i, ref := range c.VCs {
-		refs[[3]int{c.Nodes[i], ref.Port, ref.VC}] = true
+	// would overflow the protocol's accounting. Credits targeting hop i
+	// are emitted by the node at hop i+1 when it drains that VC, so they
+	// can only sit in that node's outbound credit lane for that port.
+	for i := 0; i+1 < len(c.VCs); i++ {
+		target := upRef{node: c.Nodes[i], port: c.VCs[i].Port, vc: c.VCs[i].VC}
+		lane := &n.nodes[c.Nodes[i+1]].credOut[c.VCs[i+1].Port]
+		lane.filter(func(cm creditMsg) bool { return cm.to != target })
 	}
-	keptCredits := n.credits[:0]
-	for _, cm := range n.credits {
-		if cm.to.node >= 0 && refs[[3]int{cm.to.node, cm.to.port, cm.to.vc}] {
-			continue
-		}
-		keptCredits = append(keptCredits, cm)
-	}
-	n.credits = keptCredits
 
 	// Hop-by-hop release: drain buffered flits and reset the shadow
 	// credit view (the purges above guarantee no credit is still in
@@ -269,7 +266,7 @@ func (n *Network) breakConn(c *Conn, reason string) {
 	for i, ref := range c.VCs {
 		x := n.nodes[c.Nodes[i]]
 		for x.mems[ref.Port].Len(ref.VC) > 0 {
-			x.mems[ref.Port].Pop(ref.VC)
+			x.pool.Put(x.mems[ref.Port].Pop(ref.VC))
 			n.m.faultFlitsLost++
 		}
 		x.shadow[ref.Port].Reset(ref.VC)
@@ -329,10 +326,12 @@ func (n *Network) abandon(c *Conn) {
 	if n.cfg.Fault.Degrade {
 		c.Degraded = true
 		n.m.connsDegraded++
-		n.beFlows = append(n.beFlows, &beFlow{
+		bf := &beFlow{
 			src: c.Src, dst: c.Dst,
 			gen: traffic.NewCBRSource(n.cfg.Link, c.Spec.Rate, 0),
-		})
+		}
+		n.beFlows = append(n.beFlows, bf)
+		n.nodes[c.Src].beSrc = append(n.nodes[c.Src].beSrc, bf)
 		n.logEvent(SessionEvent{Kind: "conn-degraded", Conn: c.ID, Node: c.Src, Port: -1,
 			Detail: "restoration failed; continuing best-effort"})
 		return

@@ -137,8 +137,8 @@ func networkInvariants(n *Network) bool {
 				return false
 			}
 		}
-		for _, pipe := range nd.pipes {
-			inflight += int64(len(pipe))
+		for q := range nd.pipes {
+			inflight += int64(len(nd.pipes[q].pending()))
 		}
 	}
 	for _, c := range n.conns {
@@ -147,9 +147,13 @@ func networkInvariants(n *Network) bool {
 	for _, bf := range n.beFlows {
 		queued += int64(bf.niQueue.Len())
 	}
-	gen := n.m.generated + n.m.beGenerated
-	del := n.m.delivered + n.m.beDelivered
-	lost := n.m.faultFlitsLost + n.m.flitsDropped
+	var gen, del, lost int64
+	for _, nd := range n.nodes {
+		gen += nd.stats.generated + nd.stats.beGenerated
+		del += nd.stats.delivered + nd.stats.beDelivered
+		lost += nd.stats.flitsDropped
+	}
+	lost += n.m.faultFlitsLost
 	if gen != del+buffered+queued+inflight+lost {
 		return false
 	}

@@ -73,15 +73,17 @@ func (n *Network) CheckInvariants() error {
 		for i := 0; i < len(c.Path); i++ {
 			up, down := c.VCs[i], c.VCs[i+1]
 			shadow := n.nodes[c.Nodes[i]].shadow[up.Port].Available(up.VC)
+			// Credits returning for this hop can only sit in the outbound
+			// credit lane of the downstream node (the unique emitter).
 			inflight := 0
-			for _, cm := range n.credits {
+			for _, cm := range n.nodes[c.Nodes[i+1]].credOut[down.Port].pending() {
 				if cm.to.node == c.Nodes[i] && cm.to.port == up.Port && cm.to.vc == up.VC {
 					inflight++
 				}
 			}
 			buffered := n.nodes[c.Nodes[i+1]].mems[down.Port].Len(down.VC)
 			onLink := 0
-			for _, lf := range n.nodes[c.Path[i].Node].pipes[c.Path[i].Port] {
+			for _, lf := range n.nodes[c.Path[i].Node].pipes[c.Path[i].Port].pending() {
 				if lf.f.Conn == c.ID {
 					onLink++
 				}

@@ -1,0 +1,123 @@
+package network
+
+import "mmr/internal/flit"
+
+// lanes.go holds the single-writer/single-reader staging lanes the
+// parallel cycle is built on. Every cross-node effect of a cycle — a flit
+// leaving on a wire, a credit returning upstream — is appended to a lane
+// owned by the *sender* during the commit phase, and drained by the unique
+// *receiver* (the node wired to the other end) during the next cycle's
+// delivery phase. Because each lane has exactly one writer and one reader,
+// and writer and reader run in different barrier-separated phases, no lane
+// ever needs a lock; and because each receiver drains its inbound lanes in
+// ascending port order, the merge order — and therefore the simulation —
+// is bit-identical for any worker count.
+//
+// Both lane types are head-indexed rings over a reusable backing slice:
+// the reader advances head past matured entries (O(delivered) per cycle,
+// no memmove) and resets head and length together once the lane empties,
+// so steady state reuses one backing array with no per-cycle allocation.
+
+// creditLane carries credit returns from the node that freed a buffer
+// slot back to the upstream node named in each entry's upRef. Lane
+// credOut[p] of node x holds credits destined to Wired(x, p) — the node
+// feeding x's input port p — which is the only node that drains it.
+type creditLane struct {
+	buf  []creditMsg
+	head int
+}
+
+// push appends a credit (writer side, commit phase). arriveAt values are
+// nondecreasing across pushes, so the lane stays sorted by maturity.
+func (l *creditLane) push(cm creditMsg) { l.buf = append(l.buf, cm) }
+
+// pending returns the undelivered entries (for invariant audits and
+// fault-time cancellation; not used on the hot path).
+func (l *creditLane) pending() []creditMsg { return l.buf[l.head:] }
+
+// compact resets the backing slice once every entry has been consumed.
+func (l *creditLane) compact() {
+	if l.head == len(l.buf) {
+		l.buf = l.buf[:0]
+		l.head = 0
+	}
+}
+
+// filter drops pending entries rejected by keep — the fault path uses it
+// to cancel in-flight credits of a torn-down connection. Serial-only.
+func (l *creditLane) filter(keep func(creditMsg) bool) {
+	kept := l.buf[l.head:l.head]
+	for _, cm := range l.buf[l.head:] {
+		if keep(cm) {
+			kept = append(kept, cm)
+		}
+	}
+	l.buf = l.buf[:l.head+len(kept)]
+	l.compact()
+}
+
+// flitLane carries flits in flight on one directed link: lane pipes[p] of
+// node x holds flits sent from x's output port p toward Wired(x, p), the
+// only node that drains it.
+type flitLane struct {
+	buf  []linkFlit
+	head int
+}
+
+// push appends a flit (writer side, commit phase).
+func (l *flitLane) push(lf linkFlit) { l.buf = append(l.buf, lf) }
+
+// pending returns the in-flight entries.
+func (l *flitLane) pending() []linkFlit { return l.buf[l.head:] }
+
+// compact resets the backing slice once every entry has been consumed.
+func (l *flitLane) compact() {
+	if l.head == len(l.buf) {
+		l.buf = l.buf[:0]
+		l.head = 0
+	}
+}
+
+// filter drops pending entries rejected by keep (fault teardown purging a
+// broken connection's flits). Serial-only.
+func (l *flitLane) filter(keep func(linkFlit) bool) {
+	kept := l.buf[l.head:l.head]
+	for _, lf := range l.buf[l.head:] {
+		if keep(lf) {
+			kept = append(kept, lf)
+		}
+	}
+	l.buf = l.buf[:l.head+len(kept)]
+	l.compact()
+}
+
+// reset empties the lane entirely (link-failure purge). Serial-only.
+func (l *flitLane) reset() {
+	l.buf = l.buf[:0]
+	l.head = 0
+}
+
+// stagedCredit is a credit synthesized during the delivery phase (a
+// receiver detecting an impairment drop) that cannot be pushed onto its
+// credit lane immediately: the lane's owner may be draining it in the
+// same phase. It is staged node-locally and flushed to credOut[port] at
+// the start of the commit phase, preserving the serial engine's ordering
+// (drop credits precede that cycle's transmit credits).
+type stagedCredit struct {
+	port int // input port whose lane the credit belongs on
+	cm   creditMsg
+}
+
+// claimSlot stages one packet's virtual-channel claim on the downstream
+// router. The scheduling phase decides the target VC by reading the
+// neighbor's memory (reads only — nothing mutates reservations in that
+// phase) and records it in the slot owned by the sender, keyed by output
+// port; the unique receiver commits the reservation in its own commit
+// phase. A claimed VC cannot be stolen in between: the commit phase only
+// ever *frees* VCs before claims are applied, and each input port has
+// exactly one wired upstream, so at most one claim targets a given
+// memory per cycle.
+type claimSlot struct {
+	vc    int // claimed VC on the receiver's input port; -1 = no claim
+	class flit.Class
+}

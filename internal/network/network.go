@@ -17,6 +17,8 @@ package network
 
 import (
 	"fmt"
+	"sync"
+	"sync/atomic"
 
 	"mmr/internal/admission"
 	"mmr/internal/faults"
@@ -52,6 +54,15 @@ type Config struct {
 	Concurrency        float64
 	EnforceAllocations bool
 	Seed               uint64
+
+	// Workers is the worker-pool size for the parallel flit cycle:
+	// per-node work is sharded across this many goroutines (including
+	// the stepping goroutine) with all cross-node traffic staged in
+	// single-writer lanes and committed in fixed order, so results are
+	// bit-identical for every value. 0 or 1 runs the same sharded code
+	// serially on the stepping goroutine. See docs/performance.md
+	// ("Parallel execution model").
+	Workers int
 
 	// Fault governs how the network reacts to injected faults (link and
 	// router failures, flit impairments) — see internal/faults.
@@ -151,7 +162,10 @@ type upRef struct {
 // noUpstream marks VCs fed directly by a host interface.
 var noUpstream = upRef{node: -1}
 
-// node is one router plus its host interface.
+// node is one router plus its host interface. Beyond the router state it
+// carries everything one shard of the parallel cycle needs without
+// touching shared mutables: a deterministic RNG stream, a flit pool, a
+// statistics shard, outbound staging lanes and scratch buffers.
 type node struct {
 	id    int
 	mems  []*vcm.Memory // per input port
@@ -171,11 +185,54 @@ type node struct {
 	// input port p, VC v.
 	upstream [][]upRef
 
-	pipes [][]linkFlit // per output port: flits in flight
+	// Outbound staging lanes, one per port. pipes[p] holds flits sent
+	// from output port p toward Wired(id, p); credOut[p] holds credits
+	// returning to Wired(id, p), the node feeding input port p. This
+	// node is the only writer (commit phase); the wired peer is the only
+	// reader (its next delivery phase).
+	pipes   []flitLane
+	credOut []creditLane
+
+	// dropCredits stages credits synthesized by impairment drops during
+	// the delivery phase (the lane owner may be draining concurrently);
+	// flushed to credOut at the start of the commit phase.
+	dropCredits []stagedCredit
+
+	// claim[p] stages this node's packet VC claim on the router wired at
+	// output port p (written during scheduling, read by that router
+	// during its commit phase).
+	claim []claimSlot
+
+	// grantVC[in] is the resolved target VC for input in's grant this
+	// cycle: a VC index, grantEject, or grantSkip.
+	grantVC []int
 
 	cands  [][]sched.Candidate
 	grants []int
+
+	// Parallel-cycle per-node state: a decorrelated RNG stream (seeded
+	// from the master seed + node index), a private flit pool (flits are
+	// Get from the injecting node's pool and Put by whichever node
+	// retires them — ownership moves with the flit across lane commits),
+	// a statistics shard merged in ascending node order at snapshot, and
+	// routing scratch.
+	rng          *sim.RNG
+	pool         *flit.Pool
+	stats        dpStats
+	scratchPorts []int
+	pktSeq       int64 // per-node best-effort sequence counter
+
+	// Host-side injectors homed on this node (sources bound to this
+	// node's RNG stream; ticked only by this node's shard).
+	srcConns []*Conn
+	beSrc    []*beFlow
 }
+
+// Sentinels for node.grantVC.
+const (
+	grantEject = -1 // granted to the host port: eject locally
+	grantSkip  = -2 // grant abandoned (dead link, no downstream VC)
+)
 
 // Conn is an established end-to-end connection.
 type Conn struct {
@@ -229,10 +286,6 @@ type Network struct {
 	beFlows []*beFlow
 	events  *sim.Engine // session-level dynamics
 
-	credits      []creditMsg // credit returns in flight
-	pktSeq       int64
-	scratchPorts []int
-
 	// Fault-injection runtime: per-directed-link impairments, in-flight
 	// probe count (transient VC holds the invariant checker must allow),
 	// and the session event log.
@@ -241,6 +294,15 @@ type Network struct {
 	sessionLog   []SessionEvent
 
 	m netStats
+
+	// Worker pool for the parallel cycle (see workers.go). workers <= 1
+	// means the sharded phases run inline on the stepping goroutine.
+	workers int
+	wake    []chan struct{}
+	wwg     sync.WaitGroup
+	widx    atomic.Int64
+	phID    int
+	phT     int64
 }
 
 // SessionEvent records one connection- or fault-level transition for
@@ -284,7 +346,13 @@ func New(cfg Config) (*Network, error) {
 	}
 	roundLen := cfg.K * cfg.VCs
 	for id := 0; id < cfg.Topology.Nodes; id++ {
-		nd := &node{id: id, cmap: routing.NewChannelMap(radix, cfg.VCs)}
+		nd := &node{
+			id:   id,
+			cmap: routing.NewChannelMap(radix, cfg.VCs),
+			rng:  sim.NewStreamRNG(cfg.Seed, uint64(id)),
+			pool: flit.NewPool(),
+		}
+		nd.stats.init()
 		for p := 0; p < radix; p++ {
 			mem, err := vcm.New(vcmCfg)
 			if err != nil {
@@ -302,14 +370,20 @@ func New(cfg Config) (*Network, error) {
 				ups[i] = noUpstream
 			}
 			nd.upstream = append(nd.upstream, ups)
-			nd.pipes = append(nd.pipes, nil)
 		}
+		nd.pipes = make([]flitLane, radix)
+		nd.credOut = make([]creditLane, radix)
+		nd.claim = make([]claimSlot, radix)
+		for p := range nd.claim {
+			nd.claim[p].vc = -1
+		}
+		nd.grantVC = make([]int, radix)
 		for p := 0; p < radix; p++ {
 			nd.links = append(nd.links, sched.NewLinkScheduler(sched.LinkConfig{
 				Input:         p,
 				MaxCandidates: cfg.MaxCandidates,
 				Scheme:        cfg.Scheme,
-				RNG:           n.rng,
+				RNG:           nd.rng,
 				NoEnforce:     !cfg.EnforceAllocations,
 			}, nd.mems[p], nd.shadow[p]))
 		}
@@ -318,8 +392,17 @@ func New(cfg Config) (*Network, error) {
 		nd.grants = make([]int, radix)
 		n.nodes = append(n.nodes, nd)
 	}
-	n.m.init()
+	n.SetWorkers(cfg.Workers)
 	return n, nil
+}
+
+// growTrackers extends every node's jitter tracker to cover nconns
+// connections (each shard only records the connections ejecting at that
+// node, but uniform indexing keeps Record branch-free).
+func (n *Network) growTrackers(nconns int) {
+	for _, nd := range n.nodes {
+		nd.stats.tracker.Grow(nconns)
+	}
 }
 
 // Config returns the network configuration.
@@ -342,8 +425,10 @@ func (n *Network) Schedule(cycle int64, fn func()) {
 	n.events.At(sim.Time(cycle), sim.EventFunc(func(sim.Time) { fn() }))
 }
 
-// Stats returns a snapshot of the network statistics.
-func (n *Network) Stats() *Stats { return n.m.snapshot() }
+// Stats returns a snapshot of the network statistics: the session-level
+// counters plus every node shard merged in ascending node order (the
+// fixed merge order keeps snapshots bit-identical across worker counts).
+func (n *Network) Stats() *Stats { return n.snapshotStats() }
 
 // Conns returns all connections ever opened (including closed ones).
 func (n *Network) Conns() []*Conn { return n.conns }

@@ -145,8 +145,8 @@ func TestFlitConservationAcrossNetwork(t *testing.T) {
 		for _, mem := range nd.mems {
 			buffered += int64(mem.Occupied())
 		}
-		for _, pipe := range nd.pipes {
-			inflight += int64(len(pipe))
+		for q := range nd.pipes {
+			inflight += int64(len(nd.pipes[q].pending()))
 		}
 	}
 	for _, c := range n.conns {

@@ -227,8 +227,9 @@ func (p *probe) complete() {
 	}
 	n.installPath(conn, p.entryVC, p.hops, p.d)
 	n.conns = append(n.conns, conn)
+	n.nodes[p.src].srcConns = append(n.nodes[p.src].srcConns, conn)
 	n.activeProbes--
-	n.m.grow(len(n.conns))
+	n.growTrackers(len(n.conns))
 	n.m.setupAccepted++
 	n.m.setupLatency.Add(float64(conn.SetupTime))
 	n.m.setupBacktracks.Add(float64(p.backs))

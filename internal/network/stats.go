@@ -5,7 +5,6 @@ import (
 
 	"mmr/internal/sim"
 	"mmr/internal/stats"
-	"mmr/internal/traffic"
 )
 
 // simTime converts a cycle count to the event engine's time type.
@@ -15,23 +14,48 @@ func errBadEndpoints(src, dst int) error {
 	return fmt.Errorf("network: invalid endpoints (%d,%d)", src, dst)
 }
 
-// newPoisson builds a Poisson packet generator bound to the network RNG.
-func newPoisson(n *Network, rate float64) *traffic.BestEffortSource {
-	return traffic.NewBestEffortSource(n.rng, rate)
-}
-
-// netStats is the live statistics state of a network simulation.
-type netStats struct {
-	cycles    int64
+// dpStats is one node's shard of the datapath statistics. Every counter
+// touched inside the parallel phases lives here — a node only ever writes
+// its own shard, so the hot path needs no synchronization and no atomics.
+// Shards are merged in ascending node order when a snapshot is taken,
+// which keeps the reported aggregates identical for every worker count.
+// (Per-connection jitter sequences stay exact because a connection's
+// flits all eject at its one destination node, so each tracker sees the
+// full, ordered latency series for the connections ending there.)
+type dpStats struct {
 	generated int64
 	delivered int64
 	linkFlits int64
 
-	tracker *stats.JitterTracker // end-to-end stream latency & jitter
+	tracker *stats.JitterTracker // streams ejected at this node
 
 	beGenerated int64
 	beDelivered int64
 	beLatency   stats.Accumulator
+
+	// Impairment counters survive reset like the session statistics:
+	// they describe injected faults, not the warmed-up datapath.
+	flitsDropped   int64
+	flitsCorrupted int64
+}
+
+func (d *dpStats) init() { d.tracker = stats.NewJitterTracker(0) }
+
+func (d *dpStats) reset() {
+	d.generated = 0
+	d.delivered = 0
+	d.linkFlits = 0
+	d.tracker.Reset()
+	d.beGenerated = 0
+	d.beDelivered = 0
+	d.beLatency.Reset()
+}
+
+// netStats is the session-level statistics state: everything incremented
+// on the serial control path (establishment, teardown, faults) plus the
+// cycle counter. Datapath counters live in the per-node dpStats shards.
+type netStats struct {
+	cycles int64
 
 	setupAttempts   int64
 	setupAccepted   int64
@@ -46,8 +70,6 @@ type netStats struct {
 	faultsInjected int64 // link-down transitions applied
 	faultsRepaired int64 // link-up transitions applied
 	faultFlitsLost int64 // flits purged by link failures and teardowns
-	flitsDropped   int64 // flits lost to link impairments (CRC discard)
-	flitsCorrupted int64 // flits delivered corrupted
 	connsBroken    int64 // connections torn down by faults
 	connsRestored  int64 // re-established on a surviving path
 	connsDegraded  int64 // downgraded to best-effort after failed restore
@@ -55,21 +77,10 @@ type netStats struct {
 	restoreLatency stats.Accumulator // cycles from teardown to re-establishment
 }
 
-func (m *netStats) init() { m.tracker = stats.NewJitterTracker(0) }
-
-func (m *netStats) grow(n int) { m.tracker.Grow(n) }
-
 func (m *netStats) reset() {
 	m.cycles = 0
-	m.generated = 0
-	m.delivered = 0
-	m.linkFlits = 0
-	m.tracker.Reset()
-	m.beGenerated = 0
-	m.beDelivered = 0
-	m.beLatency.Reset()
-	// Setup statistics survive reset: they describe session-level
-	// behaviour, not the warmed-up datapath.
+	// Setup and fault statistics survive reset: they describe
+	// session-level behaviour, not the warmed-up datapath.
 }
 
 // Stats is an immutable snapshot of network statistics.
@@ -109,17 +120,13 @@ type Stats struct {
 	RestoreLatency stats.Accumulator
 }
 
-func (m *netStats) snapshot() *Stats {
-	return &Stats{
+// snapshotStats merges the session counters with every node's datapath
+// shard, in ascending node order so the floating-point accumulator merges
+// are deterministic.
+func (n *Network) snapshotStats() *Stats {
+	m := &n.m
+	s := &Stats{
 		Cycles:          m.cycles,
-		FlitsGenerated:  m.generated,
-		FlitsDelivered:  m.delivered,
-		LinkFlits:       m.linkFlits,
-		Latency:         *m.tracker.Delay(),
-		Jitter:          *m.tracker.Jitter(),
-		BEGenerated:     m.beGenerated,
-		BEDelivered:     m.beDelivered,
-		BELatency:       m.beLatency,
 		SetupAttempts:   m.setupAttempts,
 		SetupAccepted:   m.setupAccepted,
 		SetupRejected:   m.setupRejected,
@@ -130,14 +137,26 @@ func (m *netStats) snapshot() *Stats {
 		FaultsInjected:  m.faultsInjected,
 		FaultsRepaired:  m.faultsRepaired,
 		FaultFlitsLost:  m.faultFlitsLost,
-		FlitsDropped:    m.flitsDropped,
-		FlitsCorrupted:  m.flitsCorrupted,
 		ConnsBroken:     m.connsBroken,
 		ConnsRestored:   m.connsRestored,
 		ConnsDegraded:   m.connsDegraded,
 		ConnsLost:       m.connsLost,
 		RestoreLatency:  m.restoreLatency,
 	}
+	for _, nd := range n.nodes {
+		d := &nd.stats
+		s.FlitsGenerated += d.generated
+		s.FlitsDelivered += d.delivered
+		s.LinkFlits += d.linkFlits
+		s.BEGenerated += d.beGenerated
+		s.BEDelivered += d.beDelivered
+		s.FlitsDropped += d.flitsDropped
+		s.FlitsCorrupted += d.flitsCorrupted
+		s.Latency.Merge(d.tracker.Delay())
+		s.Jitter.Merge(d.tracker.Jitter())
+		s.BELatency.Merge(&d.beLatency)
+	}
+	return s
 }
 
 // AcceptanceRate returns accepted/attempted connection setups.

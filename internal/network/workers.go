@@ -1,0 +1,115 @@
+package network
+
+// workers.go is the persistent worker pool behind the parallel flit
+// cycle. Each cycle runs as three barrier-separated phases (see
+// datapath.go); within a phase, nodes are claimed off a shared atomic
+// counter by whichever worker is free (work stealing), which is safe
+// because a phase only ever writes node-local state and single-writer
+// staging lanes — the claim order cannot affect the result. The stepping
+// goroutine participates as a worker, so SetWorkers(k) spawns k-1
+// goroutines. Everything on the dispatch path (channel sends of empty
+// structs, the WaitGroup barrier, the atomic counter) is allocation-free,
+// keeping the steady-state zero-alloc guarantee at every worker count.
+
+// Phase identifiers for the dispatch switch (closure-free: workers
+// re-dispatch on an ID instead of capturing per-cycle closures).
+const (
+	phaseDeliver  = iota // drain inbound lanes, impairments, round boundary
+	phaseSchedule        // route, link scheduling, arbitration, claims
+	phaseCommit          // execute grants, commit claims, inject
+)
+
+// SetWorkers resizes the worker pool. k <= 1 (and any k when the network
+// has a single node) tears the pool down and runs the sharded phases
+// inline; the simulation result is bit-identical for every k. Safe to
+// call between Steps only.
+func (n *Network) SetWorkers(k int) {
+	if k > len(n.nodes) {
+		k = len(n.nodes)
+	}
+	if k < 1 {
+		k = 1
+	}
+	if k == n.Workers() {
+		return
+	}
+	n.Shutdown()
+	n.workers = k
+	for i := 0; i < k-1; i++ {
+		ch := make(chan struct{}, 1)
+		n.wake = append(n.wake, ch)
+		go n.workerLoop(ch)
+	}
+}
+
+// Workers returns the current worker-pool size (1 = serial).
+func (n *Network) Workers() int {
+	if n.workers < 1 {
+		return 1
+	}
+	return n.workers
+}
+
+// Shutdown stops the worker goroutines. Call when done with a network
+// built with Workers > 1 (netsweep and fuzz harnesses create thousands of
+// networks; leaked workers would accumulate). Idempotent; the network
+// remains usable afterwards in serial mode.
+func (n *Network) Shutdown() {
+	for _, ch := range n.wake {
+		close(ch)
+	}
+	n.wake = n.wake[:0]
+	n.workers = 1
+}
+
+// workerLoop is one pool goroutine: woken once per phase, it claims nodes
+// until the shared counter runs out, then reports the barrier.
+func (n *Network) workerLoop(wake chan struct{}) {
+	for range wake {
+		n.drainNodes(n.phID, n.phT)
+		n.wwg.Done()
+	}
+}
+
+// runPhase executes one phase over every node, sharded across the pool.
+// phID/phT are published before the channel sends, which happen-before
+// the workers' reads; the WaitGroup closes the barrier.
+func (n *Network) runPhase(ph int, t int64) {
+	if n.workers <= 1 {
+		for _, nd := range n.nodes {
+			n.stepNode(ph, nd, t)
+		}
+		return
+	}
+	n.phID, n.phT = ph, t
+	n.widx.Store(0)
+	n.wwg.Add(len(n.wake))
+	for _, ch := range n.wake {
+		ch <- struct{}{}
+	}
+	n.drainNodes(ph, t)
+	n.wwg.Wait()
+}
+
+// drainNodes claims nodes off the shared counter until none remain.
+func (n *Network) drainNodes(ph int, t int64) {
+	for {
+		i := int(n.widx.Add(1)) - 1
+		if i >= len(n.nodes) {
+			return
+		}
+		n.stepNode(ph, n.nodes[i], t)
+	}
+}
+
+// stepNode dispatches one node's share of the given phase.
+func (n *Network) stepNode(ph int, nd *node, t int64) {
+	switch ph {
+	case phaseDeliver:
+		n.phaseDeliver(nd, t)
+	case phaseSchedule:
+		n.phaseSchedule(nd, t)
+	case phaseCommit:
+		n.phaseCommit(nd, t)
+	}
+}

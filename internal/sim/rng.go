@@ -27,6 +27,18 @@ func NewRNG(seed uint64) *RNG {
 	return r
 }
 
+// NewStreamRNG returns the generator for one of a family of decorrelated
+// streams derived from a single master seed. Stream k is seeded with
+// seed + (k+1)·φ64 (the splitmix64 golden-ratio increment), then run
+// through the usual splitmix64 expansion — so nearby (seed, stream) pairs
+// land far apart in the seeding sequence and the streams are mutually
+// uncorrelated. The parallel network simulation gives every router node
+// its own stream so per-node random decisions are independent of how
+// nodes are scheduled across workers.
+func NewStreamRNG(seed, stream uint64) *RNG {
+	return NewRNG(seed + (stream+1)*0x9e3779b97f4a7c15)
+}
+
 // Seed resets the generator state as if freshly constructed with seed.
 func (r *RNG) Seed(seed uint64) {
 	r.haveGauss = false

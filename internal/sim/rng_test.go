@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"fmt"
 	"math"
 	"testing"
 	"testing/quick"
@@ -147,6 +148,36 @@ func TestMul64(t *testing.T) {
 		hi, lo := mul64(c.a, c.b)
 		if hi != c.hi || lo != c.lo {
 			t.Errorf("mul64(%d,%d) = (%d,%d), want (%d,%d)", c.a, c.b, hi, lo, c.hi, c.lo)
+		}
+	}
+}
+
+// TestStreamRNG: streams are deterministic, and distinct (seed, stream)
+// pairs produce distinct sequences — including the stream-0 vs master
+// collision case the derivation must avoid.
+func TestStreamRNG(t *testing.T) {
+	a, b := NewStreamRNG(1, 0), NewStreamRNG(1, 0)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same (seed, stream) diverged")
+		}
+	}
+	draw := func(r *RNG) [4]uint64 {
+		var v [4]uint64
+		for i := range v {
+			v[i] = r.Uint64()
+		}
+		return v
+	}
+	seen := map[[4]uint64]string{}
+	seen[draw(NewRNG(1))] = "master seed 1"
+	for stream := uint64(0); stream < 64; stream++ {
+		for _, seed := range []uint64{1, 2, 7} {
+			k := draw(NewStreamRNG(seed, stream))
+			if prev, dup := seen[k]; dup {
+				t.Fatalf("stream (seed=%d, stream=%d) collides with %s", seed, stream, prev)
+			}
+			seen[k] = fmt.Sprintf("(seed=%d, stream=%d)", seed, stream)
 		}
 	}
 }
