@@ -23,6 +23,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"regexp"
 	"runtime"
@@ -122,7 +123,7 @@ func record(benches map[string]Benchmark, out, section, note string) error {
 	return os.WriteFile(out, append(data, '\n'), 0o644)
 }
 
-func check(benches map[string]Benchmark, baseline, against string, tol float64) error {
+func check(w io.Writer, benches map[string]Benchmark, baseline, against string, tol float64, allowMissing bool) error {
 	f, err := load(baseline)
 	if err != nil {
 		return err
@@ -131,17 +132,31 @@ func check(benches map[string]Benchmark, baseline, against string, tol float64) 
 	if !ok {
 		return fmt.Errorf("benchjson: section %q not found in %s", against, baseline)
 	}
-	var names []string
+	// Partition by presence on each side. A baseline benchmark absent
+	// from stdin is a gate-integrity problem — the run silently stopped
+	// covering it (renamed, filtered out, build-tagged away) and the
+	// check would otherwise pass vacuously.
+	var names, missing, extra []string
 	for name := range benches {
 		if _, ok := base.Benchmarks[name]; ok {
 			names = append(names, name)
+		} else {
+			extra = append(extra, name)
+		}
+	}
+	for name := range base.Benchmarks {
+		if _, ok := benches[name]; !ok {
+			missing = append(missing, name)
 		}
 	}
 	sort.Strings(names)
+	sort.Strings(missing)
+	sort.Strings(extra)
 	if len(names) == 0 {
-		return fmt.Errorf("benchjson: no benchmarks in common with section %q", against)
+		return fmt.Errorf("benchjson: no benchmarks in common with section %q (baseline has %s; stdin has %s)",
+			against, nameList(missing), nameList(extra))
 	}
-	fmt.Printf("%-28s %14s %14s %9s %s\n", "benchmark", "old ns/op", "new ns/op", "delta", "allocs old→new")
+	fmt.Fprintf(w, "%-28s %14s %14s %9s %s\n", "benchmark", "old ns/op", "new ns/op", "delta", "allocs old→new")
 	failed := false
 	for _, name := range names {
 		old, new := base.Benchmarks[name], benches[name]
@@ -165,24 +180,48 @@ func check(benches map[string]Benchmark, baseline, against string, tol float64) 
 		if hasOldAllocs && hasNewAllocs {
 			allocs = fmt.Sprintf("%.0f→%.0f", oldAllocs, newAllocs)
 		}
-		fmt.Printf("%-28s %14.1f %14.1f %+8.1f%% %s%s\n", name, oldNs, newNs, delta*100, allocs, verdict)
+		fmt.Fprintf(w, "%-28s %14.1f %14.1f %+8.1f%% %s%s\n", name, oldNs, newNs, delta*100, allocs, verdict)
+	}
+	if len(extra) > 0 {
+		fmt.Fprintf(w, "note: %d benchmark(s) on stdin not in the baseline (ignored): %s\n",
+			len(extra), nameList(extra))
+	}
+	if len(missing) > 0 {
+		if allowMissing {
+			fmt.Fprintf(w, "warning: %d baseline benchmark(s) missing from this run: %s\n",
+				len(missing), nameList(missing))
+		} else {
+			fmt.Fprintf(w, "FAIL: %d baseline benchmark(s) missing from this run: %s\n",
+				len(missing), nameList(missing))
+			failed = true
+		}
 	}
 	if failed {
 		return fmt.Errorf("benchjson: benchmark regression against %s[%s]", baseline, against)
 	}
-	fmt.Printf("ok: within %.0f%% of %s[%s]\n", tol*100, baseline, against)
+	fmt.Fprintf(w, "ok: within %.0f%% of %s[%s]\n", tol*100, baseline, against)
 	return nil
+}
+
+// nameList renders a benchmark name list for diagnostics.
+func nameList(names []string) string {
+	if len(names) == 0 {
+		return "(none)"
+	}
+	return strings.Join(names, ", ")
 }
 
 func main() {
 	var (
-		out      = flag.String("o", "-", "output JSON path (record mode); - for stdout")
-		section  = flag.String("section", "current", "section to write (record) ")
-		note     = flag.String("note", "", "free-form note stored with the section")
-		doCheck  = flag.Bool("check", false, "compare stdin against a baseline instead of recording")
-		baseline = flag.String("baseline", "BENCH_PR2.json", "baseline file (check mode)")
-		against  = flag.String("against", "current", "baseline section to compare against (check mode)")
-		tol      = flag.Float64("tol", 0.10, "allowed fractional ns/op regression (check mode)")
+		out          = flag.String("o", "-", "output JSON path (record mode); - for stdout")
+		section      = flag.String("section", "current", "section to write (record) ")
+		note         = flag.String("note", "", "free-form note stored with the section")
+		doCheck      = flag.Bool("check", false, "compare stdin against a baseline instead of recording")
+		baseline     = flag.String("baseline", "BENCH_PR2.json", "baseline file (check mode)")
+		against      = flag.String("against", "current", "baseline section to compare against (check mode)")
+		tol          = flag.Float64("tol", 0.10, "allowed fractional ns/op regression (check mode)")
+		allowMissing = flag.Bool("allow-missing", false,
+			"check mode: warn instead of failing when a baseline benchmark is absent from stdin")
 	)
 	flag.Parse()
 
@@ -194,7 +233,7 @@ func main() {
 	}
 	if err == nil {
 		if *doCheck {
-			err = check(benches, *baseline, *against, *tol)
+			err = check(os.Stdout, benches, *baseline, *against, *tol, *allowMissing)
 		} else {
 			err = record(benches, *out, *section, *note)
 		}

@@ -1,0 +1,164 @@
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const benchOutput = `goos: linux
+goarch: amd64
+pkg: mmr
+BenchmarkRouterStep-8          	 1000000	       950.0 ns/op	       0 B/op	       0 allocs/op
+BenchmarkNetworkStep/mesh4x4-8 	   50000	     21000 ns/op	      12 B/op	       1 allocs/op
+BenchmarkFigure3-8             	       3	 400000000 ns/op	        0.123 jitter-biased8C@0.9
+this line is noise
+BenchmarkOddFields 12 trailing
+`
+
+func parseString(t *testing.T, s string) map[string]Benchmark {
+	t.Helper()
+	b, err := parse(bufio.NewScanner(strings.NewReader(s)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func TestParse(t *testing.T) {
+	b := parseString(t, benchOutput)
+	if len(b) != 3 {
+		t.Fatalf("parsed %d benchmarks, want 3: %v", len(b), b)
+	}
+	rs, ok := b["RouterStep"]
+	if !ok {
+		t.Fatal("RouterStep missing (cpu suffix not stripped?)")
+	}
+	if rs.Iters != 1000000 || rs.Metrics["ns/op"] != 950 || rs.Metrics["allocs/op"] != 0 {
+		t.Errorf("RouterStep parsed wrong: %+v", rs)
+	}
+	if ns, ok := b["NetworkStep/mesh4x4"]; !ok || ns.Metrics["allocs/op"] != 1 {
+		t.Errorf("NetworkStep parsed wrong: %+v", b["NetworkStep/mesh4x4"])
+	}
+	// Custom paper-shape metrics survive alongside ns/op.
+	if f3 := b["Figure3"]; f3.Metrics["jitter-biased8C@0.9"] != 0.123 {
+		t.Errorf("custom metric lost: %+v", f3)
+	}
+	if _, ok := b["OddFields"]; ok {
+		t.Error("malformed odd-field line should be skipped, not parsed")
+	}
+}
+
+func TestRecordPreservesOtherSections(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH.json")
+	pre := parseString(t, "BenchmarkRouterStep-8 10 1000 ns/op 0 B/op 0 allocs/op\n")
+	if err := record(pre, path, "pre-pr", "seed"); err != nil {
+		t.Fatal(err)
+	}
+	cur := parseString(t, "BenchmarkRouterStep-8 10 1100 ns/op 0 B/op 0 allocs/op\n")
+	if err := record(cur, path, "current", ""); err != nil {
+		t.Fatal(err)
+	}
+
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var f File
+	if err := json.Unmarshal(data, &f); err != nil {
+		t.Fatal(err)
+	}
+	if f.Schema != "mmr-bench/v1" {
+		t.Errorf("schema = %q", f.Schema)
+	}
+	if got := f.Sections["pre-pr"].Benchmarks["RouterStep"].Metrics["ns/op"]; got != 1000 {
+		t.Errorf("pre-pr section clobbered: ns/op = %v, want 1000", got)
+	}
+	if got := f.Sections["current"].Benchmarks["RouterStep"].Metrics["ns/op"]; got != 1100 {
+		t.Errorf("current section wrong: ns/op = %v, want 1100", got)
+	}
+}
+
+// writeBaseline records `bench` lines into a temp BENCH file's "current"
+// section and returns its path.
+func writeBaseline(t *testing.T, lines string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "BENCH.json")
+	if err := record(parseString(t, lines), path, "current", ""); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestCheckPassAndRegression(t *testing.T) {
+	base := writeBaseline(t, "BenchmarkRouterStep-8 10 1000 ns/op 0 B/op 0 allocs/op\n")
+
+	var out strings.Builder
+	ok := parseString(t, "BenchmarkRouterStep-8 10 1050 ns/op 0 B/op 0 allocs/op\n")
+	if err := check(&out, ok, base, "current", 0.10, false); err != nil {
+		t.Errorf("5%% slower within 10%% tol should pass: %v\n%s", err, out.String())
+	}
+
+	out.Reset()
+	slow := parseString(t, "BenchmarkRouterStep-8 10 1500 ns/op 0 B/op 0 allocs/op\n")
+	if err := check(&out, slow, base, "current", 0.10, false); err == nil {
+		t.Errorf("50%% regression passed:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "FAIL: ns/op regressed") {
+		t.Errorf("no regression verdict printed:\n%s", out.String())
+	}
+
+	out.Reset()
+	allocs := parseString(t, "BenchmarkRouterStep-8 10 1000 ns/op 64 B/op 2 allocs/op\n")
+	if err := check(&out, allocs, base, "current", 0.10, false); err == nil {
+		t.Errorf("zero-alloc benchmark now allocating passed:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "now allocates") {
+		t.Errorf("no alloc verdict printed:\n%s", out.String())
+	}
+}
+
+// TestCheckMissingBaselineBenchmark: a baseline benchmark absent from
+// stdin fails the gate (no more vacuous passes on the intersection) and
+// names the missing benchmark; -allow-missing downgrades it to a warning.
+func TestCheckMissingBaselineBenchmark(t *testing.T) {
+	base := writeBaseline(t,
+		"BenchmarkRouterStep-8 10 1000 ns/op 0 B/op 0 allocs/op\n"+
+			"BenchmarkNetworkStep-8 10 20000 ns/op 0 B/op 0 allocs/op\n")
+	partial := parseString(t, "BenchmarkRouterStep-8 10 1000 ns/op 0 B/op 0 allocs/op\n")
+
+	var out strings.Builder
+	if err := check(&out, partial, base, "current", 0.10, false); err == nil {
+		t.Errorf("missing baseline benchmark passed the gate:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "missing from this run: NetworkStep") {
+		t.Errorf("missing benchmark not named:\n%s", out.String())
+	}
+
+	out.Reset()
+	if err := check(&out, partial, base, "current", 0.10, true); err != nil {
+		t.Errorf("-allow-missing should downgrade to a warning: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "warning:") || !strings.Contains(out.String(), "NetworkStep") {
+		t.Errorf("no warning naming the missing benchmark:\n%s", out.String())
+	}
+}
+
+// TestCheckNoOverlap: disjoint name sets report both sides.
+func TestCheckNoOverlap(t *testing.T) {
+	base := writeBaseline(t, "BenchmarkRouterStep-8 10 1000 ns/op\n")
+	other := parseString(t, "BenchmarkSomethingElse-8 10 5 ns/op\n")
+	var out strings.Builder
+	err := check(&out, other, base, "current", 0.10, false)
+	if err == nil {
+		t.Fatal("disjoint benchmark sets passed")
+	}
+	for _, want := range []string{"RouterStep", "SomethingElse"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("error %q does not name %s", err, want)
+		}
+	}
+}

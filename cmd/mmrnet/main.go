@@ -14,125 +14,192 @@
 //	mmrnet -topo irregular -conns 64 -fault-links 3 -fault-downtime 5000
 //	mmrnet -topo mesh -conns 48 -fault-mtbf 20000 -fault-mttr 2000
 //	mmrnet -topo mesh -conns 48 -fault-links 2 -no-restore -fault-drop 0.001
+//
+// Live observability (see docs/observability.md):
+//
+//	mmrnet -conns 64 -cycles 500000 -metrics-addr :9090
+//	mmrnet -conns 48 -fault-links 2 -metrics-interval 10000 -flight-dump
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"runtime"
+	"strings"
 
 	"mmr/internal/faults"
 	"mmr/internal/flit"
+	"mmr/internal/metrics"
 	"mmr/internal/network"
 	"mmr/internal/sim"
+	"mmr/internal/stats"
 	"mmr/internal/topology"
 	"mmr/internal/traffic"
 )
 
-func main() {
-	var (
-		topo       = flag.String("topo", "mesh", "topology: mesh, torus, irregular")
-		w          = flag.Int("w", 4, "mesh/torus width")
-		h          = flag.Int("h", 4, "mesh/torus height")
-		nodes      = flag.Int("nodes", 16, "irregular topology node count")
-		degree     = flag.Int("degree", 3, "irregular topology average degree")
-		ports      = flag.Int("ports", 4, "inter-router ports per router")
-		conns      = flag.Int("conns", 48, "connections to open at random endpoints")
-		rate       = flag.Float64("rate", 0, "connection rate in Mbps (0 = draw from the paper's rate set)")
-		vbr        = flag.Float64("vbr", 0, "fraction of connections that are VBR (peak 3×)")
-		be         = flag.Float64("be", 0, "best-effort packets/cycle per node pair (adds 2×nodes flows)")
-		cycles     = flag.Int64("cycles", 50_000, "measured cycles after warmup")
-		warmup     = flag.Int64("warmup", 10_000, "warmup cycles")
-		vcs        = flag.Int("vcs", 64, "virtual channels per input port")
-		seed       = flag.Uint64("seed", 1, "simulation seed")
-		netWorkers = flag.Int("net-workers", runtime.GOMAXPROCS(0),
-			"worker goroutines stepping the network (1 = serial; results are identical at any setting)")
+// simOpts carries everything main's flags configure, so run is callable
+// (and testable) without a flag.FlagSet or a process exit.
+type simOpts struct {
+	topo          string
+	w, h          int
+	nodes, degree int
+	ports         int
+	conns         int
+	rate          float64
+	vbr           float64
+	be            float64
+	cycles        int64
+	warmup        int64
+	vcs           int
+	seed          uint64
+	netWorkers    int
 
-		faultLinks    = flag.Int("fault-links", 0, "random link failures to inject during the measured run")
-		faultDowntime = flag.Int64("fault-downtime", 5000, "cycles a -fault-links failure lasts (0 = permanent)")
-		faultMTBF     = flag.Float64("fault-mtbf", 0, "mean cycles between stochastic failures per link (0 = off)")
-		faultMTTR     = flag.Float64("fault-mttr", 1000, "mean repair time for stochastic failures")
-		faultDrop     = flag.Float64("fault-drop", 0, "per-flit drop probability on every link")
-		faultSeed     = flag.Uint64("fault-seed", 0, "fault plan seed (0 = derive from -seed)")
-		noRestore     = flag.Bool("no-restore", false, "disable re-establishment of fault-broken connections")
-		noDegrade     = flag.Bool("no-degrade", false, "disable best-effort fallback for unrestorable connections")
-	)
+	faultLinks    int
+	faultDowntime int64
+	faultMTBF     float64
+	faultMTTR     float64
+	faultDrop     float64
+	faultSeed     uint64
+	noRestore     bool
+	noDegrade     bool
+
+	metricsAddr     string // serve /metrics, /metrics.json, /flight, /debug/pprof on this address
+	metricsInterval int64  // print a progress summary to diag every N measured cycles (0 = off)
+	flightDump      bool   // dump the flight recorder to diag on every fault transition
+
+	// afterRun, when non-nil, is called after the final snapshot is
+	// published and the report printed, while the metrics server (addr)
+	// is still serving. Tests use it to scrape the live endpoint.
+	afterRun func(addr string, n *network.Network)
+}
+
+func defaultOpts() simOpts {
+	return simOpts{
+		topo: "mesh", w: 4, h: 4, nodes: 16, degree: 3, ports: 4,
+		conns: 48, cycles: 50_000, warmup: 10_000, vcs: 64, seed: 1,
+		netWorkers: runtime.GOMAXPROCS(0), faultDowntime: 5000, faultMTTR: 1000,
+	}
+}
+
+func main() {
+	o := defaultOpts()
+	flag.StringVar(&o.topo, "topo", o.topo, "topology: mesh, torus, irregular")
+	flag.IntVar(&o.w, "w", o.w, "mesh/torus width")
+	flag.IntVar(&o.h, "h", o.h, "mesh/torus height")
+	flag.IntVar(&o.nodes, "nodes", o.nodes, "irregular topology node count")
+	flag.IntVar(&o.degree, "degree", o.degree, "irregular topology average degree")
+	flag.IntVar(&o.ports, "ports", o.ports, "inter-router ports per router")
+	flag.IntVar(&o.conns, "conns", o.conns, "connections to open at random endpoints")
+	flag.Float64Var(&o.rate, "rate", o.rate, "connection rate in Mbps (0 = draw from the paper's rate set)")
+	flag.Float64Var(&o.vbr, "vbr", o.vbr, "fraction of connections that are VBR (peak 3×)")
+	flag.Float64Var(&o.be, "be", o.be, "best-effort packets/cycle per node pair (adds 2×nodes flows)")
+	flag.Int64Var(&o.cycles, "cycles", o.cycles, "measured cycles after warmup")
+	flag.Int64Var(&o.warmup, "warmup", o.warmup, "warmup cycles")
+	flag.IntVar(&o.vcs, "vcs", o.vcs, "virtual channels per input port")
+	flag.Uint64Var(&o.seed, "seed", o.seed, "simulation seed")
+	flag.IntVar(&o.netWorkers, "net-workers", o.netWorkers,
+		"worker goroutines stepping the network (1 = serial; results are identical at any setting)")
+	flag.IntVar(&o.faultLinks, "fault-links", o.faultLinks, "random link failures to inject during the measured run")
+	flag.Int64Var(&o.faultDowntime, "fault-downtime", o.faultDowntime, "cycles a -fault-links failure lasts (0 = permanent)")
+	flag.Float64Var(&o.faultMTBF, "fault-mtbf", o.faultMTBF, "mean cycles between stochastic failures per link (0 = off)")
+	flag.Float64Var(&o.faultMTTR, "fault-mttr", o.faultMTTR, "mean repair time for stochastic failures")
+	flag.Float64Var(&o.faultDrop, "fault-drop", o.faultDrop, "per-flit drop probability on every link")
+	flag.Uint64Var(&o.faultSeed, "fault-seed", o.faultSeed, "fault plan seed (0 = derive from -seed)")
+	flag.BoolVar(&o.noRestore, "no-restore", o.noRestore, "disable re-establishment of fault-broken connections")
+	flag.BoolVar(&o.noDegrade, "no-degrade", o.noDegrade, "disable best-effort fallback for unrestorable connections")
+	flag.StringVar(&o.metricsAddr, "metrics-addr", o.metricsAddr,
+		"serve /metrics, /metrics.json, /flight and /debug/pprof on this address (e.g. :9090; empty = off)")
+	flag.Int64Var(&o.metricsInterval, "metrics-interval", o.metricsInterval,
+		"print a progress summary to stderr every N measured cycles (0 = off)")
+	flag.BoolVar(&o.flightDump, "flight-dump", o.flightDump,
+		"dump the per-router flight recorders to stderr on every fault transition")
 	flag.Parse()
 
-	rng := sim.NewRNG(*seed)
+	if err := run(o, os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "mmrnet:", err)
+		os.Exit(1)
+	}
+}
+
+func run(o simOpts, out, diag io.Writer) error {
+	rng := sim.NewRNG(o.seed)
 	var tp *topology.Topology
 	var err error
-	switch *topo {
+	switch o.topo {
 	case "mesh":
-		tp, err = topology.Mesh(*w, *h, *ports)
+		tp, err = topology.Mesh(o.w, o.h, o.ports)
 	case "torus":
-		tp, err = topology.Torus(*w, *h, *ports)
+		tp, err = topology.Torus(o.w, o.h, o.ports)
 	case "irregular":
-		tp, err = topology.Irregular(*nodes, *ports, *degree, rng)
+		tp, err = topology.Irregular(o.nodes, o.ports, o.degree, rng)
 	default:
-		err = fmt.Errorf("unknown topology %q", *topo)
+		err = fmt.Errorf("unknown topology %q", o.topo)
 	}
 	if err != nil {
-		fail(err)
+		return err
 	}
 
 	cfg := network.DefaultConfig(tp)
-	cfg.VCs = *vcs
-	cfg.Seed = *seed
-	cfg.Workers = *netWorkers
-	cfg.Fault.Restore = !*noRestore
-	cfg.Fault.Degrade = !*noDegrade
+	cfg.VCs = o.vcs
+	cfg.Seed = o.seed
+	cfg.Workers = o.netWorkers
+	cfg.Fault.Restore = !o.noRestore
+	cfg.Fault.Degrade = !o.noDegrade
 	n, err := network.New(cfg)
 	if err != nil {
-		fail(err)
+		return err
 	}
 	defer n.Shutdown()
+	if o.flightDump {
+		n.SetFlightSink(diag)
+	}
 
 	// Fault plan: scheduled random link failures land inside the measured
 	// window; stochastic churn and impairments cover the whole run.
-	fseed := *faultSeed
+	fseed := o.faultSeed
 	if fseed == 0 {
-		fseed = *seed ^ 0xfa017
+		fseed = o.seed ^ 0xfa017
 	}
 	plan := faults.NewPlan(fseed)
-	horizon := *warmup + *cycles
-	if *faultLinks > 0 {
-		window := *cycles / 2
+	horizon := o.warmup + o.cycles
+	if o.faultLinks > 0 {
+		window := o.cycles / 2
 		if window < 1 {
 			window = 1
 		}
-		plan.RandomLinkFailures(tp, *faultLinks, *warmup+*cycles/10, window, *faultDowntime)
+		plan.RandomLinkFailures(tp, o.faultLinks, o.warmup+o.cycles/10, window, o.faultDowntime)
 	}
-	if *faultMTBF > 0 {
-		plan.WithMTBF(*faultMTBF, *faultMTTR)
+	if o.faultMTBF > 0 {
+		plan.WithMTBF(o.faultMTBF, o.faultMTTR)
 	}
-	if *faultDrop > 0 {
+	if o.faultDrop > 0 {
 		for _, l := range tp.Links {
-			plan.Impair(l.A, l.APort, *faultDrop, 0)
-			plan.Impair(l.B, l.BPort, *faultDrop, 0)
+			plan.Impair(l.A, l.APort, o.faultDrop, 0)
+			plan.Impair(l.B, l.BPort, o.faultDrop, 0)
 		}
 	}
 	injectFaults := len(plan.Events) > 0 || len(plan.Impairments) > 0 || plan.MTBF > 0
 	if injectFaults {
 		if err := n.ApplyPlan(plan, horizon); err != nil {
-			fail(err)
+			return err
 		}
 	}
 
 	opened, backtracks := 0, 0
-	for i := 0; i < *conns; i++ {
+	for i := 0; i < o.conns; i++ {
 		src, dst := rng.Intn(tp.Nodes), rng.Intn(tp.Nodes)
 		if src == dst {
 			dst = (dst + 1) % tp.Nodes
 		}
 		spec := traffic.ConnSpec{Class: flit.ClassCBR}
-		if *rate > 0 {
-			spec.Rate = traffic.Rate(*rate) * traffic.Mbps
+		if o.rate > 0 {
+			spec.Rate = traffic.Rate(o.rate) * traffic.Mbps
 		} else {
 			spec.Rate = traffic.PaperRates[rng.Intn(len(traffic.PaperRates))]
 		}
-		if *vbr > 0 && rng.Float64() < *vbr {
+		if o.vbr > 0 && rng.Float64() < o.vbr {
 			spec.Class = flit.ClassVBR
 			spec.PeakRate = traffic.Rate(3 * float64(spec.Rate))
 			spec.Priority = rng.Intn(4)
@@ -143,52 +210,118 @@ func main() {
 			backtracks += c.Backtracks
 		}
 	}
-	if *be > 0 {
+	if o.be > 0 {
 		added := 0
 		for i := 0; i < 2*tp.Nodes; i++ {
 			src, dst := rng.Intn(tp.Nodes), rng.Intn(tp.Nodes)
 			if src == dst {
 				continue
 			}
-			if err := n.AddBestEffortFlow(src, dst, *be); err == nil {
+			if err := n.AddBestEffortFlow(src, dst, o.be); err == nil {
 				added++
 			}
 		}
-		fmt.Printf("best-effort flows: %d at %.3f packets/cycle each\n", added, *be)
+		fmt.Fprintf(out, "best-effort flows: %d at %.3f packets/cycle each\n", added, o.be)
 	}
 
-	n.Run(*warmup)
-	n.ResetStats()
-	n.Run(*cycles)
-	st := n.Stats()
+	// Optional live endpoint: the run loop below publishes snapshots
+	// between chunks; handlers never touch live registry shards.
+	var srv *metrics.Server
+	if o.metricsAddr != "" {
+		srv = metrics.NewServer()
+		if err := srv.Serve(o.metricsAddr); err != nil {
+			return err
+		}
+		defer srv.Close()
+		fmt.Fprintf(diag, "mmrnet: serving /metrics and /debug/pprof on http://%s\n", srv.Addr())
+	}
+	publish := func() {
+		if srv == nil {
+			return
+		}
+		srv.Publish(n.GatherMetrics())
+		var b strings.Builder
+		n.DumpFlight(&b)
+		srv.PublishFlight(b.String())
+	}
 
-	fmt.Printf("topology    %s: %d routers, %d links, host port = port %d\n",
-		*topo, tp.Nodes, len(tp.Links), tp.Ports)
-	fmt.Printf("setup       %d/%d connections accepted (%.1f%%), %d probe backtracks, mean setup %.1f cycles\n",
-		opened, *conns, 100*float64(opened)/float64(*conns), backtracks, st.SetupLatency.Mean())
-	fmt.Printf("delivered   %d stream flits over %d cycles\n", st.FlitsDelivered, st.Cycles)
-	fmt.Printf("latency     %.2f cycles end-to-end (min %.0f, max %.0f)\n",
-		st.Latency.Mean(), st.Latency.Min(), st.Latency.Max())
-	fmt.Printf("jitter      %.3f cycles\n", st.Jitter.Mean())
+	runChunked(n, o.warmup, o, srv, publish, nil)
+	n.ResetStats()
+	progress := func(done int64) {
+		st := n.Stats()
+		fmt.Fprintf(diag, "mmrnet: cycle %d/%d delivered=%d latency=%.2f jitter=%.3f broken=%d\n",
+			done, o.cycles, st.FlitsDelivered, st.Latency.Mean(), st.Jitter.Mean(), st.ConnsBroken)
+	}
+	if o.metricsInterval <= 0 {
+		progress = nil
+	}
+	runChunked(n, o.cycles, o, srv, publish, progress)
+	st := n.Stats()
+	publish()
+
+	fmt.Fprintf(out, "topology    %s: %d routers, %d links, host port = port %d\n",
+		o.topo, tp.Nodes, len(tp.Links), tp.Ports)
+	fmt.Fprintf(out, "setup       %d/%d connections accepted (%.1f%%), %d probe backtracks, mean setup %.1f cycles\n",
+		opened, o.conns, 100*float64(opened)/float64(o.conns), backtracks, st.SetupLatency.Mean())
+	fmt.Fprintf(out, "delivered   %d stream flits over %d cycles\n", st.FlitsDelivered, st.Cycles)
+	fmt.Fprintf(out, "latency     %.2f cycles end-to-end (min %s, max %s)\n",
+		st.Latency.Mean(),
+		stats.FormatAccumCell(&st.Latency, "min", "%.0f"),
+		stats.FormatAccumCell(&st.Latency, "max", "%.0f"))
+	fmt.Fprintf(out, "jitter      %.3f cycles\n", st.Jitter.Mean())
 	if st.BEGenerated > 0 {
-		fmt.Printf("best-effort %d/%d packets delivered, latency %.2f cycles\n",
+		fmt.Fprintf(out, "best-effort %d/%d packets delivered, latency %.2f cycles\n",
 			st.BEDelivered, st.BEGenerated, st.BELatency.Mean())
 	}
 	if injectFaults {
-		fmt.Printf("faults      %d link failures injected, %d repaired, %d flits lost, %d dropped on impaired links\n",
+		fmt.Fprintf(out, "faults      %d link failures injected, %d repaired, %d flits lost, %d dropped on impaired links\n",
 			st.FaultsInjected, st.FaultsRepaired, st.FaultFlitsLost, st.FlitsDropped)
-		fmt.Printf("healing     %d conns broken, %d restored (mean %.0f cycles, max %.0f), %d degraded, %d lost, %d setup retries\n",
-			st.ConnsBroken, st.ConnsRestored, st.RestoreLatency.Mean(), st.RestoreLatency.Max(),
+		fmt.Fprintf(out, "healing     %d conns broken, %d restored (mean %s cycles, max %s), %d degraded, %d lost, %d setup retries\n",
+			st.ConnsBroken, st.ConnsRestored,
+			stats.FormatAccumCell(&st.RestoreLatency, "mean", "%.0f"),
+			stats.FormatAccumCell(&st.RestoreLatency, "max", "%.0f"),
 			st.ConnsDegraded, st.ConnsLost, st.SetupRetries)
 		for _, ev := range n.SessionEvents() {
 			if ev.Kind == "conn-degraded" || ev.Kind == "conn-lost" {
-				fmt.Printf("  cycle %-8d %s conn %d: %s\n", ev.Cycle, ev.Kind, ev.Conn, ev.Detail)
+				fmt.Fprintf(out, "  cycle %-8d %s conn %d: %s\n", ev.Cycle, ev.Kind, ev.Conn, ev.Detail)
 			}
 		}
 	}
+	if o.afterRun != nil {
+		addr := ""
+		if srv != nil {
+			addr = srv.Addr()
+		}
+		o.afterRun(addr, n)
+	}
+	return nil
 }
 
-func fail(err error) {
-	fmt.Fprintln(os.Stderr, "mmrnet:", err)
-	os.Exit(1)
+// runChunked advances the simulation `total` cycles. With a metrics
+// server or interval reporting active it steps in chunks so snapshots
+// stay fresh while the run is in flight; otherwise it is one Run call.
+func runChunked(n *network.Network, total int64, o simOpts, srv *metrics.Server, publish func(), progress func(done int64)) {
+	if total <= 0 {
+		return
+	}
+	step := o.metricsInterval
+	if step <= 0 {
+		if srv == nil {
+			n.Run(total)
+			return
+		}
+		step = 5000
+	}
+	for done := int64(0); done < total; {
+		c := step
+		if rem := total - done; c > rem {
+			c = rem
+		}
+		n.Run(c)
+		done += c
+		publish()
+		if progress != nil {
+			progress(done)
+		}
+	}
 }

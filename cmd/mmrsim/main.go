@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"os"
 	"sort"
+	"strings"
 
 	"mmr/internal/exp"
 	"mmr/internal/flit"
@@ -24,18 +25,19 @@ import (
 
 func main() {
 	var (
-		load    = flag.Float64("load", 0.8, "offered load as a fraction of switch bandwidth")
-		scheme  = flag.String("scheme", "biased", "scheduling scheme: biased, fixed, autonet, perfect")
-		cands   = flag.Int("candidates", 8, "link scheduler candidates per input port (1-8 in the paper)")
-		ports   = flag.Int("ports", 8, "router radix")
-		vcs     = flag.Int("vcs", 256, "virtual channels per input port")
-		k       = flag.Int("k", 2, "round multiplier K (round = K × VCs flit cycles)")
-		warmup  = flag.Int64("warmup", 20_000, "warmup cycles before measurement")
-		cycles  = flag.Int64("cycles", 100_000, "measured cycles (the paper uses ~100,000)")
-		seed    = flag.Uint64("seed", 1, "simulation seed")
-		byRate  = flag.Bool("by-rate", false, "print per-rate delay/jitter breakdown")
-		beRate  = flag.Float64("be", 0, "best-effort packets/cycle/port to mix in")
-		verbose = flag.Bool("v", false, "print workload composition")
+		load       = flag.Float64("load", 0.8, "offered load as a fraction of switch bandwidth")
+		scheme     = flag.String("scheme", "biased", "scheduling scheme: biased, fixed, autonet, perfect")
+		cands      = flag.Int("candidates", 8, "link scheduler candidates per input port (1-8 in the paper)")
+		ports      = flag.Int("ports", 8, "router radix")
+		vcs        = flag.Int("vcs", 256, "virtual channels per input port")
+		k          = flag.Int("k", 2, "round multiplier K (round = K × VCs flit cycles)")
+		warmup     = flag.Int64("warmup", 20_000, "warmup cycles before measurement")
+		cycles     = flag.Int64("cycles", 100_000, "measured cycles (the paper uses ~100,000)")
+		seed       = flag.Uint64("seed", 1, "simulation seed")
+		byRate     = flag.Bool("by-rate", false, "print per-rate delay/jitter breakdown")
+		beRate     = flag.Float64("be", 0, "best-effort packets/cycle/port to mix in")
+		verbose    = flag.Bool("v", false, "print workload composition")
+		metricsOut = flag.String("metrics", "", "write the metric registry after the run: '-' = Prometheus text on stdout, else a file path (.json for JSON)")
 	)
 	flag.Parse()
 
@@ -74,6 +76,12 @@ func main() {
 			len(wl.Conns), wl.OfferedLoad, *load)
 	}
 
+	if *metricsOut != "" {
+		// Before the run, so the per-class delay/jitter histograms
+		// observe the measurement window.
+		r.EnableMetrics()
+	}
+
 	m := r.Run(*warmup, *cycles)
 
 	fmt.Printf("scheme      %s (%d candidates)\n", variant.Name, *cands)
@@ -94,6 +102,32 @@ func main() {
 	if *byRate {
 		printByRate(r, m)
 	}
+	if *metricsOut != "" {
+		if err := dumpMetrics(r, *metricsOut); err != nil {
+			fail(err)
+		}
+	}
+}
+
+// dumpMetrics writes the router's gathered metric snapshot to dst:
+// "-" renders Prometheus text on stdout, a path ending in .json writes
+// the JSON form, any other path writes Prometheus text.
+func dumpMetrics(r *router.Router, dst string) error {
+	snap := r.GatherMetrics()
+	if dst == "-" {
+		return snap.WritePrometheus(os.Stdout)
+	}
+	f, err := os.Create(dst)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if strings.HasSuffix(dst, ".json") {
+		err = snap.WriteJSON(f)
+	} else {
+		err = snap.WritePrometheus(f)
+	}
+	return err
 }
 
 func printByRate(r *router.Router, m *router.Metrics) {

@@ -10,6 +10,7 @@ import (
 	"runtime"
 	"sync"
 
+	"mmr/internal/metrics"
 	"mmr/internal/router"
 	"mmr/internal/sched"
 	"mmr/internal/sim"
@@ -30,6 +31,11 @@ type Options struct {
 	// bit-identical figures; >1 trades barrier overhead for wall-clock
 	// on multicore hosts.
 	NetWorkers int
+	// MetricSink, when non-nil, receives the gathered metric snapshot of
+	// every network-sweep load point before the simulator shuts down.
+	// Figures never read these snapshots, so installing a sink cannot
+	// perturb the goldened outputs.
+	MetricSink func(load float64, snap *metrics.Snapshot)
 }
 
 // loads returns the sweep to use.

@@ -34,10 +34,13 @@ func NetworkSweep(opts Options) (*FigureResult, error) {
 		if err != nil {
 			return nil, err
 		}
-		latency.Add(load, st.Latency.Mean())
-		jitter.Add(load, st.Jitter.Mean())
+		// AddAccum skips empty accumulators instead of plotting their
+		// fake-zero Mean(): a load point where nothing was delivered (or
+		// no setup ever backtracked) leaves a gap, not a bogus 0.
+		latency.AddAccum(load, &st.Latency)
+		jitter.AddAccum(load, &st.Jitter)
 		accept.Add(load, st.AcceptanceRate())
-		backs.Add(load, st.SetupBacktracks.Mean())
+		backs.AddAccum(load, &st.SetupBacktracks)
 	}
 	return &FigureResult{ID: "net", Figures: []*stats.Figure{fig}}, nil
 }
@@ -93,5 +96,8 @@ func runNetworkPoint(load float64, opts Options) (*network.Stats, error) {
 	n.Run(opts.Warmup)
 	n.ResetStats()
 	n.Run(opts.Measure)
+	if opts.MetricSink != nil {
+		opts.MetricSink(load, n.GatherMetrics())
+	}
 	return n.Stats(), nil
 }

@@ -1,0 +1,113 @@
+package metrics
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// WritePrometheus renders the snapshot in the Prometheus text exposition
+// format (version 0.0.4). Sharded counters and gauges are emitted once
+// per shard with the shard label (e.g. node="3") appended, so a scraper
+// keeps the per-node dimension; histograms are emitted merged, with
+// cumulative le buckets.
+func (s *Snapshot) WritePrometheus(w io.Writer) error {
+	var b strings.Builder
+	lastHelp := ""
+	emitHeader := func(name, help, typ string) {
+		if name == lastHelp {
+			return
+		}
+		lastHelp = name
+		if help != "" {
+			fmt.Fprintf(&b, "# HELP %s %s\n", name, help)
+		}
+		fmt.Fprintf(&b, "# TYPE %s %s\n", name, typ)
+	}
+	withShard := func(labels string, shard int) string {
+		if s.ShardLabel == "" || s.NumShards <= 1 {
+			return labels
+		}
+		sl := fmt.Sprintf("%s=%q", s.ShardLabel, strconv.Itoa(shard))
+		if labels == "" {
+			return sl
+		}
+		return labels + "," + sl
+	}
+	series := func(name, labels string) string {
+		if labels == "" {
+			return name
+		}
+		return name + "{" + labels + "}"
+	}
+
+	for _, c := range s.Counters {
+		emitHeader(c.Name, c.Help, "counter")
+		if c.PerShard != nil {
+			for si, v := range c.PerShard {
+				fmt.Fprintf(&b, "%s %d\n", series(c.Name, withShard(c.Labels, si)), v)
+			}
+		} else {
+			fmt.Fprintf(&b, "%s %d\n", series(c.Name, c.Labels), c.Total)
+		}
+	}
+	for _, g := range s.Gauges {
+		emitHeader(g.Name, g.Help, "gauge")
+		if g.PerShard != nil {
+			for si, v := range g.PerShard {
+				fmt.Fprintf(&b, "%s %s\n", series(g.Name, withShard(g.Labels, si)), formatFloat(v))
+			}
+		} else {
+			fmt.Fprintf(&b, "%s %s\n", series(g.Name, g.Labels), formatFloat(g.Total))
+		}
+	}
+	for _, h := range s.Histograms {
+		emitHeader(h.Name, h.Help, "histogram")
+		cum := int64(0)
+		for i, bound := range h.Bounds {
+			cum += h.Buckets[i]
+			labels := h.Labels
+			le := fmt.Sprintf("le=%q", formatFloat(bound))
+			if labels != "" {
+				le = labels + "," + le
+			}
+			fmt.Fprintf(&b, "%s_bucket{%s} %d\n", h.Name, le, cum)
+		}
+		inf := `le="+Inf"`
+		if h.Labels != "" {
+			inf = h.Labels + "," + inf
+		}
+		fmt.Fprintf(&b, "%s_bucket{%s} %d\n", h.Name, inf, h.Count)
+		fmt.Fprintf(&b, "%s_sum%s %s\n", h.Name, braced(h.Labels), formatFloat(h.Sum))
+		fmt.Fprintf(&b, "%s_count%s %d\n", h.Name, braced(h.Labels), h.Count)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+func braced(labels string) string {
+	if labels == "" {
+		return ""
+	}
+	return "{" + labels + "}"
+}
+
+func formatFloat(v float64) string {
+	if math.IsInf(v, 1) {
+		return "+Inf"
+	}
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return strconv.FormatInt(int64(v), 10)
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// WriteJSON renders the snapshot as indented JSON.
+func (s *Snapshot) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s)
+}

@@ -1,0 +1,119 @@
+package metrics
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+)
+
+// Server is the opt-in HTTP observability endpoint: it serves the last
+// published snapshot as Prometheus text (/metrics) and JSON
+// (/metrics.json), the last published flight-recorder dump (/flight),
+// and the standard net/http/pprof profiling handlers (/debug/pprof/).
+//
+// The simulation loop is single-threaded and the registry's shards are
+// not synchronized, so the server never touches live shards: the run
+// loop calls Publish between steps with a freshly gathered snapshot, and
+// HTTP handlers only ever read the published copy under a lock.
+type Server struct {
+	mu     sync.RWMutex
+	snap   *Snapshot
+	flight string
+
+	ln  net.Listener
+	srv *http.Server
+}
+
+// NewServer returns a server with no snapshot published yet.
+func NewServer() *Server { return &Server{} }
+
+// Publish replaces the served snapshot. Call it between simulation
+// steps — typically every few thousand cycles and once after the run.
+func (s *Server) Publish(snap *Snapshot) {
+	s.mu.Lock()
+	s.snap = snap
+	s.mu.Unlock()
+}
+
+// PublishFlight replaces the served flight-recorder dump.
+func (s *Server) PublishFlight(dump string) {
+	s.mu.Lock()
+	s.flight = dump
+	s.mu.Unlock()
+}
+
+// Handler returns the observability mux.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		s.mu.RLock()
+		snap := s.snap
+		s.mu.RUnlock()
+		if snap == nil {
+			http.Error(w, "no snapshot published yet", http.StatusServiceUnavailable)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		snap.WritePrometheus(w)
+	})
+	mux.HandleFunc("/metrics.json", func(w http.ResponseWriter, _ *http.Request) {
+		s.mu.RLock()
+		snap := s.snap
+		s.mu.RUnlock()
+		if snap == nil {
+			http.Error(w, "no snapshot published yet", http.StatusServiceUnavailable)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		snap.WriteJSON(w)
+	})
+	mux.HandleFunc("/flight", func(w http.ResponseWriter, _ *http.Request) {
+		s.mu.RLock()
+		dump := s.flight
+		s.mu.RUnlock()
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		if dump == "" {
+			fmt.Fprintln(w, "no flight-recorder dump published")
+			return
+		}
+		fmt.Fprint(w, dump)
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// Serve starts listening on addr (":0" picks a free port) and serves the
+// handler on a background goroutine. The bound address is available via
+// Addr afterwards.
+func (s *Server) Serve(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	s.ln = ln
+	s.srv = &http.Server{Handler: s.Handler()}
+	go s.srv.Serve(ln)
+	return nil
+}
+
+// Addr returns the bound listen address, or "" before Serve.
+func (s *Server) Addr() string {
+	if s.ln == nil {
+		return ""
+	}
+	return s.ln.Addr().String()
+}
+
+// Close stops the listener.
+func (s *Server) Close() error {
+	if s.srv != nil {
+		return s.srv.Close()
+	}
+	return nil
+}

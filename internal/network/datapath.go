@@ -2,6 +2,7 @@ package network
 
 import (
 	"mmr/internal/flit"
+	"mmr/internal/metrics"
 	"mmr/internal/routing"
 	"mmr/internal/sched"
 	"mmr/internal/traffic"
@@ -97,11 +98,15 @@ func (n *Network) Run(cycles int64) {
 	}
 }
 
-// ResetStats discards accumulated statistics (warmup boundary).
+// ResetStats discards accumulated statistics (warmup boundary). Metric
+// shards reset too, so hot-path series (per-class histograms, grant
+// counters) cover the same measurement window as the stats snapshot;
+// mirrored series lose nothing — the next gather rewrites them.
 func (n *Network) ResetStats() {
 	n.m.reset()
 	for _, nd := range n.nodes {
 		nd.stats.reset()
+		nd.ms.Reset()
 	}
 }
 
@@ -154,6 +159,8 @@ func (n *Network) phaseDeliver(nd *node, t int64) {
 			fl.head++
 			if impaired && im.DropProb > 0 && nd.rng.Float64() < im.DropProb {
 				nd.stats.flitsDropped++
+				nd.rec.Record(metrics.Event{Cycle: t, Code: evFlitDropped,
+					Node: int16(nd.id), A: int32(q), B: int32(lf.vc), Aux: int64(lf.f.Conn)})
 				if lf.f.Class == flit.ClassBestEffort || lf.f.Class == flit.ClassControl {
 					mem.Release(lf.vc)
 					nd.upstream[q][lf.vc] = noUpstream
@@ -167,6 +174,8 @@ func (n *Network) phaseDeliver(nd *node, t int64) {
 			}
 			if impaired && im.CorruptProb > 0 && nd.rng.Float64() < im.CorruptProb {
 				nd.stats.flitsCorrupted++
+				nd.rec.Record(metrics.Event{Cycle: t, Code: evFlitCorrupted,
+					Node: int16(nd.id), A: int32(q), B: int32(lf.vc), Aux: int64(lf.f.Conn)})
 			}
 			lf.f.ReadyAt = t
 			if mem.Len(lf.vc) == 0 {
@@ -223,6 +232,7 @@ func (n *Network) phaseSchedule(nd *node, t int64) {
 			// the next transmit.)
 			if isPacket {
 				st.Output = -1
+				nd.ms.Inc(n.nm.deadOutput)
 			}
 		case isPacket:
 			// VCT: claim a VC at the next router now (§3.4); skip the
@@ -232,6 +242,7 @@ func (n *Network) phaseSchedule(nd *node, t int64) {
 			pp := n.cfg.Topology.PeerPort(nd.id, cand.Output)
 			targetVC := n.nodes[nb].mems[pp].FindFree(nd.rng.Intn(n.cfg.VCs))
 			if targetVC < 0 {
+				nd.ms.Inc(n.nm.claimFailed)
 				continue
 			}
 			nd.claim[cand.Output] = claimSlot{vc: targetVC, class: st.Class}
@@ -280,6 +291,7 @@ func (n *Network) executeGrants(nd *node, t int64) {
 		}
 		targetVC := nd.grantVC[in]
 		cand := nd.cands[in][g]
+		nd.ms.Inc(n.nm.grantsByPort[cand.Output])
 		mem := nd.mems[in]
 		st := mem.State(cand.VC)
 		isPacket := st.Class == flit.ClassBestEffort || st.Class == flit.ClassControl
@@ -348,12 +360,16 @@ func (n *Network) commitClaims(nd *node) {
 // node's shard, and retires the flit to this node's pool (the pooling
 // ownership-transfer rule: whichever node retires a flit puts it).
 func (n *Network) eject(nd *node, t int64, f *flit.Flit) {
+	delay := float64(t - f.CreatedAt)
+	nd.ms.Observe(n.nm.classDelay[f.Class], delay)
 	switch f.Class {
 	case flit.ClassBestEffort:
 		nd.stats.beDelivered++
-		nd.stats.beLatency.Add(float64(t - f.CreatedAt))
+		nd.stats.beLatency.Add(delay)
 	default:
-		nd.stats.tracker.Record(int(f.Conn), float64(t-f.CreatedAt))
+		if j, ok := nd.stats.tracker.Record(int(f.Conn), delay); ok {
+			nd.ms.Observe(n.nm.classJitter[f.Class], j)
+		}
 		nd.stats.delivered++
 	}
 	nd.pool.Put(f)

@@ -19,6 +19,20 @@ import (
 // restoration plus per-flit impairment draws.
 func detScenario(t *testing.T, workers int, withFaults bool) (*Stats, []SessionEvent) {
 	t.Helper()
+	n := buildDetNetwork(t, workers, withFaults)
+	defer n.Shutdown()
+	n.Run(1200)
+	n.ResetStats()
+	n.Run(1800)
+	return n.Stats(), n.SessionEvents()
+}
+
+// buildDetNetwork constructs the detScenario network — loaded 4×4 mesh,
+// 48 connections, best-effort flows, optional fault plan — without
+// running it, so tests needing a live network handle (metrics,
+// flight-recorder) share the exact same scenario.
+func buildDetNetwork(t *testing.T, workers int, withFaults bool) *Network {
+	t.Helper()
 	tp, err := topology.Mesh(4, 4, 4)
 	if err != nil {
 		t.Fatal(err)
@@ -31,7 +45,6 @@ func detScenario(t *testing.T, workers int, withFaults bool) (*Stats, []SessionE
 	if err != nil {
 		t.Fatal(err)
 	}
-	defer n.Shutdown()
 
 	rng := sim.NewRNG(99)
 	opened := 0
@@ -71,11 +84,7 @@ func detScenario(t *testing.T, workers int, withFaults bool) (*Stats, []SessionE
 			t.Fatal(err)
 		}
 	}
-
-	n.Run(1200)
-	n.ResetStats()
-	n.Run(1800)
-	return n.Stats(), n.SessionEvents()
+	return n
 }
 
 // TestNetworkStepDeterminism: the parallel cycle is bit-identical for

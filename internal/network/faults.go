@@ -89,6 +89,7 @@ func (n *Network) RestoreLink(nodeID, port int) error {
 	tp.SetLinkUp(nodeID, port, true)
 	n.m.faultsRepaired++
 	n.logEvent(SessionEvent{Kind: "link-up", Conn: flit.InvalidConn, Node: nodeID, Port: port})
+	n.recordFlight(nodeID, evLinkUp, int32(port), int32(tp.Wired(nodeID, port)), 0)
 	n.afterTransition()
 	return nil
 }
@@ -123,6 +124,7 @@ func (n *Network) RestoreRouter(nodeID int) error {
 			tp.SetLinkUp(nodeID, p, true)
 			n.m.faultsRepaired++
 			n.logEvent(SessionEvent{Kind: "link-up", Conn: flit.InvalidConn, Node: nodeID, Port: p})
+			n.recordFlight(nodeID, evLinkUp, int32(p), int32(tp.Wired(nodeID, p)), 0)
 			restored = true
 		}
 	}
@@ -141,6 +143,7 @@ func (n *Network) failLink(nodeID, port int) {
 	tp.SetLinkUp(nodeID, port, false)
 	n.m.faultsInjected++
 	n.logEvent(SessionEvent{Kind: "link-down", Conn: flit.InvalidConn, Node: nodeID, Port: port})
+	n.recordFlight(nodeID, evLinkDown, int32(port), int32(peer), 0)
 
 	// Flits in flight on either direction of the link are lost. Stream
 	// flits belong to connections about to be broken — their bookkeeping
@@ -168,11 +171,13 @@ func (n *Network) failLink(nodeID, port int) {
 	}
 }
 
-// afterTransition rebuilds routing state for the surviving topology and,
-// in paranoid mode, audits the global resource invariants.
+// afterTransition rebuilds routing state for the surviving topology,
+// dumps the flight recorders to the configured sink, and, in paranoid
+// mode, audits the global resource invariants.
 func (n *Network) afterTransition() {
 	n.dists.Recompute(n.cfg.Topology)
 	n.ud.Rebuild()
+	n.dumpFlightOnFault()
 	if n.cfg.Fault.Paranoid {
 		n.mustInvariants()
 	}
@@ -226,6 +231,7 @@ func (n *Network) breakConn(c *Conn, reason string) {
 	c.brokenAt = n.now
 	n.m.connsBroken++
 	n.logEvent(SessionEvent{Kind: "conn-broken", Conn: c.ID, Node: c.Src, Port: -1, Detail: reason})
+	n.recordFlight(c.Src, evConnBroken, int32(c.Dst), -1, int64(c.ID))
 
 	// Source-interface queue: flits not yet in the fabric are dropped
 	// (back into the source node's pool, which minted them).
@@ -302,6 +308,7 @@ func (n *Network) scheduleRestore(c *Conn) {
 			n.m.restoreLatency.Add(float64(n.now - c.brokenAt))
 			n.logEvent(SessionEvent{Kind: "conn-restored", Conn: c.ID, Node: c.Src, Port: -1,
 				Detail: fmt.Sprintf("after %d cycles, attempt %d", n.now-c.brokenAt, attempt+1)})
+			n.recordFlight(c.Src, evConnRestored, int32(c.Dst), int32(attempt+1), int64(c.ID))
 			if n.cfg.Fault.Paranoid {
 				n.mustInvariants()
 			}
@@ -334,10 +341,12 @@ func (n *Network) abandon(c *Conn) {
 		n.nodes[c.Src].beSrc = append(n.nodes[c.Src].beSrc, bf)
 		n.logEvent(SessionEvent{Kind: "conn-degraded", Conn: c.ID, Node: c.Src, Port: -1,
 			Detail: "restoration failed; continuing best-effort"})
+		n.recordFlight(c.Src, evConnDegraded, int32(c.Dst), -1, int64(c.ID))
 		return
 	}
 	c.lost = true
 	n.m.connsLost++
 	n.logEvent(SessionEvent{Kind: "conn-lost", Conn: c.ID, Node: c.Src, Port: -1,
 		Detail: "restoration failed; session dropped"})
+	n.recordFlight(c.Src, evConnLost, int32(c.Dst), -1, int64(c.ID))
 }

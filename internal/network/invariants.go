@@ -144,9 +144,13 @@ func (n *Network) CheckInvariants() error {
 }
 
 // mustInvariants panics on an invariant violation — the paranoid-mode
-// hook run after every fault transition.
+// hook run after every fault transition. The flight recorders are
+// dumped first, so the post-mortem shows what the routers were doing in
+// the cycles leading up to the violation.
 func (n *Network) mustInvariants() {
 	if err := n.CheckInvariants(); err != nil {
+		n.recordFlight(0, evInvariantFail, -1, -1, 0)
+		n.dumpFlightOnInvariant(err)
 		panic(fmt.Sprintf("network: cycle %d: %v", n.now, err))
 	}
 }

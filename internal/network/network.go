@@ -17,6 +17,7 @@ package network
 
 import (
 	"fmt"
+	"io"
 	"sync"
 	"sync/atomic"
 
@@ -24,6 +25,7 @@ import (
 	"mmr/internal/faults"
 	"mmr/internal/flit"
 	"mmr/internal/flow"
+	"mmr/internal/metrics"
 	"mmr/internal/routing"
 	"mmr/internal/sched"
 	"mmr/internal/sim"
@@ -222,6 +224,12 @@ type node struct {
 	scratchPorts []int
 	pktSeq       int64 // per-node best-effort sequence counter
 
+	// Observability: this node's metric shard (written only by the
+	// goroutine stepping the node, like the stats shard) and its flight
+	// recorder.
+	ms  *metrics.Shard
+	rec *metrics.Recorder
+
 	// Host-side injectors homed on this node (sources bound to this
 	// node's RNG stream; ticked only by this node's shard).
 	srcConns []*Conn
@@ -294,6 +302,11 @@ type Network struct {
 	sessionLog   []SessionEvent
 
 	m netStats
+
+	// Observability layer (observe.go): metric handles + registry, and
+	// the sink automatic flight-recorder dumps go to.
+	nm         *netMetrics
+	flightSink io.Writer
 
 	// Worker pool for the parallel cycle (see workers.go). workers <= 1
 	// means the sharded phases run inline on the stepping goroutine.
@@ -392,6 +405,7 @@ func New(cfg Config) (*Network, error) {
 		nd.grants = make([]int, radix)
 		n.nodes = append(n.nodes, nd)
 	}
+	n.initMetrics()
 	n.SetWorkers(cfg.Workers)
 	return n, nil
 }

@@ -5,6 +5,7 @@ import (
 	"strings"
 
 	"mmr/internal/flit"
+	"mmr/internal/metrics"
 	"mmr/internal/sched"
 	"mmr/internal/stats"
 )
@@ -35,6 +36,14 @@ type measurement struct {
 	controlWords  int64 // in-band management commands applied (§4.3)
 	framesAborted int64
 	flitsDropped  int64
+
+	// Observability hooks (observe.go): the router's metric shard and
+	// the per-class histogram handles recordDeparture feeds. nil until
+	// initMetrics wires them (and in tests constructing measurement
+	// directly).
+	obs       *metrics.Shard
+	obsDelay  [flit.NumClasses]metrics.Histogram
+	obsJitter [flit.NumClasses]metrics.Histogram
 }
 
 func (m *measurement) init() {
@@ -66,6 +75,9 @@ func (m *measurement) reset() {
 		m.pktLatency[i].Reset()
 	}
 	m.ctlFastPath = 0
+	if m.obs != nil {
+		m.obs.Reset() // histograms track the same measurement window
+	}
 }
 
 func (m *measurement) cycleDone(ports int) { m.cycles++ }
@@ -83,6 +95,9 @@ func (m *measurement) recordDeparture(t int64, f *flit.Flit, cand sched.Candidat
 		m.vcmDelay.Add(float64(t - f.ReadyAt))
 		m.totalDelay.Add(float64(t - f.CreatedAt))
 		m.delayHist.Add(delay)
+		if m.obs != nil {
+			m.obs.Observe(m.obsDelay[f.Class], delay)
+		}
 		c := int(f.Conn)
 		if m.lastSeen[c] {
 			d := delay - m.lastDelay[c]
@@ -90,6 +105,9 @@ func (m *measurement) recordDeparture(t int64, f *flit.Flit, cand sched.Candidat
 				d = -d
 			}
 			m.jitterHist.Add(d)
+			if m.obs != nil {
+				m.obs.Observe(m.obsJitter[f.Class], d)
+			}
 		}
 		m.lastDelay[c] = delay
 		m.lastSeen[c] = true

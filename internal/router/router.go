@@ -245,6 +245,7 @@ type Router struct {
 	xcfg   []int
 
 	m       measurement
+	om      *routerMetrics // observability layer (observe.go)
 	stopped bool
 }
 

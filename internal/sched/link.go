@@ -57,7 +57,31 @@ type LinkScheduler struct {
 	// excessVC is the VBR connection currently draining its excess
 	// bandwidth (§4.3 serves excess one connection at a time). -1 if none.
 	excessVC int
+
+	counters LinkCounters
 }
+
+// LinkCounters are plain cumulative event counts a scheduler maintains
+// as it runs. They live here rather than in the metrics registry so
+// sched stays dependency-free; the observability layer mirrors them
+// into counters at gather time.
+type LinkCounters struct {
+	// Nominated is the number of candidates handed to the switch arbiter.
+	Nominated int64
+	// CreditStalled counts VC-cycles where a VC had a flit buffered but
+	// no downstream credit — the credit-starvation signal.
+	CreditStalled int64
+	// RoundExhausted counts VC-cycles where an eligible stream VC was
+	// passed over because it had consumed its per-round allocation.
+	RoundExhausted int64
+	// BiasBoosted counts nominated candidates whose dynamic priority
+	// exceeded their static base — i.e. the §5.1 bias (waited time over
+	// inter-arrival) actually lifted the flit above its resting priority.
+	BiasBoosted int64
+}
+
+// Counters returns the scheduler's cumulative event counts.
+func (ls *LinkScheduler) Counters() LinkCounters { return ls.counters }
 
 // NewLinkScheduler returns a scheduler over the port's VCM and its
 // downstream credit state.
@@ -120,7 +144,11 @@ func (ls *LinkScheduler) classify(vc int) (Phase, bool) {
 // Candidates appends up to MaxCandidates candidates for the next flit
 // cycle to dst and returns the extended slice, best first.
 func (ls *LinkScheduler) Candidates(now int64, dst []Candidate) []Candidate {
-	ls.eligible.And(ls.mem.FlitsAvailable(), ls.credits.Vector())
+	flits := ls.mem.FlitsAvailable()
+	ls.eligible.And(flits, ls.credits.Vector())
+	// Buffered flits minus eligible flits is exactly the set with no
+	// downstream credit — two popcounts, no extra pass.
+	ls.counters.CreditStalled += int64(flits.Count() - ls.eligible.Count())
 	if !ls.eligible.Any() {
 		return dst
 	}
@@ -136,6 +164,7 @@ func (ls *LinkScheduler) Candidates(now int64, dst []Candidate) []Candidate {
 		}
 		phase, ok := ls.classify(vc)
 		if !ok {
+			ls.counters.RoundExhausted++
 			continue
 		}
 		if phase == PhaseExcess {
@@ -148,12 +177,16 @@ func (ls *LinkScheduler) Candidates(now int64, dst []Candidate) []Candidate {
 			}
 		}
 		head := ls.mem.Peek(vc)
+		prio := ls.cfg.Scheme.Priority(now, st, head)
+		if prio > float64(st.BasePriority) {
+			ls.counters.BiasBoosted++
+		}
 		ls.scratch = append(ls.scratch, Candidate{
 			Input:    ls.cfg.Input,
 			VC:       vc,
 			Output:   st.Output,
 			Phase:    phase,
-			Priority: ls.cfg.Scheme.Priority(now, st, head),
+			Priority: prio,
 		})
 	}
 	// If the current excess VC went ineligible, elect a successor: the
@@ -208,6 +241,7 @@ func (ls *LinkScheduler) Candidates(now int64, dst []Candidate) []Candidate {
 		ls.outTaken[o] = false
 	}
 	ls.taken = ls.taken[:0]
+	ls.counters.Nominated += int64(n)
 	return dst
 }
 

@@ -26,20 +26,25 @@ func NewJitterTracker(nconns int) *JitterTracker {
 
 // Grow extends the tracker to cover at least nconns connections,
 // preserving existing state. Used when connections are admitted
-// dynamically.
+// dynamically. Each slice grows to the target length in one step rather
+// than element by element, so repeated admissions cost amortized O(1)
+// per connection instead of O(n) appends per call.
 func (j *JitterTracker) Grow(nconns int) {
-	for len(j.prev) < nconns {
-		j.prev = append(j.prev, 0)
-		j.seen = append(j.seen, false)
-		j.perConn = append(j.perConn, Accumulator{})
-		j.perDelay = append(j.perDelay, Accumulator{})
+	if len(j.prev) >= nconns {
+		return
 	}
+	j.prev = append(j.prev, make([]float64, nconns-len(j.prev))...)
+	j.seen = append(j.seen, make([]bool, nconns-len(j.seen))...)
+	j.perConn = append(j.perConn, make([]Accumulator, nconns-len(j.perConn))...)
+	j.perDelay = append(j.perDelay, make([]Accumulator, nconns-len(j.perDelay))...)
 }
 
 // Record notes that a flit of connection conn experienced the given delay.
 // The first flit of a connection establishes a baseline and produces no
-// jitter sample.
-func (j *JitterTracker) Record(conn int, delay float64) {
+// jitter sample (ok is false); afterwards it returns the absolute
+// delay difference to the previous flit, so callers can feed the sample
+// to observers (e.g. metric histograms) without re-deriving it.
+func (j *JitterTracker) Record(conn int, delay float64) (jitter float64, ok bool) {
 	j.delay.Add(delay)
 	j.perDelay[conn].Add(delay)
 	if j.seen[conn] {
@@ -49,9 +54,11 @@ func (j *JitterTracker) Record(conn int, delay float64) {
 		}
 		j.jitter.Add(d)
 		j.perConn[conn].Add(d)
+		jitter, ok = d, true
 	}
 	j.prev[conn] = delay
 	j.seen[conn] = true
+	return jitter, ok
 }
 
 // Jitter returns the aggregate jitter accumulator across all connections.

@@ -57,10 +57,14 @@ func (a *Accumulator) Variance() float64 {
 // StdDev returns the sample standard deviation.
 func (a *Accumulator) StdDev() float64 { return math.Sqrt(a.Variance()) }
 
-// Min returns the smallest sample, or 0 with no samples.
+// Min returns the smallest sample. With no samples it returns 0, which
+// is indistinguishable from a genuine minimum of 0 — callers that print
+// extremes must check N() first (FormatAccumCell does this) rather than
+// report a fabricated zero.
 func (a *Accumulator) Min() float64 { return a.min }
 
-// Max returns the largest sample, or 0 with no samples.
+// Max returns the largest sample, or 0 with no samples (see Min for the
+// empty-accumulator caveat).
 func (a *Accumulator) Max() float64 { return a.max }
 
 // Sum returns n*mean, the total of all samples.
@@ -196,6 +200,17 @@ type Series struct {
 
 // Add appends a point to the series.
 func (s *Series) Add(x, y float64) { s.Points = append(s.Points, Point{x, y}) }
+
+// AddAccum appends (x, a.Mean()) only when the accumulator holds at
+// least one sample; an empty accumulator's mean is a fabricated 0 that
+// would plot as a real data point. It reports whether a point was added.
+func (s *Series) AddAccum(x float64, a *Accumulator) bool {
+	if a.N() == 0 {
+		return false
+	}
+	s.Add(x, a.Mean())
+	return true
+}
 
 // YAt returns the y value at the given x (exact match) and whether it
 // exists.

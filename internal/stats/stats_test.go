@@ -202,6 +202,62 @@ func TestJitterTrackerGrow(t *testing.T) {
 	}
 }
 
+func TestJitterTrackerGrowPreservesState(t *testing.T) {
+	j := NewJitterTracker(1)
+	j.Record(0, 10) // baseline for conn 0
+	j.Grow(1000)    // no-op growths must not disturb anything either
+	j.Grow(500)
+	j.Record(0, 13)
+	if j.ConnJitter(0).N() != 1 || j.ConnJitter(0).Mean() != 3 {
+		t.Fatalf("baseline lost across Grow: %s", j.ConnJitter(0).String())
+	}
+	j.Record(999, 1)
+	j.Record(999, 2)
+	if j.ConnJitter(999).N() != 1 {
+		t.Fatal("last grown connection not tracked")
+	}
+}
+
+func TestJitterTrackerRecordReturn(t *testing.T) {
+	j := NewJitterTracker(1)
+	if _, ok := j.Record(0, 5); ok {
+		t.Fatal("first flit must not produce a jitter sample")
+	}
+	jit, ok := j.Record(0, 2)
+	if !ok || jit != 3 {
+		t.Fatalf("Record returned (%v, %v), want (3, true)", jit, ok)
+	}
+}
+
+func TestSeriesAddAccum(t *testing.T) {
+	var s Series
+	var empty, full Accumulator
+	full.Add(7)
+	if s.AddAccum(1, &empty) {
+		t.Fatal("AddAccum added a point for an empty accumulator")
+	}
+	if !s.AddAccum(2, &full) || len(s.Points) != 1 || s.Points[0].Y != 7 {
+		t.Fatalf("AddAccum skipped a real point: %+v", s.Points)
+	}
+}
+
+func TestFormatAccumCell(t *testing.T) {
+	var empty, full Accumulator
+	full.Add(1.5)
+	full.Add(2.5)
+	for _, stat := range []string{"mean", "min", "max", "sd"} {
+		if got := FormatAccumCell(&empty, stat, "%.2f"); got != "-" {
+			t.Errorf("empty %s cell = %q, want -", stat, got)
+		}
+	}
+	if got := FormatAccumCell(&full, "min", "%.2f"); got != "1.50" {
+		t.Errorf("min cell = %q, want 1.50", got)
+	}
+	if got := FormatAccumCell(&full, "max", "%.2f"); got != "2.50" {
+		t.Errorf("max cell = %q, want 2.50", got)
+	}
+}
+
 func TestSeriesAndFigure(t *testing.T) {
 	var fig Figure
 	fig.Title = "demo"

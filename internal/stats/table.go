@@ -136,6 +136,32 @@ func csvEscape(s string) string {
 	return s
 }
 
+// FormatAccumCell formats one statistic of an accumulator for table
+// output, printing "-" when the accumulator is empty. Accumulator
+// getters return 0 with no samples, so an empty accumulator would
+// otherwise render as a believable "min 0.00 / max 0.00" row. stat is
+// one of "mean", "min", "max", "sd", "p-sd" printed via format (a
+// fmt float verb such as "%.2f").
+func FormatAccumCell(a *Accumulator, stat, format string) string {
+	if a.N() == 0 {
+		return "-"
+	}
+	var v float64
+	switch stat {
+	case "mean":
+		v = a.Mean()
+	case "min":
+		v = a.Min()
+	case "max":
+		v = a.Max()
+	case "sd":
+		v = a.StdDev()
+	default:
+		panic("stats: unknown accumulator stat " + stat)
+	}
+	return fmt.Sprintf(format, v)
+}
+
 // trimFloat formats a float compactly: integers without a decimal point,
 // everything else with up to 4 significant decimals.
 func trimFloat(v float64) string {
