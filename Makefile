@@ -7,14 +7,19 @@ BENCHTOL ?= 0.10
 NETBENCHTOL ?= 0.30
 BENCHFILE ?= BENCH_PR2.json
 NETBENCHFILE ?= BENCH_PR3.json
+SPARSEBENCHFILE ?= BENCH_PR5.json
 # Hot-path microbenchmarks gated by bench-check; figure benchmarks are
 # recorded by `make bench` but not gated (multi-second sims, noisier).
 MICROBENCH = RouterStep|PriorityArbiter|LinkScheduler|EstablishWorkload
 # Network-cycle benchmarks: the serial step plus the worker-pool scaling
 # points (w=2/4/8 sub-benchmarks), gated against $(NETBENCHFILE).
 NETBENCH = NetworkStep|NetworkStepParallel
+# Sparse/idle benchmarks: the activity-gated low-load step, its ungated
+# reference (the ≥3× speedup denominator) and whole-clock fast-forward
+# through Run, gated against $(SPARSEBENCHFILE).
+SPARSEBENCH = NetworkStepSparse|NetworkStepSparseNoSkip|NetworkRunIdleGaps
 
-.PHONY: build test vet race fuzz-smoke check bench bench-check bench-net bench-net-check
+.PHONY: build test vet race fuzz-smoke check bench bench-check bench-net bench-net-check bench-sparse bench-sparse-check
 
 build:
 	$(GO) build ./...
@@ -48,7 +53,7 @@ bench:
 # -allow-missing: this gate deliberately reruns only the microbenchmarks,
 # while the baseline section also records the (ungated) figure
 # benchmarks; absences are reported as warnings instead of failures.
-bench-check: bench-net-check
+bench-check: bench-net-check bench-sparse-check
 	$(GO) test -run='^$$' -bench='^Benchmark($(MICROBENCH))$$' -benchmem -benchtime=$(BENCHTIME) . \
 	| tee /dev/stderr | $(GO) run ./cmd/benchjson -check -baseline $(BENCHFILE) -against current -tol $(BENCHTOL) -allow-missing
 
@@ -68,5 +73,20 @@ bench-net:
 bench-net-check:
 	$(GO) test -run='^$$' -bench='^BenchmarkNetworkStep$$' -benchmem -benchtime=$(BENCHTIME) ./internal/network \
 	| tee /dev/stderr | $(GO) run ./cmd/benchjson -check -baseline $(NETBENCHFILE) -against current -tol $(NETBENCHTOL) -allow-missing
+
+# Record the sparse-load and idle-gap benchmarks (activity gating / fast-
+# forward hot paths) into $(SPARSEBENCHFILE)'s "current" section. The
+# NoSkip row is the ungated reference: Sparse must beat it ≥3× on the
+# same workload or the gating machinery is not earning its complexity.
+bench-sparse:
+	$(GO) test -run='^$$' -bench='^Benchmark($(SPARSEBENCH))$$' -benchmem -benchtime=$(BENCHTIME) ./internal/network \
+	| tee /dev/stderr | $(GO) run ./cmd/benchjson -o $(SPARSEBENCHFILE) -section current
+
+# Gate the sparse cycle and idle-gap fast-forward against the committed
+# baseline: ns/op within NETBENCHTOL (same noise profile as the network
+# gate) and still allocation-free in steady state.
+bench-sparse-check:
+	$(GO) test -run='^$$' -bench='^Benchmark($(SPARSEBENCH))$$' -benchmem -benchtime=$(BENCHTIME) ./internal/network \
+	| tee /dev/stderr | $(GO) run ./cmd/benchjson -check -baseline $(SPARSEBENCHFILE) -against current -tol $(NETBENCHTOL) -allow-missing
 
 check: vet test race fuzz-smoke

@@ -55,6 +55,7 @@ type simOpts struct {
 	vcs           int
 	seed          uint64
 	netWorkers    int
+	noIdleSkip    bool
 
 	faultLinks    int
 	faultDowntime int64
@@ -101,6 +102,8 @@ func main() {
 	flag.Uint64Var(&o.seed, "seed", o.seed, "simulation seed")
 	flag.IntVar(&o.netWorkers, "net-workers", o.netWorkers,
 		"worker goroutines stepping the network (1 = serial; results are identical at any setting)")
+	flag.BoolVar(&o.noIdleSkip, "no-idle-skip", o.noIdleSkip,
+		"disable activity gating and idle-cycle elision (results are identical either way)")
 	flag.IntVar(&o.faultLinks, "fault-links", o.faultLinks, "random link failures to inject during the measured run")
 	flag.Int64Var(&o.faultDowntime, "fault-downtime", o.faultDowntime, "cycles a -fault-links failure lasts (0 = permanent)")
 	flag.Float64Var(&o.faultMTBF, "fault-mtbf", o.faultMTBF, "mean cycles between stochastic failures per link (0 = off)")
@@ -145,6 +148,7 @@ func run(o simOpts, out, diag io.Writer) error {
 	cfg.VCs = o.vcs
 	cfg.Seed = o.seed
 	cfg.Workers = o.netWorkers
+	cfg.NoIdleSkip = o.noIdleSkip
 	cfg.Fault.Restore = !o.noRestore
 	cfg.Fault.Degrade = !o.noDegrade
 	n, err := network.New(cfg)

@@ -36,6 +36,11 @@ type Options struct {
 	// Figures never read these snapshots, so installing a sink cannot
 	// perturb the goldened outputs.
 	MetricSink func(load float64, snap *metrics.Snapshot)
+	// NoIdleSkip disables activity gating in the simulators (router and
+	// network). Gated and ungated runs are bit-identical — this is the
+	// reference side of the equivalence tests and a debugging escape
+	// hatch, never needed for figures.
+	NoIdleSkip bool
 }
 
 // loads returns the sweep to use.
@@ -133,6 +138,7 @@ func RunPoint(base router.Config, load float64, v Variant, opts Options) (Point,
 	cfg := base
 	v.Mutate(&cfg)
 	cfg.Seed = opts.Seed
+	cfg.NoIdleSkip = opts.NoIdleSkip
 	r, err := router.New(cfg)
 	if err != nil {
 		return Point{}, err

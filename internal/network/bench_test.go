@@ -81,3 +81,105 @@ func BenchmarkNetworkStepParallel(b *testing.B) {
 		})
 	}
 }
+
+// benchNetSparse builds the ~10%-load scenario BenchmarkNetworkStepSparse
+// measures: the same 4×4 mesh with a handful of slow CBR connections and
+// one trickle best-effort flow, so most nodes are idle on most cycles —
+// the regime activity gating targets.
+func benchNetSparse(b *testing.B, noIdleSkip bool) *Network {
+	b.Helper()
+	tp, err := topology.Mesh(4, 4, 4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := DefaultConfig(tp)
+	cfg.Seed = 7
+	cfg.NoIdleSkip = noIdleSkip
+	n, err := New(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := sim.NewRNG(42)
+	opened := 0
+	for i := 0; i < 400 && opened < 10; i++ {
+		src, dst := rng.Intn(tp.Nodes), rng.Intn(tp.Nodes)
+		if src == dst {
+			continue
+		}
+		if _, err := n.Open(src, dst, traffic.ConnSpec{Class: flit.ClassCBR, Rate: 16 * traffic.Mbps}); err == nil {
+			opened++
+		}
+	}
+	if opened < 10 {
+		b.Fatalf("benchNetSparse: only %d connections established", opened)
+	}
+	n.AddBestEffortFlow(0, 15, 0.002)
+	n.Run(2000)
+	return n
+}
+
+// BenchmarkNetworkStepSparse measures one cycle of the ~10%-load mesh
+// with activity gating on (the default): most ports and nodes are
+// skipped without touching their memories. Gated by make
+// bench-sparse-check against BENCH_PR5.json.
+func BenchmarkNetworkStepSparse(b *testing.B) {
+	n := benchNetSparse(b, false)
+	defer n.Shutdown()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n.Step()
+	}
+}
+
+// BenchmarkNetworkStepSparseNoSkip is the ungated reference for the same
+// workload — the denominator of the ISSUE's ≥3× sparse-speedup criterion.
+func BenchmarkNetworkStepSparseNoSkip(b *testing.B) {
+	n := benchNetSparse(b, true)
+	defer n.Shutdown()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n.Step()
+	}
+}
+
+// BenchmarkNetworkRunIdleGaps measures bursty traffic with long idle
+// stretches driven through Run, where whole-clock fast-forward elides the
+// empty cycles entirely: a few very slow connections mean thousands of
+// cycles pass between flits. Reported per simulated cycle via Run(10000)
+// iterations normalized by b.N — gating makes each iteration's cost
+// proportional to events, not cycles.
+func BenchmarkNetworkRunIdleGaps(b *testing.B) {
+	tp, err := topology.Mesh(4, 4, 4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := DefaultConfig(tp)
+	cfg.Seed = 7
+	n, err := New(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer n.Shutdown()
+	rng := sim.NewRNG(42)
+	for opened, i := 0, 0; i < 200 && opened < 4; i++ {
+		src, dst := rng.Intn(tp.Nodes), rng.Intn(tp.Nodes)
+		if src == dst {
+			continue
+		}
+		if _, err := n.Open(src, dst, traffic.ConnSpec{Class: flit.ClassCBR, Rate: 2 * traffic.Mbps}); err == nil {
+			opened++
+		}
+	}
+	// One full-length warm iteration: a 10k-cycle window grows lanes and
+	// scratch past what the 2k-cycle warmup reaches, and the timed loop
+	// must start at the allocation high-water mark (the gate requires
+	// 0 allocs/op even at -benchtime 1x).
+	n.Run(12_000)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n.Run(10_000)
+	}
+}

@@ -48,9 +48,20 @@ type creditMsg struct {
 // beFlow is a best-effort packet flow between two hosts.
 type beFlow struct {
 	src, dst int
-	gen      interface{ Tick(int64) int }
+	gen      traffic.Source
 	niQueue  flit.Ring
+
+	// Activity gating: last cycle the generator was ticked, and the
+	// forecast cycle of its next arrival (see injectPackets).
+	lastTick int64
+	nextDue  int64
 }
+
+// idleForecastHorizon bounds how far ahead a source forecast looks. A
+// forecast returning the horizon means "nothing before then; re-forecast
+// there", so the constant trades forecast loop length against wake-up
+// frequency for very-low-rate sources; it never affects results.
+const idleForecastHorizon = 4096
 
 // AddBestEffortFlow injects Poisson best-effort packets (one flit each,
 // §3.4) from the host at src to the host at dst at the given mean rate in
@@ -61,13 +72,18 @@ func (n *Network) AddBestEffortFlow(src, dst int, packetsPerCycle float64) error
 		return errBadEndpoints(src, dst)
 	}
 	bf := &beFlow{src: src, dst: dst, gen: traffic.NewBestEffortSource(n.nodes[src].rng, packetsPerCycle)}
+	bf.lastTick = n.now - 1
+	bf.nextDue = n.now
 	n.beFlows = append(n.beFlows, bf)
 	n.nodes[src].beSrc = append(n.nodes[src].beSrc, bf)
 	return nil
 }
 
 // Step advances the whole network by one flit cycle: session events fire
-// serially, then the three sharded phases run across the worker pool.
+// serially, then the three sharded phases run across the worker pool —
+// over the compact active-node worklist when gating is on, over every
+// node with NoIdleSkip. Step always advances exactly one cycle; the
+// whole-clock fast-forward across fully idle stretches lives in Run.
 func (n *Network) Step() {
 	t := n.now
 
@@ -83,19 +99,198 @@ func (n *Network) Step() {
 		n.rebalancePools()
 	}
 
-	n.runPhase(phaseDeliver, t)
-	n.runPhase(phaseSchedule, t)
-	n.runPhase(phaseCommit, t)
+	list := n.nodes
+	if !n.cfg.NoIdleSkip {
+		list = n.buildActive(t)
+	}
+	n.runCyclePhases(list, t)
 
 	n.now++
 	n.m.cycles++
 }
 
-// Run advances the network the given number of cycles.
+// Run advances the network the given number of cycles. With gating on,
+// cycles where the global active set is empty are elided entirely: the
+// clock jumps to the earliest next wake-up — a pending session event, a
+// staged lane entry maturing, or a traffic source coming due — with the
+// skipped cycles credited to the statistics so utilization and rate
+// figures are identical to stepping through them.
 func (n *Network) Run(cycles int64) {
-	for i := int64(0); i < cycles; i++ {
-		n.Step()
+	limit := n.now + cycles
+	for n.now < limit {
+		t := n.now
+		n.events.Run(simTime(t))
+		if t%poolRebalanceInterval == 0 {
+			n.rebalancePools()
+		}
+		if !n.cfg.NoIdleSkip {
+			list := n.buildActive(t)
+			if len(list) == 0 {
+				next := n.nextWake(t, limit)
+				// If a pool-rebalance boundary falls inside the skipped
+				// stretch, level once now: the free lists cannot change
+				// again while everything is idle, so one catch-up pass
+				// reproduces every boundary the stretch covers. (The wake
+				// cycle itself is handled by the check at the loop top.)
+				if m := (t/poolRebalanceInterval + 1) * poolRebalanceInterval; m < next {
+					n.rebalancePools()
+				}
+				n.m.cycles += next - t
+				n.idleSkipped += next - t
+				n.now = next
+				continue
+			}
+			n.runCyclePhases(list, t)
+		} else {
+			n.runCyclePhases(n.nodes, t)
+		}
+		n.now++
+		n.m.cycles++
 	}
+}
+
+// runCyclePhases runs one flit cycle's three barrier-separated phases
+// over the given worklist, then lets any skipped node with an inbound
+// packet-VC claim commit just that claim — preserving the invariant that
+// every staged claim is consumed in its own cycle.
+func (n *Network) runCyclePhases(list []*node, t int64) {
+	if len(list) == 0 {
+		return
+	}
+	n.runPhase(list, phaseDeliver, t)
+	n.runPhase(list, phaseSchedule, t)
+	n.collectClaimExtras(list, t)
+	n.runPhase(list, phaseCommit, t)
+	if len(n.extraList) > 0 {
+		n.runPhase(n.extraList, phaseCommitClaims, t)
+		n.extraList = n.extraList[:0]
+	}
+}
+
+// buildActive computes this cycle's worklist: a node is active iff it has
+// buffered flits on any port, an inbound staging lane holds a matured
+// flit or credit, a stream source or best-effort flow homed on it is due
+// (or still has a queued backlog at its network interface). Everything
+// read here is either node-local or a lane the node is the unique reader
+// of, and the scan runs serially between cycles, so the list — and hence
+// the simulation — is deterministic for every worker count.
+//
+// The maturity rule is what makes gating exact: a lane entry's arriveAt
+// wakes its receiver on exactly the cycle the ungated engine would have
+// delivered it, so nothing is ever delivered, credited or reset late.
+func (n *Network) buildActive(t int64) []*node {
+	act := n.actList[:0]
+	for _, nd := range n.nodes {
+		if n.nodeActive(nd, t) {
+			n.actStamp[nd.id] = t
+			act = append(act, nd)
+		}
+	}
+	n.actList = act
+	return act
+}
+
+// nodeActive is the per-node activity predicate (see buildActive).
+func (n *Network) nodeActive(nd *node, t int64) bool {
+	for _, mem := range nd.mems {
+		if mem.Occupied() > 0 {
+			return true
+		}
+	}
+	tp := n.cfg.Topology
+	for q := 0; q < tp.Ports; q++ {
+		x := tp.Wired(nd.id, q)
+		if x < 0 {
+			continue
+		}
+		xp := tp.WiredPeer(nd.id, q)
+		src := n.nodes[x]
+		if cl := &src.credOut[xp]; cl.head < len(cl.buf) && cl.buf[cl.head].arriveAt <= t {
+			return true
+		}
+		if fl := &src.pipes[xp]; fl.head < len(fl.buf) && fl.buf[fl.head].arriveAt <= t {
+			return true
+		}
+	}
+	for _, c := range nd.srcConns {
+		if c.closed || c.broken {
+			continue
+		}
+		if c.niQueue.Len() > 0 {
+			return true
+		}
+		if c.open && c.src != nil && c.nextDue <= t {
+			return true
+		}
+	}
+	for _, bf := range nd.beSrc {
+		// A queued packet draws from the node's RNG every cycle while it
+		// hunts for a free VC, so a non-empty NI queue forces activity.
+		if bf.niQueue.Len() > 0 || bf.nextDue <= t {
+			return true
+		}
+	}
+	return false
+}
+
+// collectClaimExtras finds nodes outside the active worklist that have an
+// inbound packet-VC claim staged on them this cycle. They are appended to
+// extraList (deterministic: sender order, then port order) and run the
+// reduced phaseCommitClaims after the main commit barrier — only the
+// claim commit, never grant execution, whose inputs would be stale.
+func (n *Network) collectClaimExtras(list []*node, t int64) {
+	if n.cfg.NoIdleSkip || len(list) == len(n.nodes) {
+		return // every node runs a full commit; no claim can be orphaned
+	}
+	tp := n.cfg.Topology
+	for _, nd := range list {
+		for p := range nd.claim {
+			if nd.claim[p].vc < 0 {
+				continue
+			}
+			x := tp.Wired(nd.id, p)
+			if x < 0 || n.actStamp[x] == t || n.extraStamp[x] == t {
+				continue
+			}
+			n.extraStamp[x] = t
+			n.extraList = append(n.extraList, n.nodes[x])
+		}
+	}
+}
+
+// nextWake returns the earliest cycle in (t, limit] at which anything can
+// happen: the next session event, the earliest staged lane entry
+// maturing, or the earliest due traffic source. Called only when the
+// active set is empty, so every lane head (if any) is strictly future.
+func (n *Network) nextWake(t, limit int64) int64 {
+	next := limit
+	if at, ok := n.events.NextAt(); ok && int64(at) < next {
+		next = int64(at)
+	}
+	for _, nd := range n.nodes {
+		for p := range nd.pipes {
+			if fl := &nd.pipes[p]; fl.head < len(fl.buf) && fl.buf[fl.head].arriveAt < next {
+				next = fl.buf[fl.head].arriveAt
+			}
+			if cl := &nd.credOut[p]; cl.head < len(cl.buf) && cl.buf[cl.head].arriveAt < next {
+				next = cl.buf[cl.head].arriveAt
+			}
+		}
+		for _, c := range nd.srcConns {
+			if c.open && !c.closed && !c.broken && c.src != nil && c.nextDue < next {
+				next = c.nextDue
+			}
+		}
+		for _, bf := range nd.beSrc {
+			if bf.nextDue < next {
+				next = bf.nextDue
+			}
+		}
+	}
+	if next <= t {
+		next = t + 1
+	}
+	return next
 }
 
 // ResetStats discards accumulated statistics (warmup boundary). Metric
@@ -116,8 +311,15 @@ func (n *Network) ResetStats() {
 // VCMs, its stats shard); peers' lanes are advanced via the head index,
 // which the owner only touches in its commit phase, a barrier away.
 func (n *Network) phaseDeliver(nd *node, t int64) {
-	// Round boundary (§4.1): per-round bandwidth accounting resets.
-	if t%int64(n.cfg.K*n.cfg.VCs) == 0 {
+	// Round boundary (§4.1): per-round bandwidth accounting resets. Lazy:
+	// instead of firing on the exact modulo cycle, each node records the
+	// last round it reset for and catches up when it next runs. Equivalent
+	// to the eager reset because Serviced and the excess election are
+	// frozen — and unread — while a node is idle, the catch-up reset runs
+	// before any scheduling this cycle, and resetting once covers any
+	// number of skipped boundaries (the reset is idempotent).
+	if round := t / int64(n.cfg.K*n.cfg.VCs); nd.lastRound != round {
+		nd.lastRound = round
 		for _, ls := range nd.links {
 			ls.OnRoundBoundary()
 		}
@@ -195,16 +397,21 @@ func (n *Network) phaseDeliver(nd *node, t int64) {
 // phase mutates any VC reservation, so the reads race with nothing.
 func (n *Network) phaseSchedule(nd *node, t int64) {
 	n.routePackets(nd)
+	// Per-port skip: a port with zero buffered flits cannot nominate —
+	// Candidates on an empty memory is provably a pure no-op (empty
+	// eligible set, zero CreditStalled, early return before the excess
+	// election's RNG-free tie-break), so skipping the scan changes nothing
+	// but the time it takes. sched.TestLinkCountersGatingEquivalence pins
+	// this down at the scheduler level.
+	skipIdlePorts := !n.cfg.NoIdleSkip
 	for p := range nd.links {
+		if skipIdlePorts && !nd.links[p].Active() {
+			nd.cands[p] = nd.cands[p][:0]
+			continue
+		}
 		nd.cands[p] = nd.links[p].Candidates(t, nd.cands[p][:0])
 	}
 	nd.arb.Schedule(nd.cands, nd.grants)
-
-	// Clear our claim slots: the unique downstream readers consumed last
-	// cycle's claims during their commit phase.
-	for p := range nd.claim {
-		nd.claim[p].vc = -1
-	}
 
 	hp := n.cfg.hostPort()
 	for in := range nd.grants {
@@ -334,6 +541,12 @@ func (n *Network) executeGrants(nd *node, t int64) {
 // staged during the schedule phase. Each input port has exactly one wired
 // upstream, so each memory sees at most one claim; the claimed VC is
 // still free because the commit phase only releases VCs before this point.
+//
+// The consumer clears the slot it reads (the unique-reader rule makes the
+// cross-node write race-free: the producer only writes its slots in the
+// schedule phase, a barrier away). Consumer-side clearing is what keeps
+// the claim-slot invariant — every slot is -1 at the start of every cycle
+// — without requiring every producer to run a schedule phase each cycle.
 func (n *Network) commitClaims(nd *node) {
 	tp := n.cfg.Topology
 	for q := 0; q < tp.Ports; q++ {
@@ -341,10 +554,12 @@ func (n *Network) commitClaims(nd *node) {
 		if x < 0 {
 			continue
 		}
-		slot := n.nodes[x].claim[tp.WiredPeer(nd.id, q)]
+		sp := tp.WiredPeer(nd.id, q)
+		slot := n.nodes[x].claim[sp]
 		if slot.vc < 0 {
 			continue
 		}
+		n.nodes[x].claim[sp].vc = -1
 		if !nd.mems[q].Reserve(slot.vc, vcm.VCState{
 			Conn: flit.InvalidConn, Class: slot.class, Output: -1,
 		}) {
@@ -378,6 +593,14 @@ func (n *Network) eject(nd *node, t int64, f *flit.Flit) {
 // injectStreams moves source flits into the entry VCs of the connections
 // whose source host sits on this node. Sources are bound to this node's
 // RNG stream, and flits come from this node's pool.
+//
+// Gating contract: a source must be ticked every cycle (Tick is stateful,
+// and some draws consume RNG), but a node only runs when active. The
+// catch-up loop replays the cycles the node slept through — provably
+// no-ops, since the forecast (c.nextDue) promised no arrivals and gap
+// ticks draw no RNG — then ticks the live cycle. The forecast is only
+// recomputed once it expires, and after the ticks, so the simulated
+// per-cycle state it was derived from matches the source exactly.
 func (n *Network) injectStreams(nd *node, t int64) {
 	hp := n.cfg.hostPort()
 	for _, c := range nd.srcConns {
@@ -385,14 +608,20 @@ func (n *Network) injectStreams(nd *node, t int64) {
 			continue
 		}
 		if c.open && c.src != nil {
-			for k := c.src.Tick(t); k > 0; k-- {
-				f := nd.pool.Get()
-				f.Conn, f.Class, f.Type = c.ID, c.Spec.Class, flit.TypeBody
-				f.Seq, f.CreatedAt = c.nextSeq, t
-				f.Src, f.Dst = int32(c.Src), int32(c.Dst)
-				c.nextSeq++
-				c.niQueue.Push(f)
-				nd.stats.generated++
+			for ct := c.lastTick + 1; ct <= t; ct++ {
+				for k := c.src.Tick(ct); k > 0; k-- {
+					f := nd.pool.Get()
+					f.Conn, f.Class, f.Type = c.ID, c.Spec.Class, flit.TypeBody
+					f.Seq, f.CreatedAt = c.nextSeq, ct
+					f.Src, f.Dst = int32(c.Src), int32(c.Dst)
+					c.nextSeq++
+					c.niQueue.Push(f)
+					nd.stats.generated++
+				}
+			}
+			c.lastTick = t
+			if !n.cfg.NoIdleSkip && c.nextDue <= t {
+				c.nextDue = traffic.ForecastSource(c.src, t, t+idleForecastHorizon)
 			}
 		}
 		mem := nd.mems[hp]
@@ -413,19 +642,28 @@ func (n *Network) injectStreams(nd *node, t int64) {
 func (n *Network) injectPackets(nd *node, t int64) {
 	hp := n.cfg.hostPort()
 	for _, bf := range nd.beSrc {
-		for k := bf.gen.Tick(t); k > 0; k-- {
-			nd.pktSeq++
-			// Node-unique sequence: local counter tagged with the node id.
-			seq := nd.pktSeq<<20 | int64(nd.id)
-			f := nd.pool.Get()
-			f.Conn, f.Class, f.Type = flit.InvalidConn, flit.ClassBestEffort, flit.TypeHead
-			f.Seq, f.CreatedAt = seq, t
-			f.Src, f.Dst = int32(bf.src), int32(bf.dst)
-			pk := nd.pool.GetPacket()
-			pk.ID, pk.Kind, pk.Size, pk.CreatedAt = seq, flit.PacketBestEffort, 1, t
-			f.Packet = pk
-			bf.niQueue.Push(f)
-			nd.stats.beGenerated++
+		// Same catch-up contract as injectStreams. BestEffortSource gap
+		// ticks are total no-ops (no state change, no RNG), so the replay
+		// loop is cheap even after a long sleep.
+		for ct := bf.lastTick + 1; ct <= t; ct++ {
+			for k := bf.gen.Tick(ct); k > 0; k-- {
+				nd.pktSeq++
+				// Node-unique sequence: local counter tagged with the node id.
+				seq := nd.pktSeq<<20 | int64(nd.id)
+				f := nd.pool.Get()
+				f.Conn, f.Class, f.Type = flit.InvalidConn, flit.ClassBestEffort, flit.TypeHead
+				f.Seq, f.CreatedAt = seq, ct
+				f.Src, f.Dst = int32(bf.src), int32(bf.dst)
+				pk := nd.pool.GetPacket()
+				pk.ID, pk.Kind, pk.Size, pk.CreatedAt = seq, flit.PacketBestEffort, 1, ct
+				f.Packet = pk
+				bf.niQueue.Push(f)
+				nd.stats.beGenerated++
+			}
+		}
+		bf.lastTick = t
+		if !n.cfg.NoIdleSkip && bf.nextDue <= t {
+			bf.nextDue = traffic.ForecastSource(bf.gen, t, t+idleForecastHorizon)
 		}
 		mem := nd.mems[hp]
 		for bf.niQueue.Len() > 0 {

@@ -267,6 +267,12 @@ func (n *Network) installPath(conn *Conn, entryVC int, hops []probeHop, d demand
 	conn.open = true
 	conn.closed = false
 	conn.broken = false
+	// Activity-gating bookkeeping: ticking (re)starts at the current
+	// cycle. Critically, this also resets lastTick after a fault
+	// restoration, so the broken period is not replayed into the source —
+	// matching the ungated engine, which never ticks a broken connection.
+	conn.lastTick = n.now - 1
+	conn.nextDue = n.now
 }
 
 // Close stops a connection's injection and releases every per-hop

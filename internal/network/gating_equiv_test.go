@@ -1,0 +1,114 @@
+package network
+
+import (
+	"reflect"
+	"testing"
+
+	"mmr/internal/sim"
+	"mmr/internal/topology"
+	"mmr/internal/traffic"
+
+	"mmr/internal/flit"
+)
+
+// gatingScenario runs the detScenario workload with activity gating on or
+// off and returns everything observable. NoIdleSkip is flipped after
+// construction (it only affects stepping, never setup), so both sides
+// build through the identical code path.
+func gatingScenario(t *testing.T, workers int, withFaults, noIdleSkip bool) (*Stats, []SessionEvent) {
+	t.Helper()
+	n := buildDetNetwork(t, workers, withFaults)
+	defer n.Shutdown()
+	n.cfg.NoIdleSkip = noIdleSkip
+	n.Run(1200)
+	n.ResetStats()
+	n.Run(1800)
+	return n.Stats(), n.SessionEvents()
+}
+
+// TestNetworkGatingEquivalence: activity gating — per-port scan skipping,
+// the active-node worklist, lazy round boundaries, forecast-driven source
+// ticking and whole-clock fast-forward — changes nothing observable. The
+// gated run must reproduce the ungated run bit for bit (floating-point
+// accumulator state compared exactly via reflect.DeepEqual), at every
+// worker count, with and without an active fault plan.
+func TestNetworkGatingEquivalence(t *testing.T) {
+	for _, withFaults := range []bool{false, true} {
+		name := "clean"
+		if withFaults {
+			name = "faults"
+		}
+		t.Run(name, func(t *testing.T) {
+			refStats, refEvents := gatingScenario(t, 1, withFaults, true)
+			if refStats.FlitsDelivered == 0 || refStats.BEDelivered == 0 {
+				t.Fatalf("degenerate scenario: %v", refStats)
+			}
+			for _, w := range []int{1, 2, 4} {
+				st, ev := gatingScenario(t, w, withFaults, false)
+				if !reflect.DeepEqual(refStats, st) {
+					t.Errorf("gated workers=%d diverged from ungated serial:\nungated: %+v\ngated:   %+v", w, refStats, st)
+				}
+				if !reflect.DeepEqual(refEvents, ev) {
+					t.Errorf("gated workers=%d session log diverged (%d vs %d events)", w, len(refEvents), len(ev))
+				}
+			}
+		})
+	}
+}
+
+// TestNetworkGatingEquivalenceSparse exercises the regime gating was
+// built for — long idle stretches between arrivals, where Run fast-
+// forwards the clock — and checks the elision is exact: identical stats,
+// identical final clock, and strictly positive skipping (guarding against
+// the fast path silently never engaging).
+func TestNetworkGatingEquivalenceSparse(t *testing.T) {
+	build := func(noIdleSkip bool) *Network {
+		tp, err := topology.Mesh(4, 4, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := DefaultConfig(tp)
+		cfg.Seed = 23
+		cfg.NoIdleSkip = noIdleSkip
+		n, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rng := sim.NewRNG(77)
+		for opened, i := 0, 0; i < 200 && opened < 6; i++ {
+			src, dst := rng.Intn(tp.Nodes), rng.Intn(tp.Nodes)
+			if src == dst {
+				continue
+			}
+			// Slow connections: ~1 flit every few hundred cycles, so the
+			// fabric is empty most of the time.
+			if _, err := n.Open(src, dst, traffic.ConnSpec{Class: flit.ClassCBR, Rate: 2 * traffic.Mbps}); err == nil {
+				opened++
+			}
+		}
+		n.AddBestEffortFlow(0, 15, 0.001)
+		return n
+	}
+
+	gated, ungated := build(false), build(true)
+	defer gated.Shutdown()
+	defer ungated.Shutdown()
+	gated.Run(20_000)
+	ungated.Run(20_000)
+	if gated.Now() != ungated.Now() {
+		t.Fatalf("clocks diverged: gated %d, ungated %d", gated.Now(), ungated.Now())
+	}
+	gs, us := gated.Stats(), ungated.Stats()
+	if us.FlitsDelivered == 0 {
+		t.Fatalf("degenerate sparse scenario: %+v", us)
+	}
+	if !reflect.DeepEqual(gs, us) {
+		t.Fatalf("sparse gated run diverged:\nungated: %+v\ngated:   %+v", us, gs)
+	}
+	if gated.idleSkipped == 0 {
+		t.Fatal("sparse run skipped no cycles: the fast-forward path never engaged")
+	}
+	if ungated.idleSkipped != 0 {
+		t.Fatalf("NoIdleSkip run still skipped %d cycles", ungated.idleSkipped)
+	}
+}

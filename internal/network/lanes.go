@@ -117,6 +117,12 @@ type stagedCredit struct {
 // ever *frees* VCs before claims are applied, and each input port has
 // exactly one wired upstream, so at most one claim targets a given
 // memory per cycle.
+//
+// The receiver also *clears* the slot it consumes (commitClaims), so the
+// invariant "every slot is -1 at the start of a cycle" holds without the
+// producer rescanning its slots — which matters once activity gating
+// skips idle producers' schedule phases. The cross-node clear is race
+// free for the same unique-reader reason the read is.
 type claimSlot struct {
 	vc    int // claimed VC on the receiver's input port; -1 = no claim
 	class flit.Class

@@ -66,6 +66,14 @@ type Config struct {
 	// ("Parallel execution model").
 	Workers int
 
+	// NoIdleSkip disables activity gating: every node is stepped every
+	// cycle, every port is scanned, and Run never fast-forwards the clock
+	// across idle gaps. Gating is bit-exact by construction (see
+	// docs/performance.md, "Activity gating and idle-cycle elision"), so
+	// this is a debugging escape hatch and the reference side of the
+	// gating-equivalence tests, not a correctness knob.
+	NoIdleSkip bool
+
 	// Fault governs how the network reacts to injected faults (link and
 	// router failures, flit impairments) — see internal/faults.
 	Fault FaultPolicy
@@ -234,6 +242,13 @@ type node struct {
 	// node's RNG stream; ticked only by this node's shard).
 	srcConns []*Conn
 	beSrc    []*beFlow
+
+	// lastRound is the most recent round whose boundary reset this node
+	// applied. Round boundaries are applied lazily at the node's next
+	// wake-up (phaseDeliver), which is equivalent to the every-cycle
+	// modulo check because an idle node's Serviced counters and excess
+	// election are frozen and unread until it wakes.
+	lastRound int64
 }
 
 // Sentinels for node.grantVC.
@@ -267,6 +282,13 @@ type Conn struct {
 	broken   bool  // torn down by a fault; restoration may be pending
 	lost     bool  // restoration exhausted and degradation disabled
 	brokenAt int64 // cycle of the most recent fault teardown
+
+	// Activity gating (see datapath.go): lastTick is the last cycle the
+	// source was ticked, so a wake-up after skipped cycles can replay the
+	// provably-silent gap Ticks in order; nextDue caches the source's
+	// forecast next event so idle cycles need no per-conn work at all.
+	lastTick int64
+	nextDue  int64
 }
 
 // Open reports whether the connection currently carries guaranteed
@@ -310,12 +332,27 @@ type Network struct {
 
 	// Worker pool for the parallel cycle (see workers.go). workers <= 1
 	// means the sharded phases run inline on the stepping goroutine.
+	// phList is the node worklist published with phID/phT: with activity
+	// gating on, it is the compact active set instead of all nodes.
 	workers int
 	wake    []chan struct{}
 	wwg     sync.WaitGroup
 	widx    atomic.Int64
 	phID    int
 	phT     int64
+	phList  []*node
+
+	// Activity-gating worklists (datapath.go), reused across cycles so
+	// the steady state stays allocation-free. A stamp equal to the
+	// current cycle marks membership (no per-cycle clearing).
+	actList    []*node
+	actStamp   []int64
+	extraList  []*node // inactive nodes that must commit an inbound claim
+	extraStamp []int64
+
+	// idleSkipped counts cycles Run elided via whole-clock fast-forward
+	// (diagnostics only; results are independent of it by construction).
+	idleSkipped int64
 }
 
 // SessionEvent records one connection- or fault-level transition for
@@ -360,10 +397,11 @@ func New(cfg Config) (*Network, error) {
 	roundLen := cfg.K * cfg.VCs
 	for id := 0; id < cfg.Topology.Nodes; id++ {
 		nd := &node{
-			id:   id,
-			cmap: routing.NewChannelMap(radix, cfg.VCs),
-			rng:  sim.NewStreamRNG(cfg.Seed, uint64(id)),
-			pool: flit.NewPool(),
+			id:        id,
+			cmap:      routing.NewChannelMap(radix, cfg.VCs),
+			rng:       sim.NewStreamRNG(cfg.Seed, uint64(id)),
+			pool:      flit.NewPool(),
+			lastRound: -1,
 		}
 		nd.stats.init()
 		for p := 0; p < radix; p++ {
@@ -404,6 +442,14 @@ func New(cfg Config) (*Network, error) {
 		nd.cands = make([][]sched.Candidate, radix)
 		nd.grants = make([]int, radix)
 		n.nodes = append(n.nodes, nd)
+	}
+	n.actList = make([]*node, 0, len(n.nodes))
+	n.actStamp = make([]int64, len(n.nodes))
+	n.extraList = make([]*node, 0, len(n.nodes))
+	n.extraStamp = make([]int64, len(n.nodes))
+	for i := range n.actStamp {
+		n.actStamp[i] = -1
+		n.extraStamp[i] = -1
 	}
 	n.initMetrics()
 	n.SetWorkers(cfg.Workers)

@@ -14,9 +14,10 @@ package network
 // Phase identifiers for the dispatch switch (closure-free: workers
 // re-dispatch on an ID instead of capturing per-cycle closures).
 const (
-	phaseDeliver  = iota // drain inbound lanes, impairments, round boundary
-	phaseSchedule        // route, link scheduling, arbitration, claims
-	phaseCommit          // execute grants, commit claims, inject
+	phaseDeliver      = iota // drain inbound lanes, impairments, round boundary
+	phaseSchedule            // route, link scheduling, arbitration, claims
+	phaseCommit              // execute grants, commit claims, inject
+	phaseCommitClaims        // claim commit only, for gated-out claim receivers
 )
 
 // SetWorkers resizes the worker pool. k <= 1 (and any k when the network
@@ -63,42 +64,46 @@ func (n *Network) Shutdown() {
 }
 
 // workerLoop is one pool goroutine: woken once per phase, it claims nodes
-// until the shared counter runs out, then reports the barrier.
+// off the published worklist until the shared counter runs out, then
+// reports the barrier.
 func (n *Network) workerLoop(wake chan struct{}) {
 	for range wake {
-		n.drainNodes(n.phID, n.phT)
+		n.drainNodes(n.phList, n.phID, n.phT)
 		n.wwg.Done()
 	}
 }
 
-// runPhase executes one phase over every node, sharded across the pool.
-// phID/phT are published before the channel sends, which happen-before
-// the workers' reads; the WaitGroup closes the barrier.
-func (n *Network) runPhase(ph int, t int64) {
-	if n.workers <= 1 {
-		for _, nd := range n.nodes {
+// runPhase executes one phase over the given worklist (the full node set
+// with gating off, the compact active set with gating on), sharded across
+// the pool. phList/phID/phT are published before the channel sends, which
+// happen-before the workers' reads; the WaitGroup closes the barrier.
+// Tiny worklists skip the pool: the barrier costs more than the work.
+func (n *Network) runPhase(list []*node, ph int, t int64) {
+	if n.workers <= 1 || len(list) < 2 {
+		for _, nd := range list {
 			n.stepNode(ph, nd, t)
 		}
 		return
 	}
-	n.phID, n.phT = ph, t
+	n.phList, n.phID, n.phT = list, ph, t
 	n.widx.Store(0)
 	n.wwg.Add(len(n.wake))
 	for _, ch := range n.wake {
 		ch <- struct{}{}
 	}
-	n.drainNodes(ph, t)
+	n.drainNodes(list, ph, t)
 	n.wwg.Wait()
 }
 
-// drainNodes claims nodes off the shared counter until none remain.
-func (n *Network) drainNodes(ph int, t int64) {
+// drainNodes claims worklist entries off the shared counter until none
+// remain.
+func (n *Network) drainNodes(list []*node, ph int, t int64) {
 	for {
 		i := int(n.widx.Add(1)) - 1
-		if i >= len(n.nodes) {
+		if i >= len(list) {
 			return
 		}
-		n.stepNode(ph, n.nodes[i], t)
+		n.stepNode(ph, list[i], t)
 	}
 }
 
@@ -111,5 +116,7 @@ func (n *Network) stepNode(ph int, nd *node, t int64) {
 		n.phaseSchedule(nd, t)
 	case phaseCommit:
 		n.phaseCommit(nd, t)
+	case phaseCommitClaims:
+		n.commitClaims(nd)
 	}
 }

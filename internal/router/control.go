@@ -161,6 +161,10 @@ func (r *Router) applyControls(t int64) {
 			st.InterArrival = float64(r.cfg.RoundLen()) / float64(alloc)
 			pc.conn.Spec.Rate = rate
 			pc.conn.src = traffic.NewCBRSource(r.cfg.Link, rate, r.rng.Float64())
+			// The replacement source starts ticking this cycle; its
+			// predecessor's forecast is meaningless for it.
+			pc.conn.lastTick = t - 1
+			pc.conn.nextDue = t
 		case flit.CtlSetPriority:
 			st.BasePriority = pc.word.Arg
 			pc.conn.Spec.Priority = pc.word.Arg

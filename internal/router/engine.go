@@ -4,7 +4,14 @@ import (
 	"mmr/internal/crossbar"
 	"mmr/internal/flit"
 	"mmr/internal/sched"
+	"mmr/internal/traffic"
 )
+
+// idleForecastHorizon bounds how far ahead a source forecast looks. A
+// forecast returning the horizon means "nothing before then; re-forecast
+// there", so the constant only trades forecast loop length against
+// wake-up frequency for very-low-rate sources; it never affects results.
+const idleForecastHorizon = 4096
 
 // Step advances the router by one flit cycle (§3.4): credits return,
 // sources inject, link schedulers nominate candidates, the switch
@@ -16,8 +23,14 @@ import (
 func (r *Router) Step() {
 	t := r.now
 
-	// Round boundary: reset per-round service counters (§4.1).
-	if t%int64(r.cfg.RoundLen()) == 0 {
+	// Round boundary: reset per-round service counters (§4.1). Lazy —
+	// the reset fires on the first cycle actually stepped in each round,
+	// so idle cycles elided by Run catch up here. Equivalent to the eager
+	// modulo check because per-round counters are frozen and unread while
+	// the router is idle and the reset is idempotent across any number of
+	// skipped boundaries.
+	if round := t / int64(r.cfg.RoundLen()); r.lastRound != round {
+		r.lastRound = round
 		for _, ls := range r.links {
 			ls.OnRoundBoundary()
 		}
@@ -33,8 +46,15 @@ func (r *Router) Step() {
 
 	// Link scheduling: each input port nominates candidates (§4.3) based
 	// on the state at the end of the previous cycle — in hardware,
-	// arbitration for cycle t overlaps transmission of cycle t-1.
+	// arbitration for cycle t overlaps transmission of cycle t-1. Ports
+	// with zero buffered flits are skipped: Candidates on an empty memory
+	// is provably a pure no-op (see sched.LinkScheduler.Active).
+	skipIdle := !r.cfg.NoIdleSkip
 	for p := 0; p < r.cfg.Ports; p++ {
+		if skipIdle && !r.links[p].Active() {
+			r.cands[p] = r.cands[p][:0]
+			continue
+		}
 		r.cands[p] = r.links[p].Candidates(t, r.cands[p][:0])
 	}
 	// Outputs claimed by an asynchronous control cut-through last cycle
@@ -87,21 +107,35 @@ func (r *Router) maskAsyncOutputs() {
 
 // injectStreams ticks every connection source and moves flits from NI
 // queues into input virtual channels.
+//
+// Gating contract: sources are stateful and must see every cycle, but Run
+// elides cycles where the whole router is provably idle. The catch-up
+// loop replays the elided cycles — no-ops by construction, since the
+// forecast (c.nextDue) promised no arrivals and gap ticks draw no RNG —
+// then ticks the live cycle. The forecast is recomputed only once it
+// expires, after the ticks, so it always describes the source's actual
+// per-cycle state.
 func (r *Router) injectStreams(t int64) {
 	for _, c := range r.conns {
 		if c.src != nil {
-			for n := c.src.Tick(t); n > 0; n-- {
-				f := r.pool.Get()
-				f.Conn = c.ID
-				f.Class = c.Spec.Class
-				f.Type = flit.TypeBody
-				f.Seq = c.nextSeq
-				f.CreatedAt = t
-				f.SrcPort = int16(c.Spec.In)
-				f.DstPort = int16(c.Spec.Out)
-				c.nextSeq++
-				c.niQueue.Push(f)
-				r.m.generated++
+			for ct := c.lastTick + 1; ct <= t; ct++ {
+				for n := c.src.Tick(ct); n > 0; n-- {
+					f := r.pool.Get()
+					f.Conn = c.ID
+					f.Class = c.Spec.Class
+					f.Type = flit.TypeBody
+					f.Seq = c.nextSeq
+					f.CreatedAt = ct
+					f.SrcPort = int16(c.Spec.In)
+					f.DstPort = int16(c.Spec.Out)
+					c.nextSeq++
+					c.niQueue.Push(f)
+					r.m.generated++
+				}
+			}
+			c.lastTick = t
+			if !r.cfg.NoIdleSkip && c.nextDue <= t {
+				c.nextDue = traffic.ForecastSource(c.src, t, t+idleForecastHorizon)
 			}
 		}
 		// Drain the NI queue into the VC while there is room.
@@ -182,12 +216,99 @@ func (r *Router) transmit(t int64) {
 // steady state was reached and statistics gathered over approximately
 // 100,000 router cycles" (§5).
 func (r *Router) Run(warmup, measure int64) *Metrics {
-	for i := int64(0); i < warmup; i++ {
-		r.Step()
-	}
+	r.runCycles(warmup)
 	r.m.reset()
-	for i := int64(0); i < measure; i++ {
+	r.runCycles(measure)
+	return r.m.snapshot(r)
+}
+
+// runCycles advances the router the given number of cycles, eliding
+// stretches where the router is provably idle: the clock jumps straight
+// to the earliest due traffic source, with skipped cycles credited to the
+// cycle counter so utilization and rate figures are identical to stepping
+// through them. Step itself always advances exactly one cycle.
+func (r *Router) runCycles(cycles int64) {
+	limit := r.now + cycles
+	for r.now < limit {
+		if !r.cfg.NoIdleSkip && r.idle(r.now) {
+			next := r.nextWake(r.now, limit)
+			r.m.cycles += next - r.now
+			r.now = next
+			continue
+		}
 		r.Step()
 	}
-	return r.m.snapshot(r)
+}
+
+// idle reports whether cycle t can do anything at all: any buffered flit,
+// queued NI backlog, credit in flight, pending control word or
+// asynchronous cut-through makes the router active, as does any traffic
+// source whose forecast says it is due. Everything here is a pure read,
+// so the check cannot perturb the simulation.
+func (r *Router) idle(t int64) bool {
+	for _, mem := range r.mems {
+		if mem.Occupied() > 0 {
+			return false
+		}
+	}
+	for _, p := range r.pipes {
+		if p.InFlight() > 0 {
+			return false
+		}
+	}
+	if len(r.pendingCtl) > 0 {
+		return false
+	}
+	for _, b := range r.outputBusyAsync {
+		if b {
+			return false
+		}
+	}
+	for _, c := range r.conns {
+		if c.released || c.src == nil {
+			continue
+		}
+		if c.niQueue.Len() > 0 || c.nextDue <= t {
+			return false
+		}
+	}
+	for _, pf := range r.ctlFlows {
+		// A queued packet retries VC allocation (an RNG draw) every cycle,
+		// so a non-empty NI queue forces activity.
+		if pf.niQueue.Len() > 0 || pf.nextDue <= t {
+			return false
+		}
+	}
+	for _, pf := range r.beFlows {
+		if pf.niQueue.Len() > 0 || pf.nextDue <= t {
+			return false
+		}
+	}
+	return true
+}
+
+// nextWake returns the earliest cycle in (t, limit] at which a traffic
+// source comes due. Called only when idle(t) holds, so sources are the
+// only possible wake-up.
+func (r *Router) nextWake(t, limit int64) int64 {
+	next := limit
+	for _, c := range r.conns {
+		if !c.released && c.src != nil && c.nextDue < next {
+			next = c.nextDue
+		}
+	}
+	for _, pf := range r.ctlFlows {
+		if pf.nextDue < next {
+			next = pf.nextDue
+		}
+	}
+	for _, pf := range r.beFlows {
+		if pf.nextDue < next {
+			next = pf.nextDue
+		}
+	}
+	if next <= t {
+		next = t + 1
+	}
+	return next
 }

@@ -16,6 +16,11 @@ type packetFlow struct {
 	in, out int
 	src     traffic.Source
 	niQueue flit.Ring // packets waiting for a free VC or fast path
+
+	// Activity gating: last cycle the source was ticked, and the forecast
+	// cycle of its next arrival (see pumpPacketFlow).
+	lastTick int64
+	nextDue  int64
 }
 
 // AddBestEffortFlow attaches a Poisson best-effort packet flow producing
@@ -28,7 +33,8 @@ func (r *Router) AddBestEffortFlow(in, out int, packetsPerCycle float64) error {
 	r.beFlows = append(r.beFlows, &packetFlow{
 		kind: flit.PacketBestEffort,
 		in:   in, out: out,
-		src: traffic.NewBestEffortSource(r.rng, packetsPerCycle),
+		src:      traffic.NewBestEffortSource(r.rng, packetsPerCycle),
+		lastTick: r.now - 1, nextDue: r.now,
 	})
 	return nil
 }
@@ -42,7 +48,8 @@ func (r *Router) AddControlFlow(in, out int, packetsPerCycle float64) error {
 	r.ctlFlows = append(r.ctlFlows, &packetFlow{
 		kind: flit.PacketControl,
 		in:   in, out: out,
-		src: traffic.NewBestEffortSource(r.rng, packetsPerCycle),
+		src:      traffic.NewBestEffortSource(r.rng, packetsPerCycle),
+		lastTick: r.now - 1, nextDue: r.now,
 	})
 	return nil
 }
@@ -75,28 +82,36 @@ func (r *Router) injectPackets(t int64) {
 }
 
 func (r *Router) pumpPacketFlow(t int64, pf *packetFlow) {
-	for n := pf.src.Tick(t); n > 0; n-- {
-		r.pktSeq++
-		class := flit.ClassBestEffort
-		if pf.kind == flit.PacketControl {
-			class = flit.ClassControl
+	// Catch-up ticking under the same gating contract as injectStreams;
+	// Poisson gap ticks are total no-ops, so the replay loop is cheap.
+	for ct := pf.lastTick + 1; ct <= t; ct++ {
+		for n := pf.src.Tick(ct); n > 0; n-- {
+			r.pktSeq++
+			class := flit.ClassBestEffort
+			if pf.kind == flit.PacketControl {
+				class = flit.ClassControl
+			}
+			f := r.pool.Get()
+			f.Conn = flit.InvalidConn
+			f.Class = class
+			f.Type = flit.TypeHead
+			f.Seq = r.pktSeq
+			f.CreatedAt = ct
+			f.SrcPort = int16(pf.in)
+			f.DstPort = int16(pf.out)
+			pk := r.pool.GetPacket()
+			pk.ID = r.pktSeq
+			pk.Kind = pf.kind
+			pk.Size = 1
+			pk.CreatedAt = ct
+			f.Packet = pk
+			pf.niQueue.Push(f)
+			r.m.pktGenerated[class]++
 		}
-		f := r.pool.Get()
-		f.Conn = flit.InvalidConn
-		f.Class = class
-		f.Type = flit.TypeHead
-		f.Seq = r.pktSeq
-		f.CreatedAt = t
-		f.SrcPort = int16(pf.in)
-		f.DstPort = int16(pf.out)
-		pk := r.pool.GetPacket()
-		pk.ID = r.pktSeq
-		pk.Kind = pf.kind
-		pk.Size = 1
-		pk.CreatedAt = t
-		f.Packet = pk
-		pf.niQueue.Push(f)
-		r.m.pktGenerated[class]++
+	}
+	pf.lastTick = t
+	if !r.cfg.NoIdleSkip && pf.nextDue <= t {
+		pf.nextDue = traffic.ForecastSource(pf.src, t, t+idleForecastHorizon)
 	}
 	// Drain the NI queue in order, stopping at the first packet that does
 	// not fit: all packets of a flow need the same resource (a free VC on

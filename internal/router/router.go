@@ -151,6 +151,13 @@ type Config struct {
 	// connections when Scheme is sched.Fixed (§4.4 "static priorities").
 	FixedAssign PriorityAssignment
 
+	// NoIdleSkip disables activity gating: every port is scanned and
+	// every cycle is stepped even when provably nothing can happen. The
+	// gated and ungated engines produce bit-identical results (the
+	// equivalence tests pin this); the flag exists as a debugging escape
+	// hatch and as the reference side of those tests.
+	NoIdleSkip bool
+
 	Seed uint64
 }
 
@@ -208,6 +215,11 @@ type Connection struct {
 	nextSeq  int64
 	injected int64
 	released bool
+
+	// Activity gating: last cycle the source was ticked, and the forecast
+	// cycle of its next arrival (see injectStreams).
+	lastTick int64
+	nextDue  int64
 }
 
 // Router is a single MMR instance.
@@ -216,6 +228,10 @@ type Router struct {
 	rng  *sim.RNG
 	now  int64
 	pool *flit.Pool // per-router free list; see docs/performance.md
+
+	// lastRound is the last round whose boundary reset ran — lazy round
+	// accounting, so idle-skipped cycles catch up on wake (engine.go).
+	lastRound int64
 
 	mems    []*vcm.Memory      // one VCM per input port
 	credits []*flow.Credits    // sink-side credits per input port VC
@@ -260,6 +276,7 @@ func New(cfg Config) (*Router, error) {
 	r := &Router{
 		cfg:             cfg,
 		rng:             sim.NewRNG(cfg.Seed),
+		lastRound:       -1,
 		pool:            flit.NewPool(),
 		mems:            make([]*vcm.Memory, cfg.Ports),
 		credits:         make([]*flow.Credits, cfg.Ports),
@@ -395,7 +412,8 @@ func (r *Router) Establish(spec traffic.ConnSpec) (*Connection, error) {
 		InterArrival: interval,
 		Output:       spec.Out,
 	})
-	conn := &Connection{ID: id, Spec: spec, VC: vc}
+	conn := &Connection{ID: id, Spec: spec, VC: vc,
+		lastTick: r.now - 1, nextDue: r.now}
 	switch spec.Class {
 	case flit.ClassCBR:
 		conn.src = traffic.NewCBRSource(r.cfg.Link, spec.Rate, r.rng.Float64())

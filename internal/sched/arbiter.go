@@ -202,6 +202,7 @@ func (a *PriorityArbiter) tryAugment(cands [][]Candidate, grants []int, in int) 
 type PIMArbiter struct {
 	rng        *sim.RNG
 	iterations int
+	name       string
 
 	inMatched   []bool
 	outTaken    []bool
@@ -219,14 +220,17 @@ func NewPIMArbiter(rng *sim.RNG, iterations int) *PIMArbiter {
 	if iterations < 1 {
 		iterations = 1
 	}
-	return &PIMArbiter{rng: rng, iterations: iterations}
+	// Cache the name: Name() is called from experiment hot paths and a
+	// per-call Sprintf allocates.
+	return &PIMArbiter{rng: rng, iterations: iterations,
+		name: fmt.Sprintf("autonet/%d-iter", iterations)}
 }
 
 // OutputSharing implements SwitchScheduler.
 func (a *PIMArbiter) OutputSharing() bool { return false }
 
 // Name implements SwitchScheduler.
-func (a *PIMArbiter) Name() string { return fmt.Sprintf("autonet/%d-iter", a.iterations) }
+func (a *PIMArbiter) Name() string { return a.name }
 
 func (a *PIMArbiter) grow(n int) {
 	if cap(a.inMatched) < n {

@@ -13,6 +13,7 @@ import "fmt"
 // the MMR's QoS-driven schedulers (ablation A10).
 type ISLIPArbiter struct {
 	iterations int
+	name       string
 
 	grantPtr  []int // per output
 	acceptPtr []int // per input
@@ -34,14 +35,17 @@ func NewISLIPArbiter(iterations int) *ISLIPArbiter {
 	if iterations < 1 {
 		iterations = 1
 	}
-	return &ISLIPArbiter{iterations: iterations}
+	// Cache the name: Name() is called from experiment hot paths and a
+	// per-call Sprintf allocates.
+	return &ISLIPArbiter{iterations: iterations,
+		name: fmt.Sprintf("islip/%d-iter", iterations)}
 }
 
 // OutputSharing implements SwitchScheduler.
 func (a *ISLIPArbiter) OutputSharing() bool { return false }
 
 // Name implements SwitchScheduler.
-func (a *ISLIPArbiter) Name() string { return fmt.Sprintf("islip/%d-iter", a.iterations) }
+func (a *ISLIPArbiter) Name() string { return a.name }
 
 func (a *ISLIPArbiter) grow(n int) {
 	if len(a.grantPtr) != n {

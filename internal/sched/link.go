@@ -113,6 +113,14 @@ func (ls *LinkScheduler) OnRoundBoundary() {
 	ls.excessVC = -1
 }
 
+// Active reports whether calling Candidates could do anything at all this
+// cycle. With zero buffered flits, Candidates is provably a no-op: the
+// eligibility vector comes out empty, CreditStalled advances by zero, no
+// RNG is drawn and no counter or election state changes — so a port with
+// an empty VC memory may be skipped without touching its memories. The
+// occupancy count is maintained incrementally by the VCM, making this O(1).
+func (ls *LinkScheduler) Active() bool { return ls.mem.Occupied() > 0 }
+
 // classify returns the service phase of VC vc right now, or -1 if the VC
 // has exhausted its bandwidth for this round.
 func (ls *LinkScheduler) classify(vc int) (Phase, bool) {

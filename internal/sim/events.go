@@ -88,6 +88,16 @@ func (e *Engine) After(delay Time, ev Event) {
 	e.At(e.now+delay, ev)
 }
 
+// NextAt returns the deadline of the earliest pending event. ok is false
+// when the queue is empty. The activity-gated network engine uses it to
+// fast-forward the clock across event-free gaps.
+func (e *Engine) NextAt() (t Time, ok bool) {
+	if len(e.queue) == 0 {
+		return 0, false
+	}
+	return e.queue[0].at, true
+}
+
 // Step fires the earliest pending event, advancing the clock to its
 // deadline. It reports false when the queue is empty.
 func (e *Engine) Step() bool {

@@ -1,0 +1,138 @@
+package traffic
+
+import "math"
+
+// Forecaster is implemented by sources that can predict, without mutating
+// state or consuming randomness, the first future cycle at which calling
+// Tick would matter. "Matter" means Tick would either return a nonzero
+// arrival count or draw from the source's RNG (a toggle, frame boundary or
+// Poisson arrival) — everything in between is a cycle the activity-gated
+// engines may skip, replaying the silent Ticks in order when the source
+// next wakes (see docs/performance.md, "Activity gating").
+//
+// ForecastEvent(now, horizon) returns the earliest cycle c with
+// now < c <= horizon at which Tick(c) would return >0 flits or consume
+// RNG. If no such cycle exists within the window, it returns horizon,
+// which the caller must treat as "nothing before horizon; re-forecast
+// there" — a conservative (early) wake-up is always safe, because a Tick
+// that turns out to be silent is a no-op; a late one would lose arrivals
+// or reorder RNG draws.
+//
+// Implementations must replicate Tick's exact per-cycle floating-point
+// operation order when simulating accumulators: batching k cycles into one
+// multiply would diverge from the stepwise sum under IEEE-754 rounding and
+// break bit-identical equivalence with ungated stepping.
+type Forecaster interface {
+	ForecastEvent(now, horizon int64) int64
+}
+
+// ForecastEvent implements Forecaster. The CBR accumulator is pure
+// arithmetic — no RNG — so the only event is the accumulator crossing 1.
+func (s *CBRSource) ForecastEvent(now, horizon int64) int64 {
+	if s.perCycle <= 0 {
+		return horizon
+	}
+	a := s.acc
+	for c := now + 1; c <= horizon; c++ {
+		a += s.perCycle // same op order as Tick
+		if a >= 1 {     // int(a) >= 1 ⟺ a >= 1 for a >= 0
+			return c
+		}
+	}
+	return horizon
+}
+
+// ForecastEvent implements Forecaster. The next Poisson arrival time is
+// already materialized in s.next; Tick fires (and draws the following
+// inter-arrival gap) at the first integer cycle >= next. Cycles before
+// that are total no-ops, so callers may skip the catch-up Ticks entirely.
+func (s *BestEffortSource) ForecastEvent(now, horizon int64) int64 {
+	if s.rate <= 0 {
+		return horizon
+	}
+	c := int64(math.Ceil(s.next))
+	if c <= now {
+		return now + 1
+	}
+	if c > horizon {
+		return horizon
+	}
+	return c
+}
+
+// ForecastEvent implements Forecaster. Two event kinds: the next frame
+// boundary (which draws frame-size noise from the RNG when Sigma > 0, so
+// the source must be ticked live there) and, while a backlog is draining,
+// the injection accumulator crossing 1. With Sigma == 0 the whole frame
+// machine is deterministic, so the forecast just runs a private copy of
+// the source forward — bit-exact and RNG-free by construction.
+func (s *VBRSource) ForecastEvent(now, horizon int64) int64 {
+	if s.gop.Sigma <= 0 {
+		cp := *s // Tick never touches cp.rng while Sigma == 0
+		for c := now + 1; c <= horizon; c++ {
+			if cp.Tick(c) > 0 {
+				return c
+			}
+		}
+		return horizon
+	}
+	fc := int64(math.Ceil(s.nextFrame))
+	if fc <= now {
+		return now + 1 // frame boundary already due: Tick would draw RNG
+	}
+	limit := fc
+	if limit > horizon {
+		limit = horizon
+	}
+	if s.backlog < s.flitBits {
+		// Tick early-returns before touching the accumulator until the
+		// next frame tops up the backlog.
+		return limit
+	}
+	a := s.acc
+	for c := now + 1; c < limit; c++ {
+		a += s.perCycle // same op order as Tick
+		if a >= 1 {
+			return c
+		}
+	}
+	return limit
+}
+
+// ForecastEvent implements Forecaster. In the OFF state Ticks are no-ops
+// until the toggle (an RNG draw); in the ON state the accumulator may
+// cross 1 before the toggle does.
+func (s *OnOffSource) ForecastEvent(now, horizon int64) int64 {
+	tc := int64(math.Ceil(s.toggleAt))
+	if tc <= now {
+		return now + 1 // toggle already due: Tick would draw RNG
+	}
+	if !s.on {
+		if tc > horizon {
+			return horizon
+		}
+		return tc
+	}
+	a := s.acc
+	for c := now + 1; c <= horizon; c++ {
+		if c >= tc {
+			return c // toggle draw fires this cycle
+		}
+		a += s.peakPerCycle // same op order as Tick
+		if a >= 1 {
+			return c
+		}
+	}
+	return horizon
+}
+
+// ForecastSource forecasts an arbitrary Source: sources implementing
+// Forecaster answer exactly; anything else (externally supplied trace
+// sources via EstablishWithSource) is conservatively "always due", so the
+// engine never skips a cycle it cannot prove silent.
+func ForecastSource(src Source, now, horizon int64) int64 {
+	if f, ok := src.(Forecaster); ok {
+		return f.ForecastEvent(now, horizon)
+	}
+	return now + 1
+}
