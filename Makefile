@@ -19,7 +19,11 @@ NETBENCH = NetworkStep|NetworkStepParallel
 # through Run, gated against $(SPARSEBENCHFILE).
 SPARSEBENCH = NetworkStepSparse|NetworkStepSparseNoSkip|NetworkRunIdleGaps
 
-.PHONY: build test vet race fuzz-smoke check bench bench-check bench-net bench-net-check bench-sparse bench-sparse-check
+SOAKEVENTS ?= 1000000
+SOAKKILLS ?= 25
+SOAKSEED ?= 7
+
+.PHONY: build test vet race fuzz-smoke soak soak-smoke check bench bench-check bench-net bench-net-check bench-sparse bench-sparse-check
 
 build:
 	$(GO) build ./...
@@ -37,6 +41,17 @@ race:
 # (opens, probes, teardowns, link failures/repairs interleaved).
 fuzz-smoke:
 	$(GO) test -run='^$$' -fuzz=FuzzNetworkChurn -fuzztime=$(FUZZTIME) ./internal/network
+
+# Million-event churn soak: Poisson session arrivals/departures, flash
+# crowds, regional outages, and kill+restore cycles from checkpoints at
+# random points, with conservation and invariant audits after every
+# restore. The acceptance run for long-lived fabric operation (several
+# minutes); soak-smoke is the CI-sized budget.
+soak:
+	$(GO) run ./cmd/mmrsoak -events $(SOAKEVENTS) -kills $(SOAKKILLS) -seed $(SOAKSEED)
+
+soak-smoke:
+	$(GO) run ./cmd/mmrsoak -events 20000 -kills 3 -seed $(SOAKSEED) -report-every 0
 
 # Run the microbenchmarks and figure benchmarks with allocation stats and
 # record them into $(BENCHFILE) under the "current" section (the "pre-pr"
@@ -89,4 +104,4 @@ bench-sparse-check:
 	$(GO) test -run='^$$' -bench='^Benchmark($(SPARSEBENCH))$$' -benchmem -benchtime=$(BENCHTIME) ./internal/network \
 	| tee /dev/stderr | $(GO) run ./cmd/benchjson -check -baseline $(SPARSEBENCHFILE) -against current -tol $(NETBENCHTOL) -allow-missing
 
-check: vet test race fuzz-smoke
+check: vet test race fuzz-smoke soak-smoke

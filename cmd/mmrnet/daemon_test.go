@@ -1,0 +1,262 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// startTestDaemon launches runDaemon on a free port and waits until the
+// control API is reachable. Stop it by sending on sigc and draining done.
+func startTestDaemon(t *testing.T, o simOpts) (addr string, sigc chan os.Signal, done chan error, out *bytes.Buffer) {
+	t.Helper()
+	o.serve = true
+	o.serveAddr = "127.0.0.1:0"
+	ready := make(chan string, 1)
+	o.afterServe = func(a string) { ready <- a }
+	sigc = make(chan os.Signal, 1)
+	done = make(chan error, 1)
+	out = &bytes.Buffer{}
+	var diag bytes.Buffer
+	go func() { done <- runDaemon(o, out, &diag, sigc) }()
+	select {
+	case addr = <-ready:
+	case err := <-done:
+		t.Fatalf("daemon exited before serving: %v\n%s", err, diag.String())
+	case <-time.After(10 * time.Second):
+		t.Fatal("daemon did not come up within 10s")
+	}
+	return addr, sigc, done, out
+}
+
+// stopDaemon sends SIGTERM and waits for a clean exit.
+func stopDaemon(t *testing.T, sigc chan os.Signal, done chan error) {
+	t.Helper()
+	sigc <- syscall.SIGTERM
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("daemon drain failed: %v", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("daemon did not drain within 30s")
+	}
+}
+
+func postJSON(t *testing.T, url string, body any, out any) (int, string) {
+	t.Helper()
+	b, _ := json.Marshal(body)
+	resp, err := http.Post(url, "application/json", bytes.NewReader(b))
+	if err != nil {
+		t.Fatalf("POST %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	buf.ReadFrom(resp.Body)
+	if resp.StatusCode == http.StatusOK && out != nil {
+		if err := json.Unmarshal(buf.Bytes(), out); err != nil {
+			t.Fatalf("POST %s: bad response %q: %v", url, buf.String(), err)
+		}
+	}
+	return resp.StatusCode, buf.String()
+}
+
+func getJSON(t *testing.T, url string, out any) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: status %d", url, resp.StatusCode)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+}
+
+// TestDaemonControlAPI drives the full request surface against a live
+// daemon: open, status, query, modify, conns, close, the
+// degrade-to-best-effort path for an inadmissible request, and a
+// graceful SIGTERM drain that persists a final checkpoint.
+func TestDaemonControlAPI(t *testing.T) {
+	ckpt := filepath.Join(t.TempDir(), "fabric.ckpt")
+	o := defaultOpts()
+	o.seed = 5
+	o.checkpoint = ckpt
+	addr, sigc, done, out := startTestDaemon(t, o)
+	base := "http://" + addr
+
+	var opened openResponse
+	if code, body := postJSON(t, base+"/api/open",
+		openRequest{Src: 0, Dst: 5, Class: "cbr", RateMbps: 40}, &opened); code != http.StatusOK {
+		t.Fatalf("open: status %d: %s", code, body)
+	}
+	if opened.Degraded || opened.Conn < 0 || len(opened.Nodes) < 2 {
+		t.Fatalf("open: unexpected response %+v", opened)
+	}
+
+	var status map[string]any
+	getJSON(t, base+"/api/status", &status)
+	if got := status["conns_open"].(float64); got != 1 {
+		t.Fatalf("status: conns_open = %v, want 1", got)
+	}
+
+	var query map[string]any
+	getJSON(t, fmt.Sprintf("%s/api/query?node=%d&port=0", base, opened.Nodes[0]), &query)
+	if query["free_vcs"].(float64) <= 0 {
+		t.Fatalf("query: no free VCs reported: %v", query)
+	}
+
+	if code, body := postJSON(t, base+"/api/modify",
+		modifyRequest{Conn: opened.Conn, RateMbps: 80}, nil); code != http.StatusOK {
+		t.Fatalf("modify: status %d: %s", code, body)
+	}
+	if code, _ := postJSON(t, base+"/api/modify", modifyRequest{Conn: 9999, RateMbps: 10}, nil); code != http.StatusNotFound {
+		t.Fatalf("modify unknown conn: status %d, want 404", code)
+	}
+
+	var conns struct {
+		Conns []connInfo `json:"conns"`
+	}
+	getJSON(t, base+"/api/conns", &conns)
+	if len(conns.Conns) != 1 || conns.Conns[0].Conn != opened.Conn || conns.Conns[0].RateMbps != 80 {
+		t.Fatalf("conns: %+v", conns.Conns)
+	}
+
+	// An inadmissible rate exhausts the retry budget and then degrades
+	// to a best-effort flow instead of being refused.
+	var degraded openResponse
+	if code, body := postJSON(t, base+"/api/open",
+		openRequest{Src: 1, Dst: 6, Class: "cbr", RateMbps: 1e6}, &degraded); code != http.StatusOK {
+		t.Fatalf("degraded open: status %d: %s", code, body)
+	}
+	if !degraded.Degraded || degraded.Conn != -1 {
+		t.Fatalf("degraded open: %+v, want degraded best-effort fallback", degraded)
+	}
+	// With no_retry the same request is refused outright.
+	if code, _ := postJSON(t, base+"/api/open",
+		openRequest{Src: 1, Dst: 6, RateMbps: 1e6, NoRetry: true}, nil); code != http.StatusConflict {
+		t.Fatalf("no_retry open: status %d, want 409", code)
+	}
+
+	if code, body := postJSON(t, base+"/api/close", closeRequest{Conn: opened.Conn}, nil); code != http.StatusOK {
+		t.Fatalf("close: status %d: %s", code, body)
+	}
+	if code, _ := postJSON(t, base+"/api/close", closeRequest{Conn: opened.Conn}, nil); code == http.StatusOK {
+		t.Fatal("double close succeeded")
+	}
+
+	stopDaemon(t, sigc, done)
+	if _, err := os.Stat(ckpt); err != nil {
+		t.Fatalf("final checkpoint missing: %v", err)
+	}
+	if !strings.Contains(out.String(), "drained at cycle") {
+		t.Fatalf("drain report missing from output:\n%s", out.String())
+	}
+}
+
+// TestDaemonRestartResume kills a daemon mid-session and restarts it
+// from its checkpoint: the fabric resumes at the checkpointed cycle with
+// the connection still open and traffic still flowing.
+func TestDaemonRestartResume(t *testing.T) {
+	ckpt := filepath.Join(t.TempDir(), "fabric.ckpt")
+	o := defaultOpts()
+	o.seed = 7
+	o.checkpoint = ckpt
+	o.checkpointInterval = 50_000
+
+	addr, sigc, done, _ := startTestDaemon(t, o)
+	base := "http://" + addr
+	var opened openResponse
+	if code, body := postJSON(t, base+"/api/open",
+		openRequest{Src: 2, Dst: 9, Class: "vbr", RateMbps: 20}, &opened); code != http.StatusOK {
+		t.Fatalf("open: status %d: %s", code, body)
+	}
+	stopDaemon(t, sigc, done)
+
+	o.restore = true
+	addr, sigc, done, _ = startTestDaemon(t, o)
+	base = "http://" + addr
+	var status map[string]any
+	getJSON(t, base+"/api/status", &status)
+	if cycle := status["cycle"].(float64); cycle <= 0 {
+		t.Fatalf("restored fabric restarted from cycle %v, want the checkpointed clock", cycle)
+	}
+	if got := status["conns_open"].(float64); got != 1 {
+		t.Fatalf("restored fabric lost the connection: conns_open = %v", got)
+	}
+	before := status["flits_delivered"].(float64)
+
+	// The restored connection keeps delivering.
+	deadline := time.Now().Add(15 * time.Second)
+	for {
+		getJSON(t, base+"/api/status", &status)
+		if status["flits_delivered"].(float64) > before {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("restored fabric delivered nothing new (stuck at %v flits)", before)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	stopDaemon(t, sigc, done)
+}
+
+// TestValidateOpts exercises the flag cross-checks: nonsense values and
+// contradictory mode combinations are rejected with specific errors.
+func TestValidateOpts(t *testing.T) {
+	cases := []struct {
+		name string
+		mut  func(o *simOpts)
+		set  []string
+		want string // substring of the error; "" = must pass
+	}{
+		{"defaults", func(o *simOpts) {}, nil, ""},
+		{"negative workers", func(o *simOpts) { o.netWorkers = -2 }, nil, "net-workers"},
+		{"zero vcs", func(o *simOpts) { o.vcs = 0 }, nil, "-vcs"},
+		{"negative cycles", func(o *simOpts) { o.cycles = -1 }, nil, "-cycles"},
+		{"vbr fraction", func(o *simOpts) { o.vbr = 1.5 }, nil, "-vbr"},
+		{"drop probability", func(o *simOpts) { o.faultDrop = 2 }, nil, "fault-drop"},
+		{"serve with batch flags", func(o *simOpts) { o.serve = true; o.conns = 10 }, []string{"conns"}, "contradicts -serve"},
+		{"serve with fault plan", func(o *simOpts) { o.serve = true; o.faultMTBF = 100 }, []string{"fault-mtbf"}, "contradicts -serve"},
+		{"serve with metrics addr", func(o *simOpts) { o.serve = true; o.metricsAddr = ":9090" }, []string{"metrics-addr"}, "contradicts -serve"},
+		{"restore without checkpoint", func(o *simOpts) { o.serve = true; o.restore = true }, []string{"restore"}, "-restore needs -checkpoint"},
+		{"interval without checkpoint", func(o *simOpts) { o.serve = true; o.checkpointInterval = 100 }, []string{"checkpoint-interval"}, "-checkpoint-interval needs -checkpoint"},
+		{"checkpoint without serve", func(o *simOpts) { o.checkpoint = "x.ckpt" }, []string{"checkpoint"}, "daemon mode"},
+		{"serve ok", func(o *simOpts) {
+			o.serve = true
+			o.checkpoint = "x.ckpt"
+			o.checkpointInterval = 100
+			o.restore = true
+		}, []string{"serve", "checkpoint", "checkpoint-interval", "restore"}, ""},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			o := defaultOpts()
+			tc.mut(&o)
+			set := map[string]bool{}
+			for _, f := range tc.set {
+				set[f] = true
+			}
+			err := validateOpts(o, set)
+			if tc.want == "" {
+				if err != nil {
+					t.Fatalf("unexpected error: %v", err)
+				}
+				return
+			}
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("got %v, want error containing %q", err, tc.want)
+			}
+		})
+	}
+}

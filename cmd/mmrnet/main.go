@@ -26,8 +26,10 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"runtime"
 	"strings"
+	"syscall"
 
 	"mmr/internal/faults"
 	"mmr/internal/flit"
@@ -70,10 +72,25 @@ type simOpts struct {
 	metricsInterval int64  // print a progress summary to diag every N measured cycles (0 = off)
 	flightDump      bool   // dump the flight recorder to diag on every fault transition
 
+	// Daemon mode (daemon.go): -serve runs the fabric behind an HTTP
+	// control API instead of a batch simulation.
+	serve              bool
+	serveAddr          string
+	checkpoint         string // snapshot path (periodic + final on drain)
+	checkpointInterval int64  // cycles between periodic snapshots (0 = final only)
+	restore            bool   // resume the fabric from -checkpoint at startup
+
 	// afterRun, when non-nil, is called after the final snapshot is
 	// published and the report printed, while the metrics server (addr)
 	// is still serving. Tests use it to scrape the live endpoint.
 	afterRun func(addr string, n *network.Network)
+	// afterServe, when non-nil, is called with the daemon's bound listen
+	// address once the control API is up. Tests use it to find the port.
+	afterServe func(addr string)
+	// sigc, when non-nil, delivers SIGINT/SIGTERM: a batch run flushes
+	// the flight recorders and prints a partial report; the daemon
+	// drains gracefully (final checkpoint + flight flush).
+	sigc <-chan os.Signal
 }
 
 func defaultOpts() simOpts {
@@ -81,7 +98,98 @@ func defaultOpts() simOpts {
 		topo: "mesh", w: 4, h: 4, nodes: 16, degree: 3, ports: 4,
 		conns: 48, cycles: 50_000, warmup: 10_000, vcs: 64, seed: 1,
 		netWorkers: runtime.GOMAXPROCS(0), faultDowntime: 5000, faultMTTR: 1000,
+		serveAddr: "127.0.0.1:9191",
 	}
+}
+
+// buildTopology constructs the topology the flags describe. Irregular
+// topologies draw their wiring from rng, so the caller controls whether
+// those draws share a stream with later placement decisions.
+func buildTopology(o simOpts, rng *sim.RNG) (*topology.Topology, error) {
+	switch o.topo {
+	case "mesh":
+		return topology.Mesh(o.w, o.h, o.ports)
+	case "torus":
+		return topology.Torus(o.w, o.h, o.ports)
+	case "irregular":
+		return topology.Irregular(o.nodes, o.ports, o.degree, rng)
+	default:
+		return nil, fmt.Errorf("unknown topology %q", o.topo)
+	}
+}
+
+// buildConfig maps the flags onto a network config. Batch runs and the
+// daemon share it, so a daemon restarted with the same flags hashes to
+// the same fabric configuration and can restore its checkpoints.
+func buildConfig(o simOpts, tp *topology.Topology) network.Config {
+	cfg := network.DefaultConfig(tp)
+	cfg.VCs = o.vcs
+	cfg.Seed = o.seed
+	cfg.Workers = o.netWorkers
+	cfg.NoIdleSkip = o.noIdleSkip
+	cfg.Fault.Restore = !o.noRestore
+	cfg.Fault.Degrade = !o.noDegrade
+	return cfg
+}
+
+// validateOpts rejects nonsensical or contradictory flag combinations
+// before any simulation state is built. set holds the names of flags the
+// user passed explicitly (flag.Visit), so defaults never trip the
+// mode-contradiction checks.
+func validateOpts(o simOpts, set map[string]bool) error {
+	switch {
+	case o.netWorkers < 1:
+		return fmt.Errorf("-net-workers must be at least 1, got %d", o.netWorkers)
+	case o.vcs < 1:
+		return fmt.Errorf("-vcs must be at least 1, got %d", o.vcs)
+	case o.ports < 1:
+		return fmt.Errorf("-ports must be at least 1, got %d", o.ports)
+	case o.conns < 0:
+		return fmt.Errorf("-conns must be non-negative, got %d", o.conns)
+	case o.cycles < 0 || o.warmup < 0:
+		return fmt.Errorf("-cycles and -warmup must be non-negative, got %d and %d", o.cycles, o.warmup)
+	case o.rate < 0:
+		return fmt.Errorf("-rate must be non-negative, got %g", o.rate)
+	case o.vbr < 0 || o.vbr > 1:
+		return fmt.Errorf("-vbr is a fraction in [0,1], got %g", o.vbr)
+	case o.be < 0:
+		return fmt.Errorf("-be must be non-negative, got %g", o.be)
+	case o.faultLinks < 0 || o.faultDowntime < 0:
+		return fmt.Errorf("-fault-links and -fault-downtime must be non-negative")
+	case o.faultMTBF < 0 || o.faultMTTR < 0:
+		return fmt.Errorf("-fault-mtbf and -fault-mttr must be non-negative")
+	case o.faultDrop < 0 || o.faultDrop > 1:
+		return fmt.Errorf("-fault-drop is a probability in [0,1], got %g", o.faultDrop)
+	case o.metricsInterval < 0:
+		return fmt.Errorf("-metrics-interval must be non-negative, got %d", o.metricsInterval)
+	case o.checkpointInterval < 0:
+		return fmt.Errorf("-checkpoint-interval must be non-negative, got %d", o.checkpointInterval)
+	}
+	if o.serve {
+		// The daemon runs an open-ended fabric: batch-run shaping flags
+		// and the finite-horizon fault plan contradict it, and the control
+		// API already serves the metrics endpoints.
+		for _, f := range []string{"conns", "cycles", "warmup", "rate", "vbr", "be",
+			"fault-links", "fault-mtbf", "fault-mttr", "fault-drop", "fault-downtime",
+			"metrics-addr", "metrics-interval"} {
+			if set[f] {
+				return fmt.Errorf("-%s is a batch-run flag and contradicts -serve", f)
+			}
+		}
+		if o.restore && o.checkpoint == "" {
+			return fmt.Errorf("-restore needs -checkpoint to name the snapshot to resume from")
+		}
+		if o.checkpointInterval > 0 && o.checkpoint == "" {
+			return fmt.Errorf("-checkpoint-interval needs -checkpoint to name the snapshot path")
+		}
+	} else {
+		for _, f := range []string{"serve-addr", "checkpoint", "checkpoint-interval", "restore"} {
+			if set[f] {
+				return fmt.Errorf("-%s only applies in daemon mode; add -serve", f)
+			}
+		}
+	}
+	return nil
 }
 
 func main() {
@@ -118,9 +226,35 @@ func main() {
 		"print a progress summary to stderr every N measured cycles (0 = off)")
 	flag.BoolVar(&o.flightDump, "flight-dump", o.flightDump,
 		"dump the per-router flight recorders to stderr on every fault transition")
+	flag.BoolVar(&o.serve, "serve", o.serve,
+		"run as a long-lived daemon behind an HTTP control API instead of a batch simulation")
+	flag.StringVar(&o.serveAddr, "serve-addr", o.serveAddr, "daemon control API listen address")
+	flag.StringVar(&o.checkpoint, "checkpoint", o.checkpoint,
+		"daemon snapshot path: written every -checkpoint-interval cycles and on graceful shutdown")
+	flag.Int64Var(&o.checkpointInterval, "checkpoint-interval", o.checkpointInterval,
+		"cycles between periodic daemon snapshots (0 = only the final one)")
+	flag.BoolVar(&o.restore, "restore", o.restore,
+		"resume the daemon's fabric from the -checkpoint snapshot at startup")
 	flag.Parse()
 
-	if err := run(o, os.Stdout, os.Stderr); err != nil {
+	set := map[string]bool{}
+	flag.Visit(func(f *flag.Flag) { set[f.Name] = true })
+	if err := validateOpts(o, set); err != nil {
+		fmt.Fprintln(os.Stderr, "mmrnet:", err)
+		os.Exit(2)
+	}
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	o.sigc = sigc
+
+	var err error
+	if o.serve {
+		err = runDaemon(o, os.Stdout, os.Stderr, o.sigc)
+	} else {
+		err = run(o, os.Stdout, os.Stderr)
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "mmrnet:", err)
 		os.Exit(1)
 	}
@@ -128,30 +262,11 @@ func main() {
 
 func run(o simOpts, out, diag io.Writer) error {
 	rng := sim.NewRNG(o.seed)
-	var tp *topology.Topology
-	var err error
-	switch o.topo {
-	case "mesh":
-		tp, err = topology.Mesh(o.w, o.h, o.ports)
-	case "torus":
-		tp, err = topology.Torus(o.w, o.h, o.ports)
-	case "irregular":
-		tp, err = topology.Irregular(o.nodes, o.ports, o.degree, rng)
-	default:
-		err = fmt.Errorf("unknown topology %q", o.topo)
-	}
+	tp, err := buildTopology(o, rng)
 	if err != nil {
 		return err
 	}
-
-	cfg := network.DefaultConfig(tp)
-	cfg.VCs = o.vcs
-	cfg.Seed = o.seed
-	cfg.Workers = o.netWorkers
-	cfg.NoIdleSkip = o.noIdleSkip
-	cfg.Fault.Restore = !o.noRestore
-	cfg.Fault.Degrade = !o.noDegrade
-	n, err := network.New(cfg)
+	n, err := network.New(buildConfig(o, tp))
 	if err != nil {
 		return err
 	}
@@ -249,17 +364,25 @@ func run(o simOpts, out, diag io.Writer) error {
 		srv.PublishFlight(b.String())
 	}
 
-	runChunked(n, o.warmup, o, srv, publish, nil)
-	n.ResetStats()
-	progress := func(done int64) {
-		st := n.Stats()
-		fmt.Fprintf(diag, "mmrnet: cycle %d/%d delivered=%d latency=%.2f jitter=%.3f broken=%d\n",
-			done, o.cycles, st.FlitsDelivered, st.Latency.Mean(), st.Jitter.Mean(), st.ConnsBroken)
+	interrupted := runChunked(n, o.warmup, o, srv, publish, nil)
+	if !interrupted {
+		n.ResetStats()
+		progress := func(done int64) {
+			st := n.Stats()
+			fmt.Fprintf(diag, "mmrnet: cycle %d/%d delivered=%d latency=%.2f jitter=%.3f broken=%d\n",
+				done, o.cycles, st.FlitsDelivered, st.Latency.Mean(), st.Jitter.Mean(), st.ConnsBroken)
+		}
+		if o.metricsInterval <= 0 {
+			progress = nil
+		}
+		interrupted = runChunked(n, o.cycles, o, srv, publish, progress)
 	}
-	if o.metricsInterval <= 0 {
-		progress = nil
+	if interrupted {
+		// Even a cut-short batch run leaves its evidence behind: the
+		// flight recorders and the partial report below.
+		fmt.Fprintf(diag, "mmrnet: interrupted at cycle %d — flushing flight recorders, printing the partial report\n", n.Now())
+		n.DumpFlight(diag)
 	}
-	runChunked(n, o.cycles, o, srv, publish, progress)
 	st := n.Stats()
 	publish()
 
@@ -301,18 +424,19 @@ func run(o simOpts, out, diag io.Writer) error {
 	return nil
 }
 
-// runChunked advances the simulation `total` cycles. With a metrics
-// server or interval reporting active it steps in chunks so snapshots
-// stay fresh while the run is in flight; otherwise it is one Run call.
-func runChunked(n *network.Network, total int64, o simOpts, srv *metrics.Server, publish func(), progress func(done int64)) {
+// runChunked advances the simulation `total` cycles and reports whether
+// it was cut short by a signal. With a metrics server, interval
+// reporting or a signal channel active it steps in chunks so snapshots
+// stay fresh and interrupts land promptly; otherwise it is one Run call.
+func runChunked(n *network.Network, total int64, o simOpts, srv *metrics.Server, publish func(), progress func(done int64)) bool {
 	if total <= 0 {
-		return
+		return false
 	}
 	step := o.metricsInterval
 	if step <= 0 {
-		if srv == nil {
+		if srv == nil && o.sigc == nil {
 			n.Run(total)
-			return
+			return false
 		}
 		step = 5000
 	}
@@ -327,5 +451,13 @@ func runChunked(n *network.Network, total int64, o simOpts, srv *metrics.Server,
 		if progress != nil {
 			progress(done)
 		}
+		if o.sigc != nil {
+			select {
+			case <-o.sigc:
+				return true
+			default:
+			}
+		}
 	}
+	return false
 }

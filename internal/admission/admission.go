@@ -69,6 +69,17 @@ func (a *LinkAllocator) GuaranteedLoad() float64 {
 	return float64(a.guaranteed) / float64(a.roundLen)
 }
 
+// RestoreState overwrites the allocator's admission registers. The
+// configured geometry (round length, reserve, concurrency) is not part
+// of the state: a restored allocator must be built with the same
+// configuration, which the checkpoint envelope's config hash enforces.
+func (a *LinkAllocator) RestoreState(guaranteed, peak, conns int) {
+	if guaranteed < 0 || peak < 0 || conns < 0 {
+		panic(fmt.Sprintf("admission: negative restored state (%d,%d,%d)", guaranteed, peak, conns))
+	}
+	a.guaranteed, a.peak, a.conns = guaranteed, peak, conns
+}
+
 // CanAdmitCBR reports whether a CBR connection demanding cycles/round
 // fits.
 func (a *LinkAllocator) CanAdmitCBR(cycles int) bool {

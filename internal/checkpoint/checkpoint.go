@@ -1,0 +1,298 @@
+// Package checkpoint implements the on-disk format for fabric
+// snapshots: a little-endian binary payload wrapped in a versioned,
+// checksummed envelope, written atomically (temp file + rename) so a
+// crash mid-write can never leave a torn checkpoint behind.
+//
+// The envelope carries a configuration hash so a checkpoint taken
+// under one fabric geometry cannot be restored into an incompatible
+// one; the hash deliberately excludes execution-strategy knobs
+// (worker count, idle gating) because restores across those must be
+// bit-identical.
+package checkpoint
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"math"
+	"os"
+	"path/filepath"
+)
+
+// Version is the current checkpoint format version. Bump it on any
+// incompatible payload layout change.
+const Version uint32 = 1
+
+// magic identifies a checkpoint file. 8 bytes: "MMRCKPT" + NUL.
+var magic = [8]byte{'M', 'M', 'R', 'C', 'K', 'P', 'T', 0}
+
+// Encoder appends primitive values to a growing byte buffer. All
+// integers are little-endian and fixed-width so the format is
+// platform-independent.
+type Encoder struct {
+	buf []byte
+}
+
+// NewEncoder returns an empty encoder.
+func NewEncoder() *Encoder { return &Encoder{} }
+
+// Bytes returns the encoded payload.
+func (e *Encoder) Bytes() []byte { return e.buf }
+
+// Len returns the encoded payload size.
+func (e *Encoder) Len() int { return len(e.buf) }
+
+// U8 appends one byte.
+func (e *Encoder) U8(v uint8) { e.buf = append(e.buf, v) }
+
+// U16 appends a uint16.
+func (e *Encoder) U16(v uint16) {
+	e.buf = binary.LittleEndian.AppendUint16(e.buf, v)
+}
+
+// U32 appends a uint32.
+func (e *Encoder) U32(v uint32) {
+	e.buf = binary.LittleEndian.AppendUint32(e.buf, v)
+}
+
+// U64 appends a uint64.
+func (e *Encoder) U64(v uint64) {
+	e.buf = binary.LittleEndian.AppendUint64(e.buf, v)
+}
+
+// I64 appends an int64.
+func (e *Encoder) I64(v int64) { e.U64(uint64(v)) }
+
+// Int appends an int as int64.
+func (e *Encoder) Int(v int) { e.I64(int64(v)) }
+
+// F64 appends a float64 by bit pattern, preserving NaN payloads and
+// signed zeros so restores are bit-exact.
+func (e *Encoder) F64(v float64) { e.U64(math.Float64bits(v)) }
+
+// Bool appends a bool as one byte.
+func (e *Encoder) Bool(v bool) {
+	if v {
+		e.U8(1)
+	} else {
+		e.U8(0)
+	}
+}
+
+// Bytes8 appends a length-prefixed byte slice.
+func (e *Encoder) Bytes8(b []byte) {
+	e.U32(uint32(len(b)))
+	e.buf = append(e.buf, b...)
+}
+
+// String appends a length-prefixed UTF-8 string.
+func (e *Encoder) String(s string) {
+	e.U32(uint32(len(s)))
+	e.buf = append(e.buf, s...)
+}
+
+// Decoder reads primitive values back out of a payload. Errors are
+// sticky: after the first short read every subsequent call returns the
+// zero value, and Err reports the failure, so decode paths need only
+// one error check at the end.
+type Decoder struct {
+	buf []byte
+	off int
+	err error
+}
+
+// NewDecoder returns a decoder over payload.
+func NewDecoder(payload []byte) *Decoder { return &Decoder{buf: payload} }
+
+// Err returns the first decoding error, or nil.
+func (d *Decoder) Err() error { return d.err }
+
+// Remaining returns the unread byte count.
+func (d *Decoder) Remaining() int { return len(d.buf) - d.off }
+
+func (d *Decoder) take(n int) []byte {
+	if d.err != nil {
+		return nil
+	}
+	if d.off+n > len(d.buf) {
+		d.err = fmt.Errorf("checkpoint: truncated payload (want %d bytes at offset %d of %d)", n, d.off, len(d.buf))
+		return nil
+	}
+	b := d.buf[d.off : d.off+n]
+	d.off += n
+	return b
+}
+
+// U8 reads one byte.
+func (d *Decoder) U8() uint8 {
+	b := d.take(1)
+	if b == nil {
+		return 0
+	}
+	return b[0]
+}
+
+// U16 reads a uint16.
+func (d *Decoder) U16() uint16 {
+	b := d.take(2)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint16(b)
+}
+
+// U32 reads a uint32.
+func (d *Decoder) U32() uint32 {
+	b := d.take(4)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint32(b)
+}
+
+// U64 reads a uint64.
+func (d *Decoder) U64() uint64 {
+	b := d.take(8)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint64(b)
+}
+
+// I64 reads an int64.
+func (d *Decoder) I64() int64 { return int64(d.U64()) }
+
+// Int reads an int encoded as int64.
+func (d *Decoder) Int() int { return int(d.I64()) }
+
+// F64 reads a float64 by bit pattern.
+func (d *Decoder) F64() float64 { return math.Float64frombits(d.U64()) }
+
+// Bool reads a bool.
+func (d *Decoder) Bool() bool { return d.U8() != 0 }
+
+// Bytes8 reads a length-prefixed byte slice.
+func (d *Decoder) Bytes8() []byte {
+	n := int(d.U32())
+	if d.err != nil {
+		return nil
+	}
+	b := d.take(n)
+	if b == nil {
+		return nil
+	}
+	out := make([]byte, n)
+	copy(out, b)
+	return out
+}
+
+// String reads a length-prefixed string.
+func (d *Decoder) String() string {
+	n := int(d.U32())
+	if d.err != nil {
+		return ""
+	}
+	b := d.take(n)
+	if b == nil {
+		return ""
+	}
+	return string(b)
+}
+
+// Envelope layout:
+//
+//	[0:8)   magic "MMRCKPT\0"
+//	[8:12)  format version (uint32 LE)
+//	[12:20) configuration hash (uint64 LE)
+//	[20:28) payload length (uint64 LE)
+//	[28:32) CRC32 (IEEE) of payload (uint32 LE)
+//	[32:..) payload
+const headerLen = 32
+
+// Seal wraps payload in the checkpoint envelope.
+func Seal(configHash uint64, payload []byte) []byte {
+	out := make([]byte, 0, headerLen+len(payload))
+	out = append(out, magic[:]...)
+	out = binary.LittleEndian.AppendUint32(out, Version)
+	out = binary.LittleEndian.AppendUint64(out, configHash)
+	out = binary.LittleEndian.AppendUint64(out, uint64(len(payload)))
+	out = binary.LittleEndian.AppendUint32(out, crc32.ChecksumIEEE(payload))
+	out = append(out, payload...)
+	return out
+}
+
+// Open validates the envelope of data and returns the configuration
+// hash and payload. It rejects bad magic, unknown versions, truncated
+// files and checksum mismatches.
+func Open(data []byte) (configHash uint64, payload []byte, err error) {
+	if len(data) < headerLen {
+		return 0, nil, fmt.Errorf("checkpoint: file too short (%d bytes)", len(data))
+	}
+	var m [8]byte
+	copy(m[:], data[:8])
+	if m != magic {
+		return 0, nil, fmt.Errorf("checkpoint: bad magic %q", m[:])
+	}
+	ver := binary.LittleEndian.Uint32(data[8:12])
+	if ver != Version {
+		return 0, nil, fmt.Errorf("checkpoint: unsupported format version %d (want %d)", ver, Version)
+	}
+	configHash = binary.LittleEndian.Uint64(data[12:20])
+	plen := binary.LittleEndian.Uint64(data[20:28])
+	wantCRC := binary.LittleEndian.Uint32(data[28:32])
+	if uint64(len(data)-headerLen) != plen {
+		return 0, nil, fmt.Errorf("checkpoint: payload length mismatch (header says %d, file has %d)", plen, len(data)-headerLen)
+	}
+	payload = data[headerLen:]
+	if got := crc32.ChecksumIEEE(payload); got != wantCRC {
+		return 0, nil, fmt.Errorf("checkpoint: CRC mismatch (got %08x, want %08x)", got, wantCRC)
+	}
+	return configHash, payload, nil
+}
+
+// WriteFile atomically writes a sealed checkpoint to path: the bytes
+// land in a temp file in the same directory, are fsynced, and are
+// renamed over path so concurrent readers see either the old or the
+// new checkpoint, never a torn one.
+func WriteFile(path string, configHash uint64, payload []byte) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, ".ckpt-*")
+	if err != nil {
+		return fmt.Errorf("checkpoint: create temp: %w", err)
+	}
+	tmpName := tmp.Name()
+	defer os.Remove(tmpName) // no-op after successful rename
+	data := Seal(configHash, payload)
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		return fmt.Errorf("checkpoint: write temp: %w", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("checkpoint: sync temp: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("checkpoint: close temp: %w", err)
+	}
+	if err := os.Rename(tmpName, path); err != nil {
+		return fmt.Errorf("checkpoint: rename into place: %w", err)
+	}
+	return nil
+}
+
+// ReadFile reads and validates a checkpoint from path, checking the
+// configuration hash against wantHash. It returns the payload.
+func ReadFile(path string, wantHash uint64) ([]byte, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("checkpoint: read %s: %w", path, err)
+	}
+	gotHash, payload, err := Open(data)
+	if err != nil {
+		return nil, fmt.Errorf("checkpoint: %s: %w", path, err)
+	}
+	if gotHash != wantHash {
+		return nil, fmt.Errorf("checkpoint: %s was taken under a different fabric configuration (hash %016x, want %016x)", path, gotHash, wantHash)
+	}
+	return payload, nil
+}

@@ -1,0 +1,174 @@
+package checkpoint
+
+import (
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestEncoderDecoderRoundTrip(t *testing.T) {
+	e := NewEncoder()
+	e.U8(0xab)
+	e.U16(0xbeef)
+	e.U32(0xdeadbeef)
+	e.U64(0x0123456789abcdef)
+	e.I64(-42)
+	e.Int(-7)
+	e.F64(3.14159)
+	e.F64(math.Inf(-1))
+	e.F64(math.Copysign(0, -1))
+	e.Bool(true)
+	e.Bool(false)
+	e.Bytes8([]byte{1, 2, 3})
+	e.String("hello, fabric")
+
+	d := NewDecoder(e.Bytes())
+	if got := d.U8(); got != 0xab {
+		t.Errorf("U8 = %#x", got)
+	}
+	if got := d.U16(); got != 0xbeef {
+		t.Errorf("U16 = %#x", got)
+	}
+	if got := d.U32(); got != 0xdeadbeef {
+		t.Errorf("U32 = %#x", got)
+	}
+	if got := d.U64(); got != 0x0123456789abcdef {
+		t.Errorf("U64 = %#x", got)
+	}
+	if got := d.I64(); got != -42 {
+		t.Errorf("I64 = %d", got)
+	}
+	if got := d.Int(); got != -7 {
+		t.Errorf("Int = %d", got)
+	}
+	if got := d.F64(); got != 3.14159 {
+		t.Errorf("F64 = %v", got)
+	}
+	if got := d.F64(); !math.IsInf(got, -1) {
+		t.Errorf("F64 inf = %v", got)
+	}
+	if got := d.F64(); math.Float64bits(got) != math.Float64bits(math.Copysign(0, -1)) {
+		t.Errorf("F64 -0 bits = %v", got)
+	}
+	if got := d.Bool(); !got {
+		t.Errorf("Bool = %v", got)
+	}
+	if got := d.Bool(); got {
+		t.Errorf("Bool = %v", got)
+	}
+	if got := d.Bytes8(); len(got) != 3 || got[0] != 1 || got[2] != 3 {
+		t.Errorf("Bytes8 = %v", got)
+	}
+	if got := d.String(); got != "hello, fabric" {
+		t.Errorf("String = %q", got)
+	}
+	if d.Err() != nil {
+		t.Fatalf("decode error: %v", d.Err())
+	}
+	if d.Remaining() != 0 {
+		t.Errorf("remaining = %d", d.Remaining())
+	}
+}
+
+func TestDecoderStickyError(t *testing.T) {
+	d := NewDecoder([]byte{1, 2})
+	_ = d.U64() // short read
+	if d.Err() == nil {
+		t.Fatal("expected truncation error")
+	}
+	// Subsequent reads must return zeros and not panic.
+	if got := d.U32(); got != 0 {
+		t.Errorf("U32 after error = %d", got)
+	}
+	if got := d.String(); got != "" {
+		t.Errorf("String after error = %q", got)
+	}
+}
+
+func TestSealOpenRoundTrip(t *testing.T) {
+	payload := []byte("fabric state goes here")
+	data := Seal(0xfeedface, payload)
+	hash, got, err := Open(data)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	if hash != 0xfeedface {
+		t.Errorf("hash = %#x", hash)
+	}
+	if string(got) != string(payload) {
+		t.Errorf("payload = %q", got)
+	}
+}
+
+func TestOpenRejectsCorruption(t *testing.T) {
+	payload := []byte("some state")
+	data := Seal(7, payload)
+
+	// Truncated.
+	if _, _, err := Open(data[:len(data)-3]); err == nil {
+		t.Error("expected error for truncated file")
+	}
+	// Short header.
+	if _, _, err := Open(data[:10]); err == nil {
+		t.Error("expected error for short header")
+	}
+	// Flipped payload byte breaks the CRC.
+	bad := append([]byte(nil), data...)
+	bad[len(bad)-1] ^= 0xff
+	if _, _, err := Open(bad); err == nil || !strings.Contains(err.Error(), "CRC") {
+		t.Errorf("expected CRC error, got %v", err)
+	}
+	// Bad magic.
+	bad = append([]byte(nil), data...)
+	bad[0] = 'X'
+	if _, _, err := Open(bad); err == nil || !strings.Contains(err.Error(), "magic") {
+		t.Errorf("expected magic error, got %v", err)
+	}
+	// Unknown version.
+	bad = append([]byte(nil), data...)
+	bad[8] = 0xff
+	if _, _, err := Open(bad); err == nil || !strings.Contains(err.Error(), "version") {
+		t.Errorf("expected version error, got %v", err)
+	}
+}
+
+func TestWriteFileAtomicAndReadBack(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "fabric.ckpt")
+	payload := []byte("checkpoint one")
+	if err := WriteFile(path, 99, payload); err != nil {
+		t.Fatalf("WriteFile: %v", err)
+	}
+	got, err := ReadFile(path, 99)
+	if err != nil {
+		t.Fatalf("ReadFile: %v", err)
+	}
+	if string(got) != string(payload) {
+		t.Errorf("payload = %q", got)
+	}
+	// Overwrite with a second checkpoint; the rename must replace it.
+	if err := WriteFile(path, 99, []byte("checkpoint two")); err != nil {
+		t.Fatalf("WriteFile overwrite: %v", err)
+	}
+	got, err = ReadFile(path, 99)
+	if err != nil {
+		t.Fatalf("ReadFile after overwrite: %v", err)
+	}
+	if string(got) != "checkpoint two" {
+		t.Errorf("payload = %q", got)
+	}
+	// No temp droppings left behind.
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		t.Errorf("directory has %d entries, want just the checkpoint", len(entries))
+	}
+	// Hash mismatch rejected.
+	if _, err := ReadFile(path, 100); err == nil {
+		t.Error("expected configuration-hash mismatch error")
+	}
+}

@@ -206,6 +206,49 @@ func (p *Plan) Schedule(t *topology.Topology, horizon int64) []Event {
 	return events
 }
 
+// FailRegionAt schedules a regional outage — the kind a shared power
+// feed or cable bundle causes: every router within radius hops of
+// center (BFS over wired links) goes down at cycle and, when downtime
+// is positive, comes back downtime cycles later. Radius 0 fails only
+// the center. The region is derived from the topology's wiring, not
+// its current link state, so the same call always produces the same
+// schedule.
+func (p *Plan) FailRegionAt(t *topology.Topology, center, radius int, cycle, downtime int64) *Plan {
+	if center < 0 || center >= t.Nodes {
+		return p
+	}
+	dist := make([]int, t.Nodes)
+	for i := range dist {
+		dist[i] = -1
+	}
+	dist[center] = 0
+	queue := []int{center}
+	region := []int{center}
+	for len(queue) > 0 {
+		node := queue[0]
+		queue = queue[1:]
+		if dist[node] == radius {
+			continue
+		}
+		for port := 0; port < t.Ports; port++ {
+			peer := t.Wired(node, port)
+			if peer < 0 || dist[peer] >= 0 {
+				continue
+			}
+			dist[peer] = dist[node] + 1
+			queue = append(queue, peer)
+			region = append(region, peer)
+		}
+	}
+	for _, node := range region {
+		p.FailRouterAt(cycle, node)
+		if downtime > 0 {
+			p.RestoreRouterAt(cycle+downtime, node)
+		}
+	}
+	return p
+}
+
 // RandomLinkFailures appends count link failures at cycles uniformly
 // spread over [start, start+window), each picking a distinct random link,
 // with restoration after the given downtime (0 = permanent). The draws

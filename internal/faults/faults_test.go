@@ -140,3 +140,49 @@ func TestKindString(t *testing.T) {
 		}
 	}
 }
+
+func TestFailRegionAt(t *testing.T) {
+	tp, err := topology.Mesh(4, 4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Radius 1 around node 5 (x=1,y=1): itself plus its 4 mesh neighbors.
+	p := NewPlan(7).FailRegionAt(tp, 5, 1, 1000, 500)
+	if err := p.Validate(tp); err != nil {
+		t.Fatal(err)
+	}
+	downs := map[int]bool{}
+	ups := map[int]bool{}
+	for _, e := range p.Schedule(tp, 10_000) {
+		switch e.Kind {
+		case RouterDown:
+			if e.Cycle != 1000 {
+				t.Fatalf("outage not simultaneous: %+v", e)
+			}
+			downs[e.Node] = true
+		case RouterUp:
+			if e.Cycle != 1500 {
+				t.Fatalf("repair not at downtime: %+v", e)
+			}
+			ups[e.Node] = true
+		}
+	}
+	wantRegion := map[int]bool{5: true, 1: true, 4: true, 6: true, 9: true}
+	if len(downs) != len(wantRegion) || len(ups) != len(wantRegion) {
+		t.Fatalf("region covered %d downs / %d ups, want %d", len(downs), len(ups), len(wantRegion))
+	}
+	for node := range wantRegion {
+		if !downs[node] || !ups[node] {
+			t.Fatalf("node %d missing from the outage", node)
+		}
+	}
+	// Radius 0: only the center; no restore when downtime is 0.
+	ev := NewPlan(7).FailRegionAt(tp, 0, 0, 10, 0).Schedule(tp, 100)
+	if len(ev) != 1 || ev[0].Kind != RouterDown || ev[0].Node != 0 {
+		t.Fatalf("radius-0 region: %+v", ev)
+	}
+	// Out-of-range center is a no-op.
+	if ev := NewPlan(7).FailRegionAt(tp, 99, 1, 10, 0).Schedule(tp, 100); len(ev) != 0 {
+		t.Fatalf("out-of-range center scheduled events: %+v", ev)
+	}
+}

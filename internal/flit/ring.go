@@ -49,6 +49,16 @@ func (r *Ring) Peek() *Flit {
 	return r.buf[r.head]
 }
 
+// At returns the i-th queued flit in FIFO order (0 is the head) without
+// removing it — the non-destructive walk checkpointing serializes queue
+// contents with. i outside [0, Len) panics.
+func (r *Ring) At(i int) *Flit {
+	if i < 0 || i >= r.size {
+		panic("flit: Ring.At index out of range")
+	}
+	return r.buf[(r.head+i)&(len(r.buf)-1)]
+}
+
 // Cap returns the current buffer capacity (for tests and tooling).
 func (r *Ring) Cap() int { return len(r.buf) }
 

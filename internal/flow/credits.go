@@ -78,6 +78,22 @@ func (c *Credits) Reset(vc int) {
 	c.avail.Set(vc)
 }
 
+// SetAvailable forces VC vc's credit count to n, maintaining the status
+// bit vector. Checkpoint restore uses it to reinstate mid-flight credit
+// balances; n outside [0, depth] panics as it could never arise from
+// the protocol.
+func (c *Credits) SetAvailable(vc, n int) {
+	if n < 0 || n > c.max {
+		panic(fmt.Sprintf("flow: restored credit count %d outside [0,%d]", n, c.max))
+	}
+	c.counts[vc] = n
+	if n > 0 {
+		c.avail.Set(vc)
+	} else {
+		c.avail.Clear(vc)
+	}
+}
+
 // CreditPipe models the return path's latency: credits issued downstream
 // become visible to the sender only after a fixed delay in cycles. The
 // zero delay degenerates to immediate visibility.

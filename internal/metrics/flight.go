@@ -76,6 +76,13 @@ func (r *Recorder) Events(dst []Event) []Event {
 // Reset discards every retained event but keeps the total count.
 func (r *Recorder) Reset() { r.next = 0; r.n = 0 }
 
+// SetTotal forces the total-events counter without touching the
+// retained ring. Checkpoint restore replays the retained events through
+// Record (which resets the total to the retained count) and then
+// reinstates the true lifetime total with SetTotal; ring rotation state
+// is unobservable, so the rebuilt recorder behaves identically.
+func (r *Recorder) SetTotal(n int64) { r.n = n }
+
 // Dump writes the retained events oldest-first as one line each, using
 // name to decode event codes (nil falls back to the numeric code).
 func (r *Recorder) Dump(w io.Writer, name func(code uint16) string) {

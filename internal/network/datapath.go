@@ -48,8 +48,14 @@ type creditMsg struct {
 // beFlow is a best-effort packet flow between two hosts.
 type beFlow struct {
 	src, dst int
-	gen      traffic.Source
-	niQueue  flit.Ring
+	// conn is the degraded connection this flow substitutes for, or
+	// flit.InvalidConn for a standalone flow. Closing a degraded
+	// connection retires its flow by this ID — without it, every
+	// degraded session would leak an immortal generator and a
+	// long-lived fabric would drown in fallback traffic.
+	conn    flit.ConnID
+	gen     traffic.Source
+	niQueue flit.Ring
 
 	// Activity gating: last cycle the generator was ticked, and the
 	// forecast cycle of its next arrival (see injectPackets).
@@ -71,7 +77,7 @@ func (n *Network) AddBestEffortFlow(src, dst int, packetsPerCycle float64) error
 	if src < 0 || src >= len(n.nodes) || dst < 0 || dst >= len(n.nodes) || src == dst {
 		return errBadEndpoints(src, dst)
 	}
-	bf := &beFlow{src: src, dst: dst, gen: traffic.NewBestEffortSource(n.nodes[src].rng, packetsPerCycle)}
+	bf := &beFlow{src: src, dst: dst, conn: flit.InvalidConn, gen: traffic.NewBestEffortSource(n.nodes[src].rng, packetsPerCycle)}
 	bf.lastTick = n.now - 1
 	bf.nextDue = n.now
 	n.beFlows = append(n.beFlows, bf)
@@ -620,7 +626,10 @@ func (n *Network) injectStreams(nd *node, t int64) {
 				}
 			}
 			c.lastTick = t
-			if !n.cfg.NoIdleSkip && c.nextDue <= t {
+			// Maintained even with gating off: the forecast is part of the
+			// durable fabric state a checkpoint carries, and it must not
+			// depend on the execution strategy that happened to produce it.
+			if c.nextDue <= t {
 				c.nextDue = traffic.ForecastSource(c.src, t, t+idleForecastHorizon)
 			}
 		}
@@ -662,7 +671,9 @@ func (n *Network) injectPackets(nd *node, t int64) {
 			}
 		}
 		bf.lastTick = t
-		if !n.cfg.NoIdleSkip && bf.nextDue <= t {
+		// Unconditional for the same reason as the stream forecast above:
+		// checkpointed state must be execution-strategy independent.
+		if bf.nextDue <= t {
 			bf.nextDue = traffic.ForecastSource(bf.gen, t, t+idleForecastHorizon)
 		}
 		mem := nd.mems[hp]

@@ -35,7 +35,7 @@ func (n *Network) Open(src, dst int, spec traffic.ConnSpec) (*Conn, error) {
 	}
 	n.conns = append(n.conns, conn)
 	n.nodes[src].srcConns = append(n.nodes[src].srcConns, conn)
-	n.growTrackers(len(n.conns))
+	n.growTracker(dst, len(n.conns))
 	n.m.setupAccepted++
 	n.m.setupLatency.Add(float64(conn.SetupTime))
 	n.m.setupBacktracks.Add(float64(conn.Backtracks))
@@ -48,31 +48,34 @@ func (n *Network) Open(src, dst int, spec traffic.ConnSpec) (*Conn, error) {
 // error to done. Retries ride event time, so teardowns, restorations and
 // link repairs between attempts can free the resources a first search
 // could not find.
+//
+// Pending retries live in the durable-event journal (durable.go), so
+// they survive a checkpoint/restore with identical fabric-visible
+// behaviour. The done callback does not: a restored fabric replays the
+// remaining attempts but reports completion to no one.
 func (n *Network) OpenWithRetry(src, dst int, spec traffic.ConnSpec, done func(*Conn, error)) error {
 	if err := n.checkEndpoints(src, dst, spec); err != nil {
 		return err
 	}
-	if done == nil {
-		done = func(*Conn, error) {}
-	}
-	attempt := 0
-	var try func()
-	try = func() {
-		c, err := n.Open(src, dst, spec)
-		if err == nil {
+	c, err := n.Open(src, dst, spec)
+	if err == nil {
+		if done != nil {
 			done(c, nil)
-			return
 		}
-		if attempt >= n.cfg.Fault.MaxRetries {
-			done(nil, err)
-			return
-		}
-		delay := n.retryBackoff(attempt)
-		attempt++
-		n.m.setupRetries++
-		n.Schedule(n.now+delay, try)
+		return nil
 	}
-	try()
+	if n.cfg.Fault.MaxRetries <= 0 {
+		if done != nil {
+			done(nil, err)
+		}
+		return nil
+	}
+	id := n.nextOpenID
+	n.nextOpenID++
+	n.openRetries[id] = &openRetry{src: src, dst: dst, spec: spec, attempt: 1, done: done}
+	delay := n.retryBackoff(0)
+	n.m.setupRetries++
+	n.scheduleDurable(n.now+delay, durOpenRetry, id, 0)
 	return nil
 }
 
@@ -283,6 +286,16 @@ func (n *Network) Close(conn *Conn) error {
 	if conn.closed {
 		return fmt.Errorf("network: connection %d already closed", conn.ID)
 	}
+	if conn.Degraded {
+		// The guaranteed path was torn down when the fault broke the
+		// connection; closing the session now means retiring its
+		// best-effort fallback flow so a long-lived fabric does not
+		// accumulate immortal generators across churn.
+		n.dropBEFlow(conn.ID)
+		conn.closed = true
+		n.m.closed++
+		return nil
+	}
 	if conn.broken {
 		return fmt.Errorf("network: connection %d is fault-broken; its resources are already released", conn.ID)
 	}
@@ -305,6 +318,7 @@ func (n *Network) Close(conn *Conn) error {
 	conn.closed = true
 	conn.src = nil
 	n.releasePath(conn)
+	n.dropSrcConn(conn)
 	n.m.closed++
 	return nil
 }

@@ -32,6 +32,11 @@ import (
 // installs its per-link impairments, and schedules every fault event
 // (explicit and stochastically expanded) over [0, horizon) on the event
 // engine. Call before Run; events fire as the clock reaches them.
+//
+// The expanded schedule is retained in the durable-event journal
+// (durable.go), so a checkpoint taken mid-plan serializes the pending
+// transitions as data and a restored fabric replays the remainder of
+// the plan exactly.
 func (n *Network) ApplyPlan(p *faults.Plan, horizon int64) error {
 	tp := n.cfg.Topology
 	if err := p.Validate(tp); err != nil {
@@ -41,19 +46,9 @@ func (n *Network) ApplyPlan(p *faults.Plan, horizon int64) error {
 		n.impair[[2]int{im.Node, im.Port}] = im
 	}
 	for _, ev := range p.Schedule(tp, horizon) {
-		ev := ev
-		n.Schedule(ev.Cycle, func() {
-			switch ev.Kind {
-			case faults.LinkDown:
-				n.FailLink(ev.Node, ev.Port)
-			case faults.LinkUp:
-				n.RestoreLink(ev.Node, ev.Port)
-			case faults.RouterDown:
-				n.FailRouter(ev.Node)
-			case faults.RouterUp:
-				n.RestoreRouter(ev.Node)
-			}
-		})
+		idx := int64(len(n.faultSchedule))
+		n.faultSchedule = append(n.faultSchedule, ev)
+		n.scheduleDurable(ev.Cycle, durFault, idx, 0)
 	}
 	return nil
 }
@@ -304,40 +299,12 @@ func (n *Network) breakConn(c *Conn, reason string) {
 	}
 }
 
-// scheduleRestore re-runs establishment for a broken connection against
-// the surviving topology: the first re-search fires next cycle, each
-// failure backs off exponentially with jitter, and after MaxRetries
-// additional attempts the connection is abandoned to the degrade path.
+// scheduleRestore journals the first re-establishment attempt for a
+// broken connection: it fires next cycle, and each failure backs off
+// exponentially with jitter until MaxRetries additional attempts have
+// been spent (restoreAttempt, durable.go).
 func (n *Network) scheduleRestore(c *Conn) {
-	attempt := 0
-	var try func()
-	try = func() {
-		if c.closed || !c.broken || c.Degraded || c.lost {
-			return
-		}
-		if err := n.establish(c); err == nil {
-			c.broken = false
-			c.Restores++
-			n.m.connsRestored++
-			n.m.restoreLatency.Add(float64(n.now - c.brokenAt))
-			n.logEvent(SessionEvent{Kind: "conn-restored", Conn: c.ID, Node: c.Src, Port: -1,
-				Detail: fmt.Sprintf("after %d cycles, attempt %d", n.now-c.brokenAt, attempt+1)})
-			n.recordFlight(c.Src, evConnRestored, int32(c.Dst), int32(attempt+1), int64(c.ID))
-			if n.cfg.Fault.Paranoid {
-				n.mustInvariants()
-			}
-			return
-		}
-		if attempt >= n.cfg.Fault.MaxRetries {
-			n.abandon(c)
-			return
-		}
-		delay := n.retryBackoff(attempt)
-		attempt++
-		n.m.setupRetries++
-		n.Schedule(n.now+delay, try)
-	}
-	n.Schedule(n.now+1, try)
+	n.scheduleDurable(n.now+1, durRestore, int64(c.ID), 0)
 }
 
 // abandon gives up on restoring a broken connection: with Degrade set it
@@ -348,19 +315,21 @@ func (n *Network) abandon(c *Conn) {
 		c.Degraded = true
 		n.m.connsDegraded++
 		bf := &beFlow{
-			src: c.Src, dst: c.Dst,
+			src: c.Src, dst: c.Dst, conn: c.ID,
 			gen: traffic.NewCBRSource(n.cfg.Link, c.Spec.Rate, 0),
 		}
 		bf.lastTick = n.now - 1
 		bf.nextDue = n.now
 		n.beFlows = append(n.beFlows, bf)
 		n.nodes[c.Src].beSrc = append(n.nodes[c.Src].beSrc, bf)
+		n.dropSrcConn(c)
 		n.logEvent(SessionEvent{Kind: "conn-degraded", Conn: c.ID, Node: c.Src, Port: -1,
 			Detail: "restoration failed; continuing best-effort"})
 		n.recordFlight(c.Src, evConnDegraded, int32(c.Dst), -1, int64(c.ID))
 		return
 	}
 	c.lost = true
+	n.dropSrcConn(c)
 	n.m.connsLost++
 	n.logEvent(SessionEvent{Kind: "conn-lost", Conn: c.ID, Node: c.Src, Port: -1,
 		Detail: "restoration failed; session dropped"})

@@ -155,6 +155,49 @@ func TestFaultDegradesWithoutRestore(t *testing.T) {
 	}
 }
 
+// TestCloseDegradedRetiresFallback: hanging up a degraded session must
+// retire its best-effort fallback flow — otherwise every degraded
+// session leaks an immortal generator and a long-lived fabric drowns in
+// fallback traffic under churn.
+func TestCloseDegradedRetiresFallback(t *testing.T) {
+	n, victim := healingScenario(t, FaultPolicy{
+		Restore: false, MaxRetries: 5, RetryBackoff: 32, Degrade: true, Paranoid: true,
+	})
+	n.Run(5000)
+	if !victim.Degraded {
+		t.Fatalf("victim should be degraded (broken=%v lost=%v)", victim.Broken(), victim.Lost())
+	}
+	if err := n.Close(victim); err != nil {
+		t.Fatalf("close degraded: %v", err)
+	}
+	if !victim.Closed() {
+		t.Fatal("degraded connection not marked closed")
+	}
+	if err := n.Close(victim); err == nil {
+		t.Fatal("double close of a degraded connection succeeded")
+	}
+	// The failed link may have broken (and degraded) other connections
+	// sharing it; hang those up too so no fallback generator remains.
+	for _, c := range n.Conns() {
+		if c.Degraded && !c.Closed() {
+			if err := n.Close(c); err != nil {
+				t.Fatalf("close degraded conn %d: %v", c.ID, err)
+			}
+		}
+	}
+	// Let in-flight fallback packets drain, then confirm the generators
+	// are gone: no new best-effort traffic appears.
+	n.Run(2000)
+	before := n.Stats().BEGenerated
+	n.Run(5000)
+	if after := n.Stats().BEGenerated; after != before {
+		t.Fatalf("retired fallback flow still generates: %d -> %d", before, after)
+	}
+	if err := n.CheckInvariants(); err != nil {
+		t.Fatalf("invariants after degraded close: %v", err)
+	}
+}
+
 // TestFaultLostWithoutDegrade: with both restoration and degradation off
 // the session is dropped outright.
 func TestFaultLostWithoutDegrade(t *testing.T) {

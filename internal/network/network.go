@@ -131,7 +131,9 @@ func (c *Config) validate() error {
 	if c.Topology == nil {
 		return fmt.Errorf("network: nil topology")
 	}
-	if !c.Topology.Connected() {
+	// Wiring connectivity, not live connectivity: a network may be built
+	// while links are down (restoring a checkpoint taken mid-outage).
+	if !c.Topology.WiredConnected() {
 		return fmt.Errorf("network: topology not connected")
 	}
 	if c.VCs < 1 || c.Depth < 1 || c.K < 1 {
@@ -299,6 +301,10 @@ func (c *Conn) Open() bool { return c.open && !c.closed }
 // fault with restoration pending or abandoned.
 func (c *Conn) Broken() bool { return c.broken }
 
+// Closed reports whether the connection was closed — gracefully, or by
+// retiring a degraded session's best-effort fallback flow.
+func (c *Conn) Closed() bool { return c.closed }
+
 // Lost reports whether the connection was abandoned: restoration
 // exhausted its retries and degradation was disabled.
 func (c *Conn) Lost() bool { return c.lost }
@@ -315,6 +321,18 @@ type Network struct {
 	conns   []*Conn
 	beFlows []*beFlow
 	events  *sim.Engine // session-level dynamics
+
+	// Durable-event journal (durable.go): every event the control plane
+	// schedules through scheduleDurable is mirrored here, keyed by the
+	// engine's insertion sequence number, so a checkpoint can serialize
+	// the pending-event queue as plain data and a restore can re-insert
+	// it in the original FIFO order. faultSchedule is the expanded fault
+	// plan durFault events index into; openRetries carries the pending
+	// OpenWithRetry state durOpenRetry events resolve against.
+	durables      map[uint64]*durableEvent
+	faultSchedule []faults.Event
+	openRetries   map[int64]*openRetry
+	nextOpenID    int64
 
 	// Fault-injection runtime: per-directed-link impairments, in-flight
 	// probe count (transient VC holds the invariant checker must allow),
@@ -382,11 +400,13 @@ func New(cfg Config) (*Network, error) {
 		cfg.Scheme = sched.Biased{}
 	}
 	n := &Network{
-		cfg:    cfg,
-		rng:    sim.NewRNG(cfg.Seed),
-		dists:  routing.NewDists(cfg.Topology),
-		events: sim.NewEngine(),
-		impair: map[[2]int]faults.Impairment{},
+		cfg:         cfg,
+		rng:         sim.NewRNG(cfg.Seed),
+		dists:       routing.NewDists(cfg.Topology),
+		events:      sim.NewEngine(),
+		impair:      map[[2]int]faults.Impairment{},
+		durables:    map[uint64]*durableEvent{},
+		openRetries: map[int64]*openRetry{},
 	}
 	n.ud = routing.NewUpDown(cfg.Topology, n.dists)
 	radix := cfg.radix()
@@ -456,13 +476,63 @@ func New(cfg Config) (*Network, error) {
 	return n, nil
 }
 
-// growTrackers extends every node's jitter tracker to cover nconns
-// connections (each shard only records the connections ejecting at that
-// node, but uniform indexing keeps Record branch-free).
-func (n *Network) growTrackers(nconns int) {
-	for _, nd := range n.nodes {
-		nd.stats.tracker.Grow(nconns)
+// growTracker extends the destination node's jitter tracker to cover
+// nconns connections. Only the ejecting node ever records a stream
+// connection's flits, so per-conn accumulators live solely at the
+// destination: sizing every node's arrays to the global session count
+// would cost nodes×sessions memory under long-lived churn.
+func (n *Network) growTracker(dst, nconns int) {
+	n.nodes[dst].stats.tracker.Grow(nconns)
+}
+
+// terminal reports a connection that can never inject again: gracefully
+// closed, degraded to a best-effort flow, or lost. Broken connections
+// awaiting restoration are not terminal — restoreAttempt revives them in
+// place, relying on their srcConns membership.
+func (c *Conn) terminal() bool { return c.closed || c.lost || c.Degraded }
+
+// dropSrcConn removes a terminal connection from its source node's
+// injector list, preserving the relative order of the remaining entries
+// (injection iterates this list, so its live order is part of
+// determinism). The global conns registry stays append-only — IDs index
+// into it — but the per-node scan lists must track live sessions only,
+// or every cycle pays for the full session history.
+func (n *Network) dropSrcConn(c *Conn) {
+	nd := n.nodes[c.Src]
+	for i, x := range nd.srcConns {
+		if x == c {
+			nd.srcConns = append(nd.srcConns[:i], nd.srcConns[i+1:]...)
+			return
+		}
 	}
+}
+
+// dropBEFlow retires the best-effort fallback flow owned by a degraded
+// connection: the generator stops and packets still queued at the source
+// interface return to the pool (flits already in the fabric drain
+// normally — best-effort packets hold no reserved resources). Reports
+// whether a flow was found.
+func (n *Network) dropBEFlow(id flit.ConnID) bool {
+	for i, bf := range n.beFlows {
+		if bf.conn != id {
+			continue
+		}
+		n.m.faultFlitsLost += int64(bf.niQueue.Len())
+		pool := n.nodes[bf.src].pool
+		for bf.niQueue.Len() > 0 {
+			pool.Put(bf.niQueue.Pop())
+		}
+		n.beFlows = append(n.beFlows[:i], n.beFlows[i+1:]...)
+		nd := n.nodes[bf.src]
+		for j, x := range nd.beSrc {
+			if x == bf {
+				nd.beSrc = append(nd.beSrc[:j], nd.beSrc[j+1:]...)
+				break
+			}
+		}
+		return true
+	}
+	return false
 }
 
 // Config returns the network configuration.

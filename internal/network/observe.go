@@ -37,6 +37,7 @@ const (
 	evFlitDropped
 	evFlitCorrupted
 	evInvariantFail
+	evConnModified
 )
 
 // FlightEventName decodes a network flight-recorder event code.
@@ -60,6 +61,8 @@ func FlightEventName(code uint16) string {
 		return "flit-corrupted"
 	case evInvariantFail:
 		return "invariant-fail"
+	case evConnModified:
+		return "conn-modified"
 	default:
 		return fmt.Sprintf("code=%d", code)
 	}

@@ -229,7 +229,7 @@ func (p *probe) complete() {
 	n.conns = append(n.conns, conn)
 	n.nodes[p.src].srcConns = append(n.nodes[p.src].srcConns, conn)
 	n.activeProbes--
-	n.growTrackers(len(n.conns))
+	n.growTracker(p.dst, len(n.conns))
 	n.m.setupAccepted++
 	n.m.setupLatency.Add(float64(conn.SetupTime))
 	n.m.setupBacktracks.Add(float64(p.backs))

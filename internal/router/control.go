@@ -160,9 +160,18 @@ func (r *Router) applyControls(t int64) {
 			st.Peak = alloc
 			st.InterArrival = float64(r.cfg.RoundLen()) / float64(alloc)
 			pc.conn.Spec.Rate = rate
-			pc.conn.src = traffic.NewCBRSource(r.cfg.Link, rate, r.rng.Float64())
-			// The replacement source starts ticking this cycle; its
-			// predecessor's forecast is meaningless for it.
+			if src, ok := pc.conn.src.(*traffic.CBRSource); ok {
+				// Retune the live source in place, keeping its fractional
+				// accumulator: a renegotiation changes the rate, it does
+				// not restart the stream, so no phase jump or burst.
+				st := src.ExportState()
+				st.PerCycle = r.cfg.Link.FlitsPerCycle(rate)
+				src.RestoreState(st)
+			} else {
+				pc.conn.src = traffic.NewCBRSource(r.cfg.Link, rate, r.rng.Float64())
+			}
+			// The old forecast was computed at the old rate; recompute it
+			// on the next injection pass.
 			pc.conn.lastTick = t - 1
 			pc.conn.nextDue = t
 		case flit.CtlSetPriority:

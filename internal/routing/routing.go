@@ -86,6 +86,17 @@ func (m *ChannelMap) Unmap(in VCRef) VCRef {
 	return out
 }
 
+// ForEach invokes fn for every installed mapping in ascending input
+// (port, VC) order — a deterministic iteration order suitable for
+// serialization.
+func (m *ChannelMap) ForEach(fn func(in, out VCRef)) {
+	for i, out := range m.direct {
+		if out != Invalid {
+			fn(VCRef{Port: i / m.vcs, VC: i % m.vcs}, out)
+		}
+	}
+}
+
 // Mapped returns the number of installed mappings.
 func (m *ChannelMap) Mapped() int {
 	n := 0

@@ -278,6 +278,20 @@ func (ls *LinkScheduler) electExcess() {
 	ls.excessVC = best
 }
 
+// ExportState returns the scheduler's cross-cycle state for
+// checkpointing: the elected excess VC and the cumulative counters.
+// Everything else the scheduler holds (eligibility vector, candidate
+// scratch, dedup table) is recomputed from scratch each cycle.
+func (ls *LinkScheduler) ExportState() (excessVC int, c LinkCounters) {
+	return ls.excessVC, ls.counters
+}
+
+// RestoreState overwrites the scheduler's cross-cycle state.
+func (ls *LinkScheduler) RestoreState(excessVC int, c LinkCounters) {
+	ls.excessVC = excessVC
+	ls.counters = c
+}
+
 // ExcessVC exposes the currently elected excess connection for tests.
 func (ls *LinkScheduler) ExcessVC() int { return ls.excessVC }
 

@@ -88,6 +88,24 @@ func (e *Engine) After(delay Time, ev Event) {
 	e.At(e.now+delay, ev)
 }
 
+// LastSeq returns the insertion sequence number assigned by the most
+// recent At call. Checkpointing uses it to key the durable-event
+// journal: re-inserting journal entries in ascending original-sequence
+// order after a restore reproduces the engine's FIFO tie-breaking.
+func (e *Engine) LastSeq() uint64 { return e.seq }
+
+// SetClock forces the engine's clock and fired-event counter, for
+// restoring a checkpointed simulation. It panics if events are pending:
+// restore must set the clock before re-inserting journaled events so no
+// pending deadline can be stranded in the past.
+func (e *Engine) SetClock(t Time, fired uint64) {
+	if len(e.queue) != 0 {
+		panic("sim: SetClock with pending events")
+	}
+	e.now = t
+	e.fired = fired
+}
+
 // NextAt returns the deadline of the earliest pending event. ok is false
 // when the queue is empty. The activity-gated network engine uses it to
 // fast-forward the clock across event-free gaps.

@@ -57,6 +57,27 @@ func (r *RNG) Seed(seed uint64) {
 	}
 }
 
+// RNGState is the full serializable state of an RNG: the xorshift128+
+// words plus the cached Box-Muller variate. Restoring it reproduces the
+// stream bit-for-bit, including a pending second normal draw.
+type RNGState struct {
+	S0, S1    uint64
+	Gauss     float64
+	HaveGauss bool
+}
+
+// State exports the generator's complete state for checkpointing.
+func (r *RNG) State() RNGState {
+	return RNGState{S0: r.s0, S1: r.s1, Gauss: r.gauss, HaveGauss: r.haveGauss}
+}
+
+// Restore overwrites the generator's state with a previously exported
+// snapshot.
+func (r *RNG) Restore(st RNGState) {
+	r.s0, r.s1 = st.S0, st.S1
+	r.gauss, r.haveGauss = st.Gauss, st.HaveGauss
+}
+
 // Uint64 returns the next value in the stream.
 func (r *RNG) Uint64() uint64 {
 	x, y := r.s0, r.s1

@@ -73,6 +73,21 @@ func (j *JitterTracker) ConnJitter(conn int) *Accumulator { return &j.perConn[co
 // ConnDelay returns the delay accumulator for one connection.
 func (j *JitterTracker) ConnDelay(conn int) *Accumulator { return &j.perDelay[conn] }
 
+// NumConns returns how many connections the tracker currently covers.
+func (j *JitterTracker) NumConns() int { return len(j.prev) }
+
+// ConnBaseline exports connection conn's previous-flit delay baseline
+// for checkpointing.
+func (j *JitterTracker) ConnBaseline(conn int) (prev float64, seen bool) {
+	return j.prev[conn], j.seen[conn]
+}
+
+// RestoreBaseline overwrites connection conn's baseline.
+func (j *JitterTracker) RestoreBaseline(conn int, prev float64, seen bool) {
+	j.prev[conn] = prev
+	j.seen[conn] = seen
+}
+
 // Reset clears all statistics but keeps the per-connection baselines, so
 // warm-up samples can be discarded without fabricating a jitter spike at
 // the measurement boundary.

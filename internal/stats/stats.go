@@ -96,6 +96,25 @@ func (a *Accumulator) Merge(other *Accumulator) {
 	*a = Accumulator{n: n, mean: mean, m2: m2, min: min, max: max}
 }
 
+// AccumulatorState is the full serializable state of an Accumulator.
+// All five fields must round-trip for restored statistics to merge and
+// extend bit-identically to the uninterrupted run.
+type AccumulatorState struct {
+	N        int64
+	Mean, M2 float64
+	Min, Max float64
+}
+
+// State exports the accumulator for checkpointing.
+func (a *Accumulator) State() AccumulatorState {
+	return AccumulatorState{N: a.n, Mean: a.mean, M2: a.m2, Min: a.min, Max: a.max}
+}
+
+// Restore overwrites the accumulator with a previously exported state.
+func (a *Accumulator) Restore(st AccumulatorState) {
+	a.n, a.mean, a.m2, a.min, a.max = st.N, st.Mean, st.M2, st.Min, st.Max
+}
+
 // String summarizes the accumulator for debug output.
 func (a *Accumulator) String() string {
 	return fmt.Sprintf("n=%d mean=%.4g sd=%.4g min=%.4g max=%.4g",

@@ -231,6 +231,18 @@ func (t *Topology) PortTo(n, m int) int {
 
 // Connected reports whether the graph of up links is connected.
 func (t *Topology) Connected() bool {
+	return t.connected(t.Neighbor)
+}
+
+// WiredConnected reports whether the static wiring connects every node,
+// ignoring live link state. This is the build-time check: a fabric may
+// legitimately be constructed while links are down — restoring a
+// checkpoint taken mid-outage — as long as the wiring itself is sound.
+func (t *Topology) WiredConnected() bool {
+	return t.connected(t.Wired)
+}
+
+func (t *Topology) connected(peer func(n, p int) int) bool {
 	if t.Nodes == 0 {
 		return true
 	}
@@ -242,7 +254,7 @@ func (t *Topology) Connected() bool {
 		n := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
 		for p := 0; p < t.Ports; p++ {
-			if m := t.Neighbor(n, p); m >= 0 && !seen[m] {
+			if m := peer(n, p); m >= 0 && !seen[m] {
 				seen[m] = true
 				count++
 				stack = append(stack, m)

@@ -1,0 +1,76 @@
+package traffic
+
+// state.go exports and restores the mutable state of traffic sources
+// for fabric checkpointing. Only evolving state is serialized: the
+// static geometry (rates, frame lengths, GoP weights) is rebuilt by the
+// constructors from the connection spec, and the envelope's config hash
+// guarantees the spec matches. Sources that hold an RNG are restored by
+// reconstructing them against the owning node's generator and then
+// overwriting the generator's state, so any draw a constructor makes is
+// undone and the stream continues bit-exactly.
+
+// CBRState is the mutable state of a CBRSource.
+type CBRState struct {
+	PerCycle float64
+	Acc      float64
+}
+
+// ExportState returns the source's mutable state.
+func (s *CBRSource) ExportState() CBRState {
+	return CBRState{PerCycle: s.perCycle, Acc: s.acc}
+}
+
+// RestoreState overwrites the source's mutable state.
+func (s *CBRSource) RestoreState(st CBRState) {
+	s.perCycle = st.PerCycle
+	s.acc = st.Acc
+}
+
+// BestEffortState is the mutable state of a BestEffortSource.
+type BestEffortState struct {
+	Rate float64
+	Next float64
+}
+
+// ExportState returns the source's mutable state.
+func (s *BestEffortSource) ExportState() BestEffortState {
+	return BestEffortState{Rate: s.rate, Next: s.next}
+}
+
+// RestoreState overwrites the source's mutable state. The constructor's
+// initial inter-arrival draw is discarded; callers restore the RNG
+// stream afterwards.
+func (s *BestEffortSource) RestoreState(st BestEffortState) {
+	s.rate = st.Rate
+	s.next = st.Next
+}
+
+// VBRState is the mutable state of a VBRSource. The frame geometry and
+// GoP pattern are reconstructed from the connection spec.
+type VBRState struct {
+	FrameIdx  int
+	NextFrame float64
+	Backlog   float64
+	Acc       float64
+	PerCycle  float64
+}
+
+// ExportState returns the source's mutable state.
+func (s *VBRSource) ExportState() VBRState {
+	return VBRState{
+		FrameIdx:  s.frameIdx,
+		NextFrame: s.nextFrame,
+		Backlog:   s.backlog,
+		Acc:       s.acc,
+		PerCycle:  s.perCycle,
+	}
+}
+
+// RestoreState overwrites the source's mutable state.
+func (s *VBRSource) RestoreState(st VBRState) {
+	s.frameIdx = st.FrameIdx
+	s.nextFrame = st.NextFrame
+	s.backlog = st.Backlog
+	s.acc = st.Acc
+	s.perCycle = st.PerCycle
+}

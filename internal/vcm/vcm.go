@@ -250,6 +250,31 @@ func (m *Memory) Release(vc int) {
 	m.reserved.Clear(vc)
 }
 
+// FlitAt returns the i-th buffered flit of VC vc in FIFO order (0 is
+// the head) without removing it. Checkpointing uses it to serialize
+// queue contents; i outside [0, Len) panics.
+func (m *Memory) FlitAt(vc, i int) *flit.Flit {
+	q := &m.queues[vc]
+	if i < 0 || i >= q.size {
+		panic(fmt.Sprintf("vcm: FlitAt(%d, %d) outside queue of %d flits", vc, i, q.size))
+	}
+	return q.buf[(q.head+i)%len(q.buf)]
+}
+
+// RestoreState overwrites VC vc's scheduling state wholesale, setting
+// the reserved bit from st.InUse. Unlike Reserve it does not force
+// InUse, so checkpoint restore can reinstate both free and reserved VCs
+// with exact Serviced/Bias values. Buffered flits are restored
+// separately via Push.
+func (m *Memory) RestoreState(vc int, st VCState) {
+	m.state[vc] = st
+	if st.InUse {
+		m.reserved.Set(vc)
+	} else {
+		m.reserved.Clear(vc)
+	}
+}
+
 // FindFree returns a VC that is not in use, scanning round-robin from the
 // given position, or -1 if every VC is reserved.
 func (m *Memory) FindFree(from int) int {
