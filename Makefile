@@ -8,6 +8,12 @@ NETBENCHTOL ?= 0.30
 BENCHFILE ?= BENCH_PR2.json
 NETBENCHFILE ?= BENCH_PR3.json
 SPARSEBENCHFILE ?= BENCH_PR5.json
+SCALEBENCHFILE ?= BENCH_PR7.json
+# Parallel-efficiency floor for gated scaling rows:
+# eff(w) = ns(1)/(ns(w)·w) must stay at or above this on hosts with
+# enough CPUs to exercise the width (smaller hosts report the rows as
+# informational — see cmd/benchjson -scale).
+MINEFF ?= 0.35
 # Hot-path microbenchmarks gated by bench-check; figure benchmarks are
 # recorded by `make bench` but not gated (multi-second sims, noisier).
 MICROBENCH = RouterStep|PriorityArbiter|LinkScheduler|EstablishWorkload
@@ -18,12 +24,18 @@ NETBENCH = NetworkStep|NetworkStepParallel
 # reference (the ≥3× speedup denominator) and whole-clock fast-forward
 # through Run, gated against $(SPARSEBENCHFILE).
 SPARSEBENCH = NetworkStepSparse|NetworkStepSparseNoSkip|NetworkRunIdleGaps
+# Worker-scaling curve (w=1/2/4/GOMAXPROCS sub-benchmarks) plus the
+# sparse step, recorded together into $(SCALEBENCHFILE) so the SoA
+# datapath's speedup and its scaling shape live in one section with
+# host provenance.
+SCALEBENCH = NetworkStepScaling|NetworkStepSparse
+SCALEFAMILY = NetworkStepScaling
 
 SOAKEVENTS ?= 1000000
 SOAKKILLS ?= 25
 SOAKSEED ?= 7
 
-.PHONY: build test vet race fuzz-smoke soak soak-smoke check bench bench-check bench-net bench-net-check bench-sparse bench-sparse-check
+.PHONY: build test vet race fuzz-smoke soak soak-smoke check bench bench-check bench-net bench-net-check bench-sparse bench-sparse-check bench-scale bench-scale-check
 
 build:
 	$(GO) build ./...
@@ -68,7 +80,7 @@ bench:
 # -allow-missing: this gate deliberately reruns only the microbenchmarks,
 # while the baseline section also records the (ungated) figure
 # benchmarks; absences are reported as warnings instead of failures.
-bench-check: bench-net-check bench-sparse-check
+bench-check: bench-net-check bench-sparse-check bench-scale-check
 	$(GO) test -run='^$$' -bench='^Benchmark($(MICROBENCH))$$' -benchmem -benchtime=$(BENCHTIME) . \
 	| tee /dev/stderr | $(GO) run ./cmd/benchjson -check -baseline $(BENCHFILE) -against current -tol $(BENCHTOL) -allow-missing
 
@@ -103,5 +115,22 @@ bench-sparse:
 bench-sparse-check:
 	$(GO) test -run='^$$' -bench='^Benchmark($(SPARSEBENCH))$$' -benchmem -benchtime=$(BENCHTIME) ./internal/network \
 	| tee /dev/stderr | $(GO) run ./cmd/benchjson -check -baseline $(SPARSEBENCHFILE) -against current -tol $(NETBENCHTOL) -allow-missing
+
+# Record the worker-scaling curve and the sparse step into
+# $(SCALEBENCHFILE)'s "current" section, stamped with host shape
+# (NumCPU/GOMAXPROCS/cpu model) so the numbers carry their provenance.
+bench-scale:
+	$(GO) test -run='^$$' -bench='^Benchmark($(SCALEBENCH))$$' -benchmem -benchtime=$(BENCHTIME) ./internal/network \
+	| tee /dev/stderr | $(GO) run ./cmd/benchjson -o $(SCALEBENCHFILE) -section current
+
+# Gate parallel efficiency instead of raw ns/op: every w=N row the
+# host can exercise must keep eff(w) = ns(1)/(ns(w)·w) ≥ MINEFF and
+# stay allocation-free; wider-than-host rows print as informational.
+# Unlike the ns/op gates this one is host-relative (normalized by the
+# run's own serial row), so it cannot be fooled by a fast machine or
+# flaked by a slow one.
+bench-scale-check:
+	$(GO) test -run='^$$' -bench='^Benchmark$(SCALEFAMILY)$$' -benchmem -benchtime=$(BENCHTIME) ./internal/network \
+	| tee /dev/stderr | $(GO) run ./cmd/benchjson -scale $(SCALEFAMILY) -min-eff $(MINEFF)
 
 check: vet test race fuzz-smoke soak-smoke

@@ -16,6 +16,15 @@
 // allocating:
 //
 //	go test -run '^$' -bench . -benchmem . | benchjson -check -baseline BENCH_PR2.json -against current
+//
+// Scale mode parses a worker-scaling benchmark family
+// (Benchmark<Family>/w=N sub-benchmarks) and gates *parallel
+// efficiency* — eff(w) = ns(1) / (ns(w)·w) — instead of raw ns/op.
+// Rows whose worker count exceeds the host's CPU count are printed but
+// not gated (a 1-CPU container cannot demonstrate scaling, only
+// barrier overhead), which keeps the gate honest across host shapes:
+//
+//	go test -run '^$' -bench 'NetworkStepScaling' -benchmem ./internal/network | benchjson -scale NetworkStepScaling -min-eff 0.35
 package main
 
 import (
@@ -40,10 +49,38 @@ type Benchmark struct {
 	Metrics map[string]float64 `json:"metrics"`
 }
 
+// Host records the machine shape a section was measured on. Benchmark
+// numbers are only comparable across runs when the shape matches;
+// check mode warns when it does not, so a baseline recorded in a
+// 1-CPU container cannot silently masquerade as a multi-core number.
+type Host struct {
+	NumCPU     int    `json:"num_cpu"`
+	GoMaxProcs int    `json:"gomaxprocs"`
+	CPU        string `json:"cpu,omitempty"`
+}
+
+// String renders the shape for diagnostics.
+func (h Host) String() string {
+	s := fmt.Sprintf("%d CPU, GOMAXPROCS=%d", h.NumCPU, h.GoMaxProcs)
+	if h.CPU != "" {
+		s += ", " + h.CPU
+	}
+	return s
+}
+
+// currentHost returns the shape of the machine benchjson is running
+// on, which is the machine the stdin benchmarks ran on in every
+// supported pipeline (`go test ... | benchjson`). cpu is the model
+// string from the go test header, when present.
+func currentHost(cpu string) Host {
+	return Host{NumCPU: runtime.NumCPU(), GoMaxProcs: runtime.GOMAXPROCS(0), CPU: cpu}
+}
+
 // Section is one named snapshot of the benchmark suite.
 type Section struct {
 	Note       string               `json:"note,omitempty"`
 	Go         string               `json:"go,omitempty"`
+	Host       *Host                `json:"host,omitempty"`
 	Benchmarks map[string]Benchmark `json:"benchmarks"`
 }
 
@@ -55,11 +92,18 @@ type File struct {
 
 var cpuSuffix = regexp.MustCompile(`-\d+$`)
 
-// parse reads `go test -bench` output and returns the benchmarks found.
-func parse(r *bufio.Scanner) (map[string]Benchmark, error) {
+// parse reads `go test -bench` output and returns the benchmarks
+// found plus the CPU model from the "cpu:" header line (empty when go
+// test did not print one).
+func parse(r *bufio.Scanner) (map[string]Benchmark, string, error) {
 	out := map[string]Benchmark{}
+	cpu := ""
 	for r.Scan() {
 		line := strings.TrimSpace(r.Text())
+		if after, ok := strings.CutPrefix(line, "cpu:"); ok {
+			cpu = strings.TrimSpace(after)
+			continue
+		}
 		if !strings.HasPrefix(line, "Benchmark") {
 			continue
 		}
@@ -77,13 +121,13 @@ func parse(r *bufio.Scanner) (map[string]Benchmark, error) {
 		for i := 2; i+1 < len(fields); i += 2 {
 			v, err := strconv.ParseFloat(fields[i], 64)
 			if err != nil {
-				return nil, fmt.Errorf("benchjson: bad value %q in %q", fields[i], line)
+				return nil, cpu, fmt.Errorf("benchjson: bad value %q in %q", fields[i], line)
 			}
 			b.Metrics[fields[i+1]] = v
 		}
 		out[name] = b
 	}
-	return out, r.Err()
+	return out, cpu, r.Err()
 }
 
 // load reads an existing BENCH file, tolerating absence.
@@ -105,13 +149,13 @@ func load(path string) (File, error) {
 	return f, nil
 }
 
-func record(benches map[string]Benchmark, out, section, note string) error {
+func record(benches map[string]Benchmark, host Host, out, section, note string) error {
 	f, err := load(out)
 	if err != nil {
 		return err
 	}
 	f.Schema = "mmr-bench/v1"
-	f.Sections[section] = Section{Note: note, Go: runtime.Version(), Benchmarks: benches}
+	f.Sections[section] = Section{Note: note, Go: runtime.Version(), Host: &host, Benchmarks: benches}
 	data, err := json.MarshalIndent(f, "", "  ")
 	if err != nil {
 		return err
@@ -123,7 +167,7 @@ func record(benches map[string]Benchmark, out, section, note string) error {
 	return os.WriteFile(out, append(data, '\n'), 0o644)
 }
 
-func check(w io.Writer, benches map[string]Benchmark, baseline, against string, tol float64, allowMissing bool) error {
+func check(w io.Writer, benches map[string]Benchmark, host Host, baseline, against string, tol float64, allowMissing bool) error {
 	f, err := load(baseline)
 	if err != nil {
 		return err
@@ -131,6 +175,16 @@ func check(w io.Writer, benches map[string]Benchmark, baseline, against string, 
 	base, ok := f.Sections[against]
 	if !ok {
 		return fmt.Errorf("benchjson: section %q not found in %s", against, baseline)
+	}
+	// Comparing numbers measured on different machine shapes tells you
+	// about the hardware, not the code. Warn — don't fail — so the gate
+	// stays usable while making the mismatch impossible to miss.
+	if b := base.Host; b != nil {
+		if b.NumCPU != host.NumCPU || b.GoMaxProcs != host.GoMaxProcs ||
+			(b.CPU != "" && host.CPU != "" && b.CPU != host.CPU) {
+			fmt.Fprintf(w, "warning: host shape differs from %s[%s]: baseline ran on %s; this run on %s — deltas may reflect hardware, not code\n",
+				baseline, against, *b, host)
+		}
 	}
 	// Partition by presence on each side. A baseline benchmark absent
 	// from stdin is a gate-integrity problem — the run silently stopped
@@ -203,6 +257,78 @@ func check(w io.Writer, benches map[string]Benchmark, baseline, against string, 
 	return nil
 }
 
+var workerSub = regexp.MustCompile(`^(.+)/w=(\d+)$`)
+
+// checkScale gates the parallel-efficiency rows of a worker-scaling
+// benchmark family (sub-benchmarks named <family>/w=N). Efficiency is
+// eff(w) = ns(1) / (ns(w)·w): 1.0 is perfect linear scaling, 1/w is
+// "parallelism bought nothing". Rows with more workers than the host
+// has CPUs are informational — they measure barrier overhead, not
+// scaling — so only rows the host can actually exercise are gated.
+// Every row must also stay allocation-free when allocs/op was
+// measured: the worker pool reuses its shards, so any allocation is a
+// steady-state leak the serial gate would miss.
+func checkScale(w io.Writer, benches map[string]Benchmark, host Host, family string, minEff float64) error {
+	type row struct {
+		workers int
+		bench   Benchmark
+	}
+	var rows []row
+	for name, b := range benches {
+		m := workerSub.FindStringSubmatch(name)
+		if m == nil || m[1] != family {
+			continue
+		}
+		wk, err := strconv.Atoi(m[2])
+		if err != nil || wk <= 0 {
+			continue
+		}
+		rows = append(rows, row{workers: wk, bench: b})
+	}
+	if len(rows) == 0 {
+		return fmt.Errorf("benchjson: no %s/w=N benchmarks on stdin", family)
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].workers < rows[j].workers })
+	if rows[0].workers != 1 {
+		return fmt.Errorf("benchjson: %s family has no w=1 serial row to normalize against", family)
+	}
+	serialNs := rows[0].bench.Metrics["ns/op"]
+	if serialNs <= 0 {
+		return fmt.Errorf("benchjson: %s/w=1 has no ns/op metric", family)
+	}
+	fmt.Fprintf(w, "scaling: %s on %s\n", family, host)
+	fmt.Fprintf(w, "%8s %14s %9s %11s %s\n", "workers", "ns/op", "speedup", "efficiency", "")
+	failed := false
+	for _, r := range rows {
+		ns := r.bench.Metrics["ns/op"]
+		note := ""
+		if ns <= 0 {
+			fmt.Fprintf(w, "%8d %14s %9s %11s  FAIL: no ns/op metric\n", r.workers, "-", "-", "-")
+			failed = true
+			continue
+		}
+		speedup := serialNs / ns
+		eff := speedup / float64(r.workers)
+		switch {
+		case r.workers > host.NumCPU:
+			note = fmt.Sprintf("  informational: host has only %d CPU(s)", host.NumCPU)
+		case r.workers > 1 && eff < minEff:
+			note = fmt.Sprintf("  FAIL: efficiency %.2f below floor %.2f", eff, minEff)
+			failed = true
+		}
+		if allocs, ok := r.bench.Metrics["allocs/op"]; ok && allocs > 0 {
+			note += fmt.Sprintf("  FAIL: allocates in steady state (%.0f allocs/op)", allocs)
+			failed = true
+		}
+		fmt.Fprintf(w, "%8d %14.1f %8.2fx %11.2f%s\n", r.workers, ns, speedup, eff, note)
+	}
+	if failed {
+		return fmt.Errorf("benchjson: %s parallel-efficiency gate failed", family)
+	}
+	fmt.Fprintf(w, "ok: gated rows at or above efficiency %.2f\n", minEff)
+	return nil
+}
+
 // nameList renders a benchmark name list for diagnostics.
 func nameList(names []string) string {
 	if len(names) == 0 {
@@ -222,20 +348,26 @@ func main() {
 		tol          = flag.Float64("tol", 0.10, "allowed fractional ns/op regression (check mode)")
 		allowMissing = flag.Bool("allow-missing", false,
 			"check mode: warn instead of failing when a baseline benchmark is absent from stdin")
+		scale  = flag.String("scale", "", "gate parallel efficiency of a <family>/w=N benchmark family instead of recording")
+		minEff = flag.Float64("min-eff", 0.35, "minimum parallel efficiency ns(1)/(ns(w)*w) for gated rows (scale mode)")
 	)
 	flag.Parse()
 
 	sc := bufio.NewScanner(os.Stdin)
 	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
-	benches, err := parse(sc)
+	benches, cpu, err := parse(sc)
 	if err == nil && len(benches) == 0 {
 		err = fmt.Errorf("benchjson: no benchmark lines on stdin")
 	}
+	host := currentHost(cpu)
 	if err == nil {
-		if *doCheck {
-			err = check(os.Stdout, benches, *baseline, *against, *tol, *allowMissing)
-		} else {
-			err = record(benches, *out, *section, *note)
+		switch {
+		case *scale != "":
+			err = checkScale(os.Stdout, benches, host, *scale, *minEff)
+		case *doCheck:
+			err = check(os.Stdout, benches, host, *baseline, *against, *tol, *allowMissing)
+		default:
+			err = record(benches, host, *out, *section, *note)
 		}
 	}
 	if err != nil {

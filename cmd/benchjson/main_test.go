@@ -19,9 +19,13 @@ this line is noise
 BenchmarkOddFields 12 trailing
 `
 
+// testHost is a fixed shape so check-mode tests exercise the host
+// warning deterministically regardless of the machine running them.
+var testHost = Host{NumCPU: 4, GoMaxProcs: 4, CPU: "test-cpu"}
+
 func parseString(t *testing.T, s string) map[string]Benchmark {
 	t.Helper()
-	b, err := parse(bufio.NewScanner(strings.NewReader(s)))
+	b, _, err := parse(bufio.NewScanner(strings.NewReader(s)))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -55,11 +59,11 @@ func TestParse(t *testing.T) {
 func TestRecordPreservesOtherSections(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "BENCH.json")
 	pre := parseString(t, "BenchmarkRouterStep-8 10 1000 ns/op 0 B/op 0 allocs/op\n")
-	if err := record(pre, path, "pre-pr", "seed"); err != nil {
+	if err := record(pre, testHost, path, "pre-pr", "seed"); err != nil {
 		t.Fatal(err)
 	}
 	cur := parseString(t, "BenchmarkRouterStep-8 10 1100 ns/op 0 B/op 0 allocs/op\n")
-	if err := record(cur, path, "current", ""); err != nil {
+	if err := record(cur, testHost, path, "current", ""); err != nil {
 		t.Fatal(err)
 	}
 
@@ -87,7 +91,7 @@ func TestRecordPreservesOtherSections(t *testing.T) {
 func writeBaseline(t *testing.T, lines string) string {
 	t.Helper()
 	path := filepath.Join(t.TempDir(), "BENCH.json")
-	if err := record(parseString(t, lines), path, "current", ""); err != nil {
+	if err := record(parseString(t, lines), testHost, path, "current", ""); err != nil {
 		t.Fatal(err)
 	}
 	return path
@@ -98,13 +102,13 @@ func TestCheckPassAndRegression(t *testing.T) {
 
 	var out strings.Builder
 	ok := parseString(t, "BenchmarkRouterStep-8 10 1050 ns/op 0 B/op 0 allocs/op\n")
-	if err := check(&out, ok, base, "current", 0.10, false); err != nil {
+	if err := check(&out, ok, testHost, base, "current", 0.10, false); err != nil {
 		t.Errorf("5%% slower within 10%% tol should pass: %v\n%s", err, out.String())
 	}
 
 	out.Reset()
 	slow := parseString(t, "BenchmarkRouterStep-8 10 1500 ns/op 0 B/op 0 allocs/op\n")
-	if err := check(&out, slow, base, "current", 0.10, false); err == nil {
+	if err := check(&out, slow, testHost, base, "current", 0.10, false); err == nil {
 		t.Errorf("50%% regression passed:\n%s", out.String())
 	}
 	if !strings.Contains(out.String(), "FAIL: ns/op regressed") {
@@ -113,7 +117,7 @@ func TestCheckPassAndRegression(t *testing.T) {
 
 	out.Reset()
 	allocs := parseString(t, "BenchmarkRouterStep-8 10 1000 ns/op 64 B/op 2 allocs/op\n")
-	if err := check(&out, allocs, base, "current", 0.10, false); err == nil {
+	if err := check(&out, allocs, testHost, base, "current", 0.10, false); err == nil {
 		t.Errorf("zero-alloc benchmark now allocating passed:\n%s", out.String())
 	}
 	if !strings.Contains(out.String(), "now allocates") {
@@ -131,7 +135,7 @@ func TestCheckMissingBaselineBenchmark(t *testing.T) {
 	partial := parseString(t, "BenchmarkRouterStep-8 10 1000 ns/op 0 B/op 0 allocs/op\n")
 
 	var out strings.Builder
-	if err := check(&out, partial, base, "current", 0.10, false); err == nil {
+	if err := check(&out, partial, testHost, base, "current", 0.10, false); err == nil {
 		t.Errorf("missing baseline benchmark passed the gate:\n%s", out.String())
 	}
 	if !strings.Contains(out.String(), "missing from this run: NetworkStep") {
@@ -139,7 +143,7 @@ func TestCheckMissingBaselineBenchmark(t *testing.T) {
 	}
 
 	out.Reset()
-	if err := check(&out, partial, base, "current", 0.10, true); err != nil {
+	if err := check(&out, partial, testHost, base, "current", 0.10, true); err != nil {
 		t.Errorf("-allow-missing should downgrade to a warning: %v\n%s", err, out.String())
 	}
 	if !strings.Contains(out.String(), "warning:") || !strings.Contains(out.String(), "NetworkStep") {
@@ -152,7 +156,7 @@ func TestCheckNoOverlap(t *testing.T) {
 	base := writeBaseline(t, "BenchmarkRouterStep-8 10 1000 ns/op\n")
 	other := parseString(t, "BenchmarkSomethingElse-8 10 5 ns/op\n")
 	var out strings.Builder
-	err := check(&out, other, base, "current", 0.10, false)
+	err := check(&out, other, testHost, base, "current", 0.10, false)
 	if err == nil {
 		t.Fatal("disjoint benchmark sets passed")
 	}
@@ -160,5 +164,126 @@ func TestCheckNoOverlap(t *testing.T) {
 		if !strings.Contains(err.Error(), want) {
 			t.Errorf("error %q does not name %s", err, want)
 		}
+	}
+}
+
+// TestParseCPULine: the go test "cpu:" header line is captured for
+// host provenance.
+func TestParseCPULine(t *testing.T) {
+	_, cpu, err := parse(bufio.NewScanner(strings.NewReader(
+		"cpu: Intel(R) Xeon(R) CPU @ 2.20GHz\nBenchmarkRouterStep-8 10 1000 ns/op\n")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cpu != "Intel(R) Xeon(R) CPU @ 2.20GHz" {
+		t.Errorf("cpu line = %q", cpu)
+	}
+}
+
+// TestRecordHostProvenance: record mode stamps the section with the
+// machine shape so later checks can detect cross-host comparisons.
+func TestRecordHostProvenance(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH.json")
+	b := parseString(t, "BenchmarkRouterStep-8 10 1000 ns/op\n")
+	if err := record(b, testHost, path, "current", ""); err != nil {
+		t.Fatal(err)
+	}
+	f, err := load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := f.Sections["current"].Host
+	if h == nil || h.NumCPU != 4 || h.GoMaxProcs != 4 || h.CPU != "test-cpu" {
+		t.Errorf("host provenance not recorded: %+v", h)
+	}
+}
+
+// TestCheckHostShapeWarning: a baseline recorded on a different
+// machine shape warns (but does not fail) — the numbers still gate,
+// the mismatch is just made visible.
+func TestCheckHostShapeWarning(t *testing.T) {
+	base := writeBaseline(t, "BenchmarkRouterStep-8 10 1000 ns/op\n")
+	same := parseString(t, "BenchmarkRouterStep-8 10 1000 ns/op\n")
+
+	var out strings.Builder
+	if err := check(&out, same, testHost, base, "current", 0.10, false); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(out.String(), "host shape differs") {
+		t.Errorf("same host shape warned:\n%s", out.String())
+	}
+
+	out.Reset()
+	oneCPU := Host{NumCPU: 1, GoMaxProcs: 1, CPU: "test-cpu"}
+	if err := check(&out, same, oneCPU, base, "current", 0.10, false); err != nil {
+		t.Errorf("host mismatch must warn, not fail: %v", err)
+	}
+	if !strings.Contains(out.String(), "host shape differs") {
+		t.Errorf("no host-shape warning:\n%s", out.String())
+	}
+}
+
+const scaleOutput = `BenchmarkNetworkStepScaling/w=1-4 10 8000 ns/op 0 B/op 0 allocs/op
+BenchmarkNetworkStepScaling/w=2-4 10 5000 ns/op 0 B/op 0 allocs/op
+BenchmarkNetworkStepScaling/w=4-4 10 4000 ns/op 0 B/op 0 allocs/op
+BenchmarkNetworkStep-4 10 9000 ns/op 0 B/op 0 allocs/op
+`
+
+// TestScaleGate: efficiency rows are computed against the w=1 serial
+// row and gated at -min-eff; w=2 here scales at 8000/(5000·2)=0.80 and
+// w=4 at 8000/(4000·4)=0.50.
+func TestScaleGate(t *testing.T) {
+	b := parseString(t, scaleOutput)
+
+	var out strings.Builder
+	if err := checkScale(&out, b, testHost, "NetworkStepScaling", 0.35); err != nil {
+		t.Errorf("eff 0.80/0.50 above floor 0.35 should pass: %v\n%s", err, out.String())
+	}
+
+	out.Reset()
+	if err := checkScale(&out, b, testHost, "NetworkStepScaling", 0.60); err == nil {
+		t.Errorf("w=4 eff 0.50 below floor 0.60 passed:\n%s", out.String())
+	} else if !strings.Contains(out.String(), "FAIL: efficiency") {
+		t.Errorf("no efficiency verdict printed:\n%s", out.String())
+	}
+}
+
+// TestScaleGateHostTooSmall: rows with more workers than the host has
+// CPUs are informational, never failures — a 1-CPU container cannot
+// demonstrate scaling, and pretending otherwise would either fake the
+// numbers or flake the gate.
+func TestScaleGateHostTooSmall(t *testing.T) {
+	b := parseString(t, scaleOutput)
+	var out strings.Builder
+	oneCPU := Host{NumCPU: 1, GoMaxProcs: 1}
+	if err := checkScale(&out, b, oneCPU, "NetworkStepScaling", 0.95); err != nil {
+		t.Errorf("w>NumCPU rows must not gate: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "informational") {
+		t.Errorf("no informational note for over-provisioned rows:\n%s", out.String())
+	}
+}
+
+// TestScaleGateAllocs: a scaling row that allocates in steady state
+// fails regardless of efficiency — the worker shards must stay
+// allocation-free at every width.
+func TestScaleGateAllocs(t *testing.T) {
+	b := parseString(t, "BenchmarkNetworkStepScaling/w=1-4 10 8000 ns/op 0 B/op 0 allocs/op\n"+
+		"BenchmarkNetworkStepScaling/w=2-4 10 5000 ns/op 64 B/op 2 allocs/op\n")
+	var out strings.Builder
+	if err := checkScale(&out, b, testHost, "NetworkStepScaling", 0.35); err == nil {
+		t.Errorf("allocating scaling row passed:\n%s", out.String())
+	} else if !strings.Contains(out.String(), "allocates in steady state") {
+		t.Errorf("no alloc verdict printed:\n%s", out.String())
+	}
+}
+
+// TestScaleGateNoSerialRow: without a w=1 row there is nothing to
+// normalize against.
+func TestScaleGateNoSerialRow(t *testing.T) {
+	b := parseString(t, "BenchmarkNetworkStepScaling/w=2-4 10 5000 ns/op\n")
+	var out strings.Builder
+	if err := checkScale(&out, b, testHost, "NetworkStepScaling", 0.35); err == nil {
+		t.Error("missing w=1 row passed")
 	}
 }

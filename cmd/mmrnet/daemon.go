@@ -281,8 +281,13 @@ type openRequest struct {
 }
 
 type openResponse struct {
-	Conn        int   `json:"conn"` // -1 when degraded to best-effort
-	Degraded    bool  `json:"degraded"`
+	Conn     int  `json:"conn"` // -1 when degraded to best-effort
+	Degraded bool `json:"degraded"`
+	// Flow is the owner handle of the best-effort fallback flow when the
+	// request was shed or degraded (0 otherwise). Pass it back as
+	// closeRequest.Flow to retire the flow — without the handle a shed
+	// request's generator would run until process exit.
+	Flow        int64 `json:"flow,omitempty"`
 	Nodes       []int `json:"nodes,omitempty"`
 	SetupCycles int64 `json:"setup_cycles"`
 	Cycle       int64 `json:"cycle"`
@@ -326,11 +331,12 @@ func (d *daemon) handleOpen(w http.ResponseWriter, r *http.Request) {
 			pkts = 1
 		}
 		degrade := func(cause error) {
-			if err := n.AddBestEffortFlow(req.Src, req.Dst, pkts); err != nil {
+			id, err := n.AddBestEffortFlow(req.Src, req.Dst, pkts)
+			if err != nil {
 				reply <- ctlResp{err: cause}
 				return
 			}
-			reply <- ctlResp{v: openResponse{Conn: -1, Degraded: true, Cycle: n.Now()}}
+			reply <- ctlResp{v: openResponse{Conn: -1, Degraded: true, Flow: int64(id), Cycle: n.Now()}}
 		}
 		if shedToBE {
 			degrade(fmt.Errorf("fabric overloaded"))
@@ -372,6 +378,9 @@ func (d *daemon) handleOpen(w http.ResponseWriter, r *http.Request) {
 type closeRequest struct {
 	Conn  int   `json:"conn"`
 	Limit int64 `json:"limit"` // drain cycle budget; 0 = 10000
+	// Flow, when nonzero, closes the standalone best-effort flow with
+	// that owner handle (from openResponse.Flow) instead of a connection.
+	Flow int64 `json:"flow,omitempty"`
 }
 
 func (d *daemon) handleClose(w http.ResponseWriter, r *http.Request) {
@@ -386,6 +395,15 @@ func (d *daemon) handleClose(w http.ResponseWriter, r *http.Request) {
 	reply := make(chan ctlResp, 1)
 	notFound := false
 	if !d.submit(w, func(n *network.Network) {
+		if req.Flow != 0 {
+			if err := n.CloseFlow(network.FlowID(req.Flow)); err != nil {
+				notFound = true
+				reply <- ctlResp{err: err}
+				return
+			}
+			reply <- ctlResp{v: map[string]any{"flow": req.Flow, "cycle": n.Now()}}
+			return
+		}
 		c := findConn(n, req.Conn)
 		if c == nil {
 			notFound = true

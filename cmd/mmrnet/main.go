@@ -336,7 +336,7 @@ func run(o simOpts, out, diag io.Writer) error {
 			if src == dst {
 				continue
 			}
-			if err := n.AddBestEffortFlow(src, dst, o.be); err == nil {
+			if _, err := n.AddBestEffortFlow(src, dst, o.be); err == nil {
 				added++
 			}
 		}

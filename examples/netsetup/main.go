@@ -32,7 +32,7 @@ func main() {
 	for i := 0; i < 12; i++ {
 		src, dst := (i*5)%16, (i*11+3)%16
 		if src != dst {
-			if err := n.AddBestEffortFlow(src, dst, 0.002); err != nil {
+			if _, err := n.AddBestEffortFlow(src, dst, 0.002); err != nil {
 				log.Fatal(err)
 			}
 		}

@@ -20,8 +20,9 @@ import (
 )
 
 // Version is the current checkpoint format version. Bump it on any
-// incompatible payload layout change.
-const Version uint32 = 1
+// incompatible payload layout change. Version 2 added best-effort flow
+// owner IDs (and the network's ID counter) to the network payload.
+const Version uint32 = 2
 
 // magic identifies a checkpoint file. 8 bytes: "MMRCKPT" + NUL.
 var magic = [8]byte{'M', 'M', 'R', 'C', 'K', 'P', 'T', 0}

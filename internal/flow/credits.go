@@ -24,10 +24,22 @@ type Credits struct {
 // NewCredits returns a tracker for vcs virtual channels, each starting
 // with depth credits (the downstream per-VC buffer capacity).
 func NewCredits(vcs, depth int) *Credits {
-	if vcs < 1 || depth < 1 {
+	if vcs < 1 {
 		panic(fmt.Sprintf("flow: invalid geometry vcs=%d depth=%d", vcs, depth))
 	}
-	c := &Credits{max: depth, counts: make([]int, vcs), avail: bitvec.New(vcs)}
+	return NewCreditsBacked(depth, make([]int, vcs))
+}
+
+// NewCreditsBacked is NewCredits with caller-provided counter storage —
+// the structure-of-arrays form: a router allocates one backing array for
+// all its ports and hands each tracker a len(vcs) window, so every credit
+// counter the per-cycle scans touch sits in one contiguous block. counts
+// is overwritten to the full depth.
+func NewCreditsBacked(depth int, counts []int) *Credits {
+	if len(counts) < 1 || depth < 1 {
+		panic(fmt.Sprintf("flow: invalid geometry vcs=%d depth=%d", len(counts), depth))
+	}
+	c := &Credits{max: depth, counts: counts, avail: bitvec.New(len(counts))}
 	for i := range c.counts {
 		c.counts[i] = depth
 	}

@@ -2,6 +2,7 @@ package network
 
 import (
 	"fmt"
+	"runtime"
 	"testing"
 
 	"mmr/internal/flit"
@@ -69,6 +70,33 @@ func BenchmarkNetworkStep(b *testing.B) {
 // names (≥2× at 4 workers vs the serial pre-pr baseline).
 func BenchmarkNetworkStepParallel(b *testing.B) {
 	for _, w := range []int{2, 4, 8} {
+		b.Run(fmt.Sprintf("w=%d", w), func(b *testing.B) {
+			n := benchNet(b)
+			defer n.Shutdown()
+			n.SetWorkers(w)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				n.Step()
+			}
+		})
+	}
+}
+
+// BenchmarkNetworkStepScaling is the honest multi-core scaling curve:
+// the same loaded mesh stepped at w=1 (serial reference) and the
+// paper-relevant worker widths, plus GOMAXPROCS when it is a width of
+// its own. `make bench-scale-check` feeds this family to benchjson
+// -scale, which gates parallel efficiency eff(w) = ns(1)/(ns(w)·w)
+// for every width the host can actually exercise and marks the rest
+// informational — so a 1-CPU container reports barrier overhead as
+// barrier overhead instead of silently passing a fake scaling gate.
+func BenchmarkNetworkStepScaling(b *testing.B) {
+	widths := []int{1, 2, 4}
+	if g := runtime.GOMAXPROCS(0); g != 1 && g != 2 && g != 4 {
+		widths = append(widths, g)
+	}
+	for _, w := range widths {
 		b.Run(fmt.Sprintf("w=%d", w), func(b *testing.B) {
 			n := benchNet(b)
 			defer n.Shutdown()

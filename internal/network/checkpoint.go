@@ -175,8 +175,10 @@ func (n *Network) EncodeState() ([]byte, error) {
 		}
 	}
 
+	e.I64(int64(n.nextFlowID))
 	e.Int(len(n.beFlows))
 	for _, bf := range n.beFlows {
+		e.I64(int64(bf.id))
 		e.Int(bf.src)
 		e.Int(bf.dst)
 		e.I64(int64(bf.conn))
@@ -252,7 +254,7 @@ func (n *Network) EncodeState() ([]byte, error) {
 				e.U8(uint8(st.Class))
 				e.Int(st.Allocated)
 				e.Int(st.Peak)
-				e.Int(st.Serviced)
+				e.Int(mem.Serviced(vc))
 				e.Int(st.BasePriority)
 				e.F64(st.Bias)
 				e.F64(st.InterArrival)
@@ -600,12 +602,14 @@ func (n *Network) RestoreState(payload []byte) error {
 		n.growTracker(c.Dst, int(c.ID)+1)
 	}
 
+	n.nextFlowID = FlowID(d.I64())
 	nbf := d.Int()
 	if err := checkCount(d, nbf, "best-effort flows"); err != nil {
 		return err
 	}
 	for i := 0; i < nbf; i++ {
 		bf := &beFlow{}
+		bf.id = FlowID(d.I64())
 		bf.src = d.Int()
 		bf.dst = d.Int()
 		bf.conn = flit.ConnID(d.I64())
@@ -701,13 +705,14 @@ func (n *Network) RestoreState(payload []byte) error {
 				st.Class = flit.Class(d.U8())
 				st.Allocated = d.Int()
 				st.Peak = d.Int()
-				st.Serviced = d.Int()
+				serviced := d.Int()
 				st.BasePriority = d.Int()
 				st.Bias = d.F64()
 				st.InterArrival = d.F64()
 				st.Output = d.Int()
 				st.InUse = true
 				mem.RestoreState(vc, st)
+				mem.SetServiced(vc, serviced)
 			}
 
 			buffered := d.Int()

@@ -1,6 +1,8 @@
 package network
 
 import (
+	"fmt"
+
 	"mmr/internal/flit"
 	"mmr/internal/metrics"
 	"mmr/internal/routing"
@@ -45,13 +47,23 @@ type creditMsg struct {
 	to       upRef
 }
 
+// FlowID identifies a best-effort packet flow registered with
+// AddBestEffortFlow. IDs start at 1 (0 is never issued, so it can serve
+// as an "unset" sentinel in wire protocols) and are never reused.
+type FlowID int64
+
 // beFlow is a best-effort packet flow between two hosts.
 type beFlow struct {
+	// id is the flow's owner handle. Every flow gets one, so a daemon
+	// that shed an admission request to a best-effort fallback can later
+	// retire exactly that flow (CloseFlow) instead of leaking an
+	// immortal generator until process exit.
+	id       FlowID
 	src, dst int
 	// conn is the degraded connection this flow substitutes for, or
 	// flit.InvalidConn for a standalone flow. Closing a degraded
-	// connection retires its flow by this ID — without it, every
-	// degraded session would leak an immortal generator and a
+	// connection retires its flow by this conn ID — without it, every
+	// degraded session would leak its fallback generator and a
 	// long-lived fabric would drown in fallback traffic.
 	conn    flit.ConnID
 	gen     traffic.Source
@@ -72,17 +84,39 @@ const idleForecastHorizon = 4096
 // AddBestEffortFlow injects Poisson best-effort packets (one flit each,
 // §3.4) from the host at src to the host at dst at the given mean rate in
 // packets per cycle. The generator is bound to the source node's RNG
-// stream so injection is independent of worker scheduling.
-func (n *Network) AddBestEffortFlow(src, dst int, packetsPerCycle float64) error {
+// stream so injection is independent of worker scheduling. The returned
+// FlowID is the owner handle for CloseFlow.
+func (n *Network) AddBestEffortFlow(src, dst int, packetsPerCycle float64) (FlowID, error) {
 	if src < 0 || src >= len(n.nodes) || dst < 0 || dst >= len(n.nodes) || src == dst {
-		return errBadEndpoints(src, dst)
+		return 0, errBadEndpoints(src, dst)
 	}
 	bf := &beFlow{src: src, dst: dst, conn: flit.InvalidConn, gen: traffic.NewBestEffortSource(n.nodes[src].rng, packetsPerCycle)}
+	bf.id = n.issueFlowID()
 	bf.lastTick = n.now - 1
 	bf.nextDue = n.now
 	n.beFlows = append(n.beFlows, bf)
 	n.nodes[src].beSrc = append(n.nodes[src].beSrc, bf)
-	return nil
+	return bf.id, nil
+}
+
+// CloseFlow retires the standalone best-effort flow with the given ID:
+// the generator stops and packets still queued at the source interface
+// return to the pool; flits already in the fabric drain normally
+// (best-effort packets hold no reserved resources). Fallback flows owned
+// by a degraded connection are refused — close the connection instead,
+// which retires its flow and settles the session state together.
+func (n *Network) CloseFlow(id FlowID) error {
+	for i, bf := range n.beFlows {
+		if bf.id != id {
+			continue
+		}
+		if bf.conn != flit.InvalidConn {
+			return fmt.Errorf("network: flow %d is the fallback of degraded connection %d; close the connection", id, bf.conn)
+		}
+		n.removeBEFlowAt(i)
+		return nil
+	}
+	return fmt.Errorf("network: no best-effort flow %d", id)
 }
 
 // Step advances the whole network by one flit cycle: session events fire
@@ -120,7 +154,10 @@ func (n *Network) Step() {
 // clock jumps to the earliest next wake-up — a pending session event, a
 // staged lane entry maturing, or a traffic source coming due — with the
 // skipped cycles credited to the statistics so utilization and rate
-// figures are identical to stepping through them.
+// figures are identical to stepping through them. Busy stretches the
+// forecasts prove injection-free additionally run through the fused
+// drain kernel (drainWindow), which strips the per-cycle session-event
+// and source-due machinery from each dispatched cycle.
 func (n *Network) Run(cycles int64) {
 	limit := n.now + cycles
 	for n.now < limit {
@@ -147,13 +184,168 @@ func (n *Network) Run(cycles int64) {
 				continue
 			}
 			n.runCyclePhases(list, t)
-		} else {
-			n.runCyclePhases(n.nodes, t)
+			n.now++
+			n.m.cycles++
+			// Fused drain: if the forecasts prove no source can inject and
+			// no session event can fire for a while, the coming cycles are
+			// pure drain — run them in the reduced kernel.
+			if end := n.quietHorizon(n.now, limit); end-n.now >= drainMinWindow {
+				n.drainWindow(end)
+			}
+			continue
 		}
+		n.runCyclePhases(n.nodes, t)
 		n.now++
 		n.m.cycles++
 	}
 }
+
+// drainMinWindow is the shortest injection-free window worth entering the
+// fused drain kernel for. Below it, the horizon scan costs more than the
+// per-cycle machinery it elides. Purely a performance knob: the fused and
+// naive paths are bit-identical (TestDrainKEquivalence), so the threshold
+// cannot affect results.
+const drainMinWindow = 4
+
+// quietHorizon returns the end (exclusive, capped at limit) of the
+// injection-free window starting at from: no session event is scheduled
+// and no live traffic source comes due before it. Within such a window
+// the fabric can only drain — buffered flits move, staged lane entries
+// mature, queued NI backlog enters free VCs — so the per-cycle event
+// dispatch and source-due scans are provably no-ops. Source forecasts
+// (nextDue) are exact lower bounds maintained by the injection contract;
+// events cannot appear mid-window because only the serial event path
+// schedules events, never the cycle phases.
+func (n *Network) quietHorizon(from, limit int64) int64 {
+	end := limit
+	if at, ok := n.events.NextAt(); ok && int64(at) < end {
+		end = int64(at)
+	}
+	if end <= from {
+		return from
+	}
+	for _, nd := range n.nodes {
+		for _, c := range nd.srcConns {
+			if c.closed || c.broken || !c.open || c.src == nil {
+				continue
+			}
+			if c.nextDue < end {
+				end = c.nextDue
+			}
+		}
+		for _, bf := range nd.beSrc {
+			if bf.nextDue < end {
+				end = bf.nextDue
+			}
+		}
+	}
+	if end < from {
+		end = from
+	}
+	return end
+}
+
+// drainWindow is the fused multi-cycle drain kernel: it advances the
+// clock to end running only the datapath phases over the reduced drain
+// worklist. Equivalence with end-now naive Step calls:
+//
+//   - session events: none are scheduled before end (quietHorizon), and
+//     the phases never schedule events, so the skipped events.Run calls
+//     are no-ops.
+//   - sources: none come due before end, so the skipped source-due
+//     activity checks are false and skipped forecast refreshes are
+//     no-ops (nextDue > t). Source Tick replay is deferred exactly as it
+//     is for any gated-idle node: the catch-up loop in injectStreams /
+//     injectPackets replays the provably-silent gap ticks in order.
+//   - pool rebalancing: modulo boundaries fire inside the window just as
+//     Step would fire them, including the one-shot catch-up when an
+//     intra-window fast-forward jumps a boundary.
+//
+// Cycles whose drain worklist is empty fast-forward to the earliest
+// staged lane entry (the only possible wake-up inside the window).
+func (n *Network) drainWindow(end int64) {
+	for n.now < end {
+		t := n.now
+		if t%poolRebalanceInterval == 0 {
+			n.rebalancePools()
+		}
+		list := n.buildActiveDrain(t)
+		if len(list) == 0 {
+			next := end
+			for i := range n.laneFlits {
+				if la := n.laneFlits[i].nextAt; la < next {
+					next = la
+				}
+				if la := n.laneCreds[i].nextAt; la < next {
+					next = la
+				}
+			}
+			if next <= t {
+				next = t + 1
+			}
+			if m := (t/poolRebalanceInterval + 1) * poolRebalanceInterval; m < next {
+				n.rebalancePools()
+			}
+			n.m.cycles += next - t
+			n.idleSkipped += next - t
+			n.now = next
+			continue
+		}
+		n.runCyclePhases(list, t)
+		n.now++
+		n.m.cycles++
+		n.drainCycles++
+	}
+}
+
+// buildActiveDrain is buildActive inside an injection-free window: the
+// source-due checks are dropped (provably false until the window ends),
+// leaving occupancy, matured lane entries and queued NI backlog as the
+// only activity signals.
+func (n *Network) buildActiveDrain(t int64) []*node {
+	act := n.actList[:0]
+	for _, nd := range n.nodes {
+		if n.nodeActiveDrain(nd, t) {
+			n.actStamp[nd.id] = t
+			act = append(act, nd)
+		}
+	}
+	n.actList = act
+	return act
+}
+
+// nodeActiveDrain is the drain-window activity predicate — nodeActive
+// minus the source-due disjuncts (see buildActiveDrain).
+func (n *Network) nodeActiveDrain(nd *node, t int64) bool {
+	if n.occ[nd.id*occStride] > 0 {
+		return true
+	}
+	for i := range nd.in {
+		lane := nd.in[i].lane
+		if n.laneCreds[lane].nextAt <= t || n.laneFlits[lane].nextAt <= t {
+			return true
+		}
+	}
+	for _, c := range nd.srcConns {
+		// A queued stream flit retries VC entry every cycle; same for
+		// queued packets below (which additionally draw RNG hunting a
+		// free VC), so NI backlog forces activity.
+		if !c.closed && !c.broken && c.niQueue.Len() > 0 {
+			return true
+		}
+	}
+	for _, bf := range nd.beSrc {
+		if bf.niQueue.Len() > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// FusedDrainCycles reports how many cycles Run has executed inside the
+// fused drain kernel (diagnostics; results are independent of it by
+// construction).
+func (n *Network) FusedDrainCycles() int64 { return n.drainCycles }
 
 // runCyclePhases runs one flit cycle's three barrier-separated phases
 // over the given worklist, then lets any skipped node with an inbound
@@ -196,25 +388,17 @@ func (n *Network) buildActive(t int64) []*node {
 	return act
 }
 
-// nodeActive is the per-node activity predicate (see buildActive).
+// nodeActive is the per-node activity predicate (see buildActive). The
+// buffered-flit check is one load from the flat occupancy array (kept
+// current by the VCMs via BindOccupancy); inbound lane heads are probed
+// through the node's precomputed edge list against the flat lane arrays.
 func (n *Network) nodeActive(nd *node, t int64) bool {
-	for _, mem := range nd.mems {
-		if mem.Occupied() > 0 {
-			return true
-		}
+	if n.occ[nd.id*occStride] > 0 {
+		return true
 	}
-	tp := n.cfg.Topology
-	for q := 0; q < tp.Ports; q++ {
-		x := tp.Wired(nd.id, q)
-		if x < 0 {
-			continue
-		}
-		xp := tp.WiredPeer(nd.id, q)
-		src := n.nodes[x]
-		if cl := &src.credOut[xp]; cl.head < len(cl.buf) && cl.buf[cl.head].arriveAt <= t {
-			return true
-		}
-		if fl := &src.pipes[xp]; fl.head < len(fl.buf) && fl.buf[fl.head].arriveAt <= t {
+	for i := range nd.in {
+		lane := nd.in[i].lane
+		if n.laneCreds[lane].nextAt <= t || n.laneFlits[lane].nextAt <= t {
 			return true
 		}
 	}
@@ -248,13 +432,12 @@ func (n *Network) collectClaimExtras(list []*node, t int64) {
 	if n.cfg.NoIdleSkip || len(list) == len(n.nodes) {
 		return // every node runs a full commit; no claim can be orphaned
 	}
-	tp := n.cfg.Topology
 	for _, nd := range list {
 		for p := range nd.claim {
 			if nd.claim[p].vc < 0 {
 				continue
 			}
-			x := tp.Wired(nd.id, p)
+			x := nd.outPeer[p]
 			if x < 0 || n.actStamp[x] == t || n.extraStamp[x] == t {
 				continue
 			}
@@ -273,15 +456,18 @@ func (n *Network) nextWake(t, limit int64) int64 {
 	if at, ok := n.events.NextAt(); ok && int64(at) < next {
 		next = int64(at)
 	}
-	for _, nd := range n.nodes {
-		for p := range nd.pipes {
-			if fl := &nd.pipes[p]; fl.head < len(fl.buf) && fl.buf[fl.head].arriveAt < next {
-				next = fl.buf[fl.head].arriveAt
-			}
-			if cl := &nd.credOut[p]; cl.head < len(cl.buf) && cl.buf[cl.head].arriveAt < next {
-				next = cl.buf[cl.head].arriveAt
-			}
+	// Lane heads: one linear pass over the cached nextAt values covers
+	// every node's staging lanes (unwired lane slots are never pushed to
+	// and stay at laneIdle, which never lowers next).
+	for i := range n.laneFlits {
+		if la := n.laneFlits[i].nextAt; la < next {
+			next = la
 		}
+		if la := n.laneCreds[i].nextAt; la < next {
+			next = la
+		}
+	}
+	for _, nd := range n.nodes {
 		for _, c := range nd.srcConns {
 			if c.open && !c.closed && !c.broken && c.src != nil && c.nextDue < next {
 				next = c.nextDue
@@ -331,18 +517,13 @@ func (n *Network) phaseDeliver(nd *node, t int64) {
 		}
 	}
 
-	tp := n.cfg.Topology
-	for q := 0; q < tp.Ports; q++ {
-		x := tp.Wired(nd.id, q)
-		if x < 0 {
-			continue
-		}
-		xp := tp.WiredPeer(nd.id, q)
-		src := n.nodes[x]
+	for i := range nd.in {
+		e := &nd.in[i]
+		q := int(e.port)
 
 		// Credits our downstream neighbor returned for flits it drained:
 		// they mature into this node's shadow credit view.
-		cl := &src.credOut[xp]
+		cl := &n.laneCreds[e.lane]
 		for cl.head < len(cl.buf) && cl.buf[cl.head].arriveAt <= t {
 			to := cl.buf[cl.head].to
 			cl.head++
@@ -356,11 +537,11 @@ func (n *Network) phaseDeliver(nd *node, t int64) {
 		// with its reserved VC released; a dropped stream flit's buffer
 		// slot never fills, so its credit returns upstream immediately
 		// (staged: the lane owner may be draining it this phase).
-		fl := &src.pipes[xp]
+		fl := &n.laneFlits[e.lane]
 		if fl.head == len(fl.buf) {
 			continue
 		}
-		im, impaired := n.impair[[2]int{x, xp}]
+		im, impaired := n.impair[[2]int{int(e.peer), int(e.peerPort)}]
 		mem := nd.mems[q]
 		for fl.head < len(fl.buf) && fl.buf[fl.head].arriveAt <= t {
 			lf := fl.buf[fl.head]
@@ -410,12 +591,26 @@ func (n *Network) phaseSchedule(nd *node, t int64) {
 	// but the time it takes. sched.TestLinkCountersGatingEquivalence pins
 	// this down at the scheduler level.
 	skipIdlePorts := !n.cfg.NoIdleSkip
+	total := 0
 	for p := range nd.links {
 		if skipIdlePorts && !nd.links[p].Active() {
 			nd.cands[p] = nd.cands[p][:0]
 			continue
 		}
 		nd.cands[p] = nd.links[p].Candidates(t, nd.cands[p][:0])
+		total += len(nd.cands[p])
+	}
+	if skipIdlePorts && total == 0 {
+		// Zero candidates anywhere: the arbiter would deterministically
+		// produce an all-NoGrant matching without drawing RNG (the network
+		// engine always uses the RNG-free priority arbiter), so write that
+		// result directly and skip the iteration machinery. Common when a
+		// node is active only for inbound lane traffic or source injection.
+		for in := range nd.grants {
+			nd.grants[in] = sched.NoGrant
+			nd.grantVC[in] = grantSkip
+		}
+		return
 	}
 	nd.arb.Schedule(nd.cands, nd.grants)
 
@@ -515,7 +710,7 @@ func (n *Network) executeGrants(nd *node, t int64) {
 		}
 
 		f := mem.Pop(cand.VC)
-		st.Serviced++
+		mem.IncServiced(cand.VC)
 		if next := mem.Peek(cand.VC); next != nil {
 			next.HeadAt = t
 		}
@@ -554,26 +749,21 @@ func (n *Network) executeGrants(nd *node, t int64) {
 // the claim-slot invariant — every slot is -1 at the start of every cycle
 // — without requiring every producer to run a schedule phase each cycle.
 func (n *Network) commitClaims(nd *node) {
-	tp := n.cfg.Topology
-	for q := 0; q < tp.Ports; q++ {
-		x := tp.Wired(nd.id, q)
-		if x < 0 {
-			continue
-		}
-		sp := tp.WiredPeer(nd.id, q)
-		slot := n.nodes[x].claim[sp]
+	for i := range nd.in {
+		e := &nd.in[i]
+		slot := n.claims[e.lane]
 		if slot.vc < 0 {
 			continue
 		}
-		n.nodes[x].claim[sp].vc = -1
-		if !nd.mems[q].Reserve(slot.vc, vcm.VCState{
+		n.claims[e.lane].vc = -1
+		if !nd.mems[e.port].Reserve(slot.vc, vcm.VCState{
 			Conn: flit.InvalidConn, Class: slot.class, Output: -1,
 		}) {
 			panic("network: claimed VC no longer free at commit")
 		}
 		// The sender released its own VC already (single-flit packets);
 		// the arriving packet has no upstream to credit.
-		nd.upstream[q][slot.vc] = noUpstream
+		nd.upstream[e.port][slot.vc] = noUpstream
 	}
 }
 

@@ -1,0 +1,212 @@
+package network
+
+import (
+	"reflect"
+	"testing"
+
+	"mmr/internal/faults"
+	"mmr/internal/flit"
+	"mmr/internal/sim"
+	"mmr/internal/topology"
+	"mmr/internal/traffic"
+)
+
+// drainScenario builds a sparse workload with long injection-free
+// stretches — the regime the fused drain kernel targets — and runs it
+// either through Run (where the kernel engages) or as per-cycle Step
+// calls with gating off (the naive k-dispatch reference). Optional
+// fault plan: a link failure/restore pair and a router outage land
+// inside the run, forcing the kernel to stop at every event boundary.
+func drainScenario(t *testing.T, workers int, withFaults, fused bool) (*Network, *Stats, []SessionEvent) {
+	t.Helper()
+	tp, err := topology.Mesh(4, 4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig(tp)
+	cfg.Seed = 31
+	cfg.Workers = workers
+	cfg.Fault = FaultPolicy{Restore: true, MaxRetries: 4, RetryBackoff: 32, Degrade: true, Paranoid: true}
+	n, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := sim.NewRNG(13)
+	for opened, i := 0, 0; i < 200 && opened < 6; i++ {
+		src, dst := rng.Intn(tp.Nodes), rng.Intn(tp.Nodes)
+		if src == dst {
+			continue
+		}
+		// Slow connections: hundreds of idle cycles between flits.
+		if _, err := n.Open(src, dst, traffic.ConnSpec{Class: flit.ClassCBR, Rate: 2 * traffic.Mbps}); err == nil {
+			opened++
+		}
+	}
+	if _, err := n.AddBestEffortFlow(0, 15, 0.001); err != nil {
+		t.Fatal(err)
+	}
+	if withFaults {
+		plan := faults.NewPlan(3).
+			FailLinkAt(3000, 5, 1).
+			RestoreLinkAt(9000, 5, 1).
+			FailRouterAt(6000, 10).
+			RestoreRouterAt(14000, 10).
+			Impair(1, 1, 0.01, 0.005)
+		if err := n.ApplyPlan(plan, 20_000); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if fused {
+		n.Run(20_000)
+	} else {
+		n.cfg.NoIdleSkip = true
+		for i := 0; i < 20_000; i++ {
+			n.Step()
+		}
+	}
+	return n, n.Stats(), n.SessionEvents()
+}
+
+// TestDrainKEquivalence: the fused multi-cycle drain kernel — batched
+// dispatch over a proven injection- and event-free window — reproduces
+// k naive single-cycle dispatches bit for bit: identical statistics
+// (floating-point accumulator state compared exactly), identical
+// session event log, identical final clock. Checked clean and with an
+// active fault plan (events must split windows exactly), at every
+// worker count, and the kernel must actually have engaged — an
+// equivalence proof over zero fused cycles would be vacuous.
+func TestDrainKEquivalence(t *testing.T) {
+	for _, withFaults := range []bool{false, true} {
+		name := "clean"
+		if withFaults {
+			name = "faults"
+		}
+		t.Run(name, func(t *testing.T) {
+			refN, refStats, refEvents := drainScenario(t, 1, withFaults, false)
+			defer refN.Shutdown()
+			if refStats.FlitsDelivered == 0 {
+				t.Fatalf("degenerate scenario: %+v", refStats)
+			}
+			if refN.FusedDrainCycles() != 0 {
+				t.Fatalf("naive stepwise reference fused %d cycles", refN.FusedDrainCycles())
+			}
+			for _, w := range []int{1, 2, 4} {
+				n, st, ev := drainScenario(t, w, withFaults, true)
+				if n.FusedDrainCycles() == 0 {
+					t.Fatalf("workers=%d: drain kernel never engaged", w)
+				}
+				if n.Now() != refN.Now() {
+					t.Errorf("workers=%d: clock diverged: fused %d, naive %d", w, n.Now(), refN.Now())
+				}
+				if !reflect.DeepEqual(refStats, st) {
+					t.Errorf("workers=%d: fused drain diverged from naive stepping:\nnaive: %+v\nfused: %+v", w, refStats, st)
+				}
+				if !reflect.DeepEqual(refEvents, ev) {
+					t.Errorf("workers=%d: session log diverged (%d vs %d events)", w, len(refEvents), len(ev))
+				}
+				n.Shutdown()
+			}
+		})
+	}
+}
+
+// TestFusedDrainSteadyStateAllocs: Run over the sparse workload — the
+// path that alternates whole-clock fast-forward, fused drain windows
+// and normal cycles — allocates nothing once warm. The SoA datapath's
+// flat backings (lane arrays, occupancy counters, claim slots) are
+// sized at construction and must never grow in steady state.
+func TestFusedDrainSteadyStateAllocs(t *testing.T) {
+	n, _, _ := drainScenario(t, 1, false, true)
+	defer n.Shutdown()
+	avg := testing.AllocsPerRun(20, func() { n.Run(500) })
+	if avg > 0.05 {
+		t.Errorf("steady-state Run allocates %.3f allocs per 500-cycle window, want 0", avg)
+	}
+	if n.FusedDrainCycles() == 0 {
+		t.Fatal("drain kernel never engaged during the alloc measurement")
+	}
+}
+
+// TestBestEffortFlowOwnerIDs: standalone flows get distinct nonzero
+// owner handles; CloseFlow retires exactly the named flow (its
+// generator leaves the source node's injector list), double-close and
+// unknown IDs fail, and the surviving flow keeps generating.
+func TestBestEffortFlowOwnerIDs(t *testing.T) {
+	tp, err := topology.Mesh(4, 4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := New(DefaultConfig(tp))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer n.Shutdown()
+	id1, err := n.AddBestEffortFlow(0, 5, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	id2, err := n.AddBestEffortFlow(0, 9, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id1 == 0 || id2 == 0 || id1 == id2 {
+		t.Fatalf("flow IDs must be distinct and nonzero: %d, %d", id1, id2)
+	}
+	n.Run(500)
+	if err := n.CloseFlow(id1); err != nil {
+		t.Fatalf("close flow %d: %v", id1, err)
+	}
+	if err := n.CloseFlow(id1); err == nil {
+		t.Fatal("double close of a flow succeeded")
+	}
+	if err := n.CloseFlow(FlowID(9999)); err == nil {
+		t.Fatal("closing an unknown flow ID succeeded")
+	}
+	if len(n.beFlows) != 1 || n.beFlows[0].id != id2 {
+		t.Fatalf("flow registry after close: %d flows, want exactly flow %d", len(n.beFlows), id2)
+	}
+	if got := len(n.nodes[0].beSrc); got != 1 {
+		t.Fatalf("source node still lists %d generators, want 1", got)
+	}
+	before := n.Stats().BEGenerated
+	n.Run(2000)
+	if after := n.Stats().BEGenerated; after <= before {
+		t.Fatal("surviving flow stopped generating after a sibling was closed")
+	}
+	if err := n.CheckInvariants(); err != nil {
+		t.Fatalf("invariants after flow close: %v", err)
+	}
+}
+
+// TestCloseFlowRefusesDegradedFallback: the fallback flow a degraded
+// connection sheds traffic onto is owned by that connection — CloseFlow
+// must refuse it (closing the connection retires flow and session state
+// together; retiring just the flow would strand a half-open session).
+func TestCloseFlowRefusesDegradedFallback(t *testing.T) {
+	n, victim := healingScenario(t, FaultPolicy{
+		Restore: false, MaxRetries: 5, RetryBackoff: 32, Degrade: true, Paranoid: true,
+	})
+	n.Run(5000)
+	if !victim.Degraded {
+		t.Fatalf("victim should be degraded (broken=%v lost=%v)", victim.Broken(), victim.Lost())
+	}
+	var fallback FlowID
+	for _, bf := range n.beFlows {
+		if bf.conn == victim.ID {
+			fallback = bf.id
+			break
+		}
+	}
+	if fallback == 0 {
+		t.Fatal("degraded connection has no fallback flow (or it got no owner ID)")
+	}
+	if err := n.CloseFlow(fallback); err == nil {
+		t.Fatal("CloseFlow retired a degraded connection's fallback flow")
+	}
+	if err := n.Close(victim); err != nil {
+		t.Fatalf("close degraded connection: %v", err)
+	}
+	if err := n.CloseFlow(fallback); err == nil {
+		t.Fatal("fallback flow survived its connection's close")
+	}
+}

@@ -318,6 +318,7 @@ func (n *Network) abandon(c *Conn) {
 			src: c.Src, dst: c.Dst, conn: c.ID,
 			gen: traffic.NewCBRSource(n.cfg.Link, c.Spec.Rate, 0),
 		}
+		bf.id = n.issueFlowID()
 		bf.lastTick = n.now - 1
 		bf.nextDue = n.now
 		n.beFlows = append(n.beFlows, bf)

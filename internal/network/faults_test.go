@@ -272,7 +272,7 @@ func TestImpairedLinkPreservesFlowControl(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := n.AddBestEffortFlow(0, 2, 0.01); err != nil {
+	if _, err := n.AddBestEffortFlow(0, 2, 0.01); err != nil {
 		t.Fatal(err)
 	}
 	n.Run(20_000)

@@ -18,6 +18,11 @@ import "mmr/internal/flit"
 // no memmove) and resets head and length together once the lane empties,
 // so steady state reuses one backing array with no per-cycle allocation.
 
+// laneIdle is the nextAt value of a lane with no pending entries. It
+// compares greater than every real cycle, so maturity probes need no
+// emptiness branch.
+const laneIdle int64 = 1<<63 - 1
+
 // creditLane carries credit returns from the node that freed a buffer
 // slot back to the upstream node named in each entry's upRef. Lane
 // credOut[p] of node x holds credits destined to Wired(x, p) — the node
@@ -25,21 +30,39 @@ import "mmr/internal/flit"
 type creditLane struct {
 	buf  []creditMsg
 	head int
+
+	// nextAt caches the head entry's arriveAt (laneIdle when empty).
+	// Entries arrive in nondecreasing arriveAt order, so the head is
+	// always the minimum; the cache lets the per-cycle activity and
+	// wake-up scans probe a lane with one flat-array load instead of
+	// dereferencing its backing slice. Maintained by push (empty →
+	// non-empty), compact (after drains and filters) and reset. Lanes
+	// allocated by make start at zero — construction must set laneIdle.
+	nextAt int64
 }
 
 // push appends a credit (writer side, commit phase). arriveAt values are
 // nondecreasing across pushes, so the lane stays sorted by maturity.
-func (l *creditLane) push(cm creditMsg) { l.buf = append(l.buf, cm) }
+func (l *creditLane) push(cm creditMsg) {
+	if l.head == len(l.buf) {
+		l.nextAt = cm.arriveAt
+	}
+	l.buf = append(l.buf, cm)
+}
 
 // pending returns the undelivered entries (for invariant audits and
 // fault-time cancellation; not used on the hot path).
 func (l *creditLane) pending() []creditMsg { return l.buf[l.head:] }
 
-// compact resets the backing slice once every entry has been consumed.
+// compact resets the backing slice once every entry has been consumed,
+// and re-syncs the nextAt cache after any head advance or filter.
 func (l *creditLane) compact() {
 	if l.head == len(l.buf) {
 		l.buf = l.buf[:0]
 		l.head = 0
+		l.nextAt = laneIdle
+	} else {
+		l.nextAt = l.buf[l.head].arriveAt
 	}
 }
 
@@ -62,19 +85,31 @@ func (l *creditLane) filter(keep func(creditMsg) bool) {
 type flitLane struct {
 	buf  []linkFlit
 	head int
+
+	// nextAt caches the head entry's arriveAt; see creditLane.nextAt.
+	nextAt int64
 }
 
 // push appends a flit (writer side, commit phase).
-func (l *flitLane) push(lf linkFlit) { l.buf = append(l.buf, lf) }
+func (l *flitLane) push(lf linkFlit) {
+	if l.head == len(l.buf) {
+		l.nextAt = lf.arriveAt
+	}
+	l.buf = append(l.buf, lf)
+}
 
 // pending returns the in-flight entries.
 func (l *flitLane) pending() []linkFlit { return l.buf[l.head:] }
 
-// compact resets the backing slice once every entry has been consumed.
+// compact resets the backing slice once every entry has been consumed,
+// and re-syncs the nextAt cache after any head advance or filter.
 func (l *flitLane) compact() {
 	if l.head == len(l.buf) {
 		l.buf = l.buf[:0]
 		l.head = 0
+		l.nextAt = laneIdle
+	} else {
+		l.nextAt = l.buf[l.head].arriveAt
 	}
 }
 
@@ -95,6 +130,7 @@ func (l *flitLane) filter(keep func(linkFlit) bool) {
 func (l *flitLane) reset() {
 	l.buf = l.buf[:0]
 	l.head = 0
+	l.nextAt = laneIdle
 }
 
 // stagedCredit is a credit synthesized during the delivery phase (a

@@ -174,6 +174,24 @@ type upRef struct {
 // noUpstream marks VCs fed directly by a host interface.
 var noUpstream = upRef{node: -1}
 
+// inEdge is one precomputed wired inbound link of a node: the peer that
+// feeds local input port `port`, and the flat index of the peer's
+// outbound lane pair in the network's lane arrays. Wiring is immutable
+// after construction (faults only flip live/up state), so these lists are
+// built once and let every per-cycle scan — activity, delivery, claim
+// commit — stream the lane arrays without topology lookups or per-node
+// pointer chasing.
+type inEdge struct {
+	lane     int32 // peer's lane segment index: peer*laneStride + peerPort
+	port     int32 // local input port fed by this edge
+	peer     int32 // wired upstream node
+	peerPort int32 // peer's output port (its lane slot within the segment)
+}
+
+// occStride spaces the per-node occupancy counters one cache line apart
+// so parallel workers bumping neighbors' counters never share a line.
+const occStride = 8
+
 // node is one router plus its host interface. Beyond the router state it
 // carries everything one shard of the parallel cycle needs without
 // touching shared mutables: a deterministic RNG stream, a flit pool, a
@@ -201,9 +219,16 @@ type node struct {
 	// from output port p toward Wired(id, p); credOut[p] holds credits
 	// returning to Wired(id, p), the node feeding input port p. This
 	// node is the only writer (commit phase); the wired peer is the only
-	// reader (its next delivery phase).
+	// reader (its next delivery phase). Both are subslice views into the
+	// network's flat lane arrays (SoA layout; see Network.laneFlits).
 	pipes   []flitLane
 	credOut []creditLane
+
+	// in lists this node's wired inbound edges in ascending input-port
+	// order; outPeer[p] is the node wired at output port p (-1 unwired).
+	// Precomputed at construction — wiring never changes.
+	in      []inEdge
+	outPeer []int32
 
 	// dropCredits stages credits synthesized by impairment drops during
 	// the delivery phase (the lane owner may be draining concurrently);
@@ -212,7 +237,7 @@ type node struct {
 
 	// claim[p] stages this node's packet VC claim on the router wired at
 	// output port p (written during scheduling, read by that router
-	// during its commit phase).
+	// during its commit phase). A subslice view into Network.claims.
 	claim []claimSlot
 
 	// grantVC[in] is the resolved target VC for input in's grant this
@@ -320,7 +345,11 @@ type Network struct {
 
 	conns   []*Conn
 	beFlows []*beFlow
-	events  *sim.Engine // session-level dynamics
+	// nextFlowID is the next best-effort flow owner handle; IDs start at
+	// 1 and are never reused (checkpointed, so restored fabrics keep
+	// issuing unique handles).
+	nextFlowID FlowID
+	events     *sim.Engine // session-level dynamics
 
 	// Durable-event journal (durable.go): every event the control plane
 	// schedules through scheduleDurable is mirrored here, keyed by the
@@ -360,6 +389,22 @@ type Network struct {
 	phT     int64
 	phList  []*node
 
+	// Structure-of-arrays datapath state (docs/performance.md,
+	// "Structure-of-arrays datapath"). The cross-node staging lanes and
+	// claim slots live in network-owned flat arrays indexed
+	// node*laneStride+port; each node's pipes/credOut/claim fields are
+	// subslice views into its own segment, so phase code keeps its
+	// per-node slice form while the whole-fabric scans (nodeActive,
+	// nextWake) stream contiguous memory. occ[id*occStride] aggregates
+	// the buffered-flit count across all of a node's ports, maintained
+	// incrementally by the VCMs (vcm.BindOccupancy), turning the
+	// hottest activity check into a single flat-array load.
+	laneStride int
+	laneFlits  []flitLane
+	laneCreds  []creditLane
+	claims     []claimSlot
+	occ        []int64
+
 	// Activity-gating worklists (datapath.go), reused across cycles so
 	// the steady state stays allocation-free. A stamp equal to the
 	// current cycle marks membership (no per-cycle clearing).
@@ -368,9 +413,11 @@ type Network struct {
 	extraList  []*node // inactive nodes that must commit an inbound claim
 	extraStamp []int64
 
-	// idleSkipped counts cycles Run elided via whole-clock fast-forward
-	// (diagnostics only; results are independent of it by construction).
+	// idleSkipped counts cycles Run elided via whole-clock fast-forward;
+	// drainCycles counts cycles executed inside the fused drain kernel
+	// (diagnostics only; results are independent of both by construction).
 	idleSkipped int64
+	drainCycles int64
 }
 
 // SessionEvent records one connection- or fault-level transition for
@@ -415,7 +462,23 @@ func New(cfg Config) (*Network, error) {
 		Banks: 8, PhitsPerFlit: cfg.Link.PhitsPerFlit(), PhitBufferDepth: 2 * cfg.Link.PhitsPerFlit(),
 	}
 	roundLen := cfg.K * cfg.VCs
-	for id := 0; id < cfg.Topology.Nodes; id++ {
+	nNodes := cfg.Topology.Nodes
+
+	// Flat SoA backings shared by every node (see the Network field docs).
+	// The lane stride is the radix rounded up to an even count so each
+	// node's lane segment starts cache-line aligned relative to the last.
+	n.laneStride = (radix + 1) &^ 1
+	n.laneFlits = make([]flitLane, nNodes*n.laneStride)
+	n.laneCreds = make([]creditLane, nNodes*n.laneStride)
+	n.claims = make([]claimSlot, nNodes*n.laneStride)
+	for i := range n.claims {
+		n.laneFlits[i].nextAt = laneIdle
+		n.laneCreds[i].nextAt = laneIdle
+		n.claims[i].vc = -1
+	}
+	n.occ = make([]int64, nNodes*occStride)
+
+	for id := 0; id < nNodes; id++ {
 		nd := &node{
 			id:        id,
 			cmap:      routing.NewChannelMap(radix, cfg.VCs),
@@ -424,44 +487,75 @@ func New(cfg Config) (*Network, error) {
 			lastRound: -1,
 		}
 		nd.stats.init()
+		// Per-node contiguous blocks: all ports' VC memories, link
+		// schedulers, shadow credit counters and upstream references for
+		// one node are single allocations, so the per-cycle port scans
+		// walk adjacent memory instead of chasing per-port heap objects.
+		memArr := make([]vcm.Memory, radix)
+		lsArr := make([]sched.LinkScheduler, radix)
+		credCounts := make([]int, radix*cfg.VCs)
+		ups := make([]upRef, radix*cfg.VCs)
+		for i := range ups {
+			ups[i] = noUpstream
+		}
 		for p := 0; p < radix; p++ {
-			mem, err := vcm.New(vcmCfg)
-			if err != nil {
+			if err := vcm.Init(&memArr[p], vcmCfg); err != nil {
 				return nil, err
 			}
-			nd.mems = append(nd.mems, mem)
+			memArr[p].BindOccupancy(&n.occ[id*occStride])
+			nd.mems = append(nd.mems, &memArr[p])
 			a, err := admission.NewLinkAllocator(roundLen, 0, cfg.Concurrency)
 			if err != nil {
 				return nil, err
 			}
 			nd.alloc = append(nd.alloc, a)
-			nd.shadow = append(nd.shadow, flow.NewCredits(cfg.VCs, cfg.Depth))
-			ups := make([]upRef, cfg.VCs)
-			for i := range ups {
-				ups[i] = noUpstream
-			}
-			nd.upstream = append(nd.upstream, ups)
+			nd.shadow = append(nd.shadow, flow.NewCreditsBacked(cfg.Depth, credCounts[p*cfg.VCs:(p+1)*cfg.VCs:(p+1)*cfg.VCs]))
+			nd.upstream = append(nd.upstream, ups[p*cfg.VCs:(p+1)*cfg.VCs:(p+1)*cfg.VCs])
 		}
-		nd.pipes = make([]flitLane, radix)
-		nd.credOut = make([]creditLane, radix)
-		nd.claim = make([]claimSlot, radix)
-		for p := range nd.claim {
-			nd.claim[p].vc = -1
-		}
+		base := id * n.laneStride
+		nd.pipes = n.laneFlits[base : base+radix : base+radix]
+		nd.credOut = n.laneCreds[base : base+radix : base+radix]
+		nd.claim = n.claims[base : base+radix : base+radix]
 		nd.grantVC = make([]int, radix)
 		for p := 0; p < radix; p++ {
-			nd.links = append(nd.links, sched.NewLinkScheduler(sched.LinkConfig{
+			sched.InitLinkScheduler(&lsArr[p], sched.LinkConfig{
 				Input:         p,
 				MaxCandidates: cfg.MaxCandidates,
 				Scheme:        cfg.Scheme,
 				RNG:           nd.rng,
 				NoEnforce:     !cfg.EnforceAllocations,
-			}, nd.mems[p], nd.shadow[p]))
+			}, nd.mems[p], nd.shadow[p])
+			nd.links = append(nd.links, &lsArr[p])
 		}
 		nd.arb = sched.NewPriorityArbiter(cfg.ArbiterIters)
 		nd.cands = make([][]sched.Candidate, radix)
 		nd.grants = make([]int, radix)
 		n.nodes = append(n.nodes, nd)
+	}
+
+	// Precompute each node's wired inbound edges and output peers. Raw
+	// wiring never changes after construction (faults only flip link/router
+	// live state), so these lists replace per-cycle topology lookups in
+	// the delivery, claim-commit and activity scans.
+	for _, nd := range n.nodes {
+		nd.outPeer = make([]int32, radix)
+		for p := range nd.outPeer {
+			nd.outPeer[p] = -1
+		}
+		for q := 0; q < cfg.Topology.Ports; q++ {
+			x := cfg.Topology.Wired(nd.id, q)
+			if x < 0 {
+				continue
+			}
+			xp := cfg.Topology.WiredPeer(nd.id, q)
+			nd.outPeer[q] = int32(x)
+			nd.in = append(nd.in, inEdge{
+				lane:     int32(x*n.laneStride + xp),
+				port:     int32(q),
+				peer:     int32(x),
+				peerPort: int32(xp),
+			})
+		}
 	}
 	n.actList = make([]*node, 0, len(n.nodes))
 	n.actStamp = make([]int64, len(n.nodes))
@@ -507,9 +601,34 @@ func (n *Network) dropSrcConn(c *Conn) {
 	}
 }
 
+// issueFlowID mints the next best-effort flow owner handle.
+func (n *Network) issueFlowID() FlowID {
+	n.nextFlowID++
+	return n.nextFlowID
+}
+
+// removeBEFlowAt unregisters beFlows[i]: queued NI packets return to the
+// source node's pool, and the flow leaves both the global registry and
+// its source node's injector list.
+func (n *Network) removeBEFlowAt(i int) {
+	bf := n.beFlows[i]
+	pool := n.nodes[bf.src].pool
+	for bf.niQueue.Len() > 0 {
+		pool.Put(bf.niQueue.Pop())
+	}
+	n.beFlows = append(n.beFlows[:i], n.beFlows[i+1:]...)
+	nd := n.nodes[bf.src]
+	for j, x := range nd.beSrc {
+		if x == bf {
+			nd.beSrc = append(nd.beSrc[:j], nd.beSrc[j+1:]...)
+			break
+		}
+	}
+}
+
 // dropBEFlow retires the best-effort fallback flow owned by a degraded
 // connection: the generator stops and packets still queued at the source
-// interface return to the pool (flits already in the fabric drain
+// interface are counted lost (flits already in the fabric drain
 // normally — best-effort packets hold no reserved resources). Reports
 // whether a flow was found.
 func (n *Network) dropBEFlow(id flit.ConnID) bool {
@@ -518,18 +637,7 @@ func (n *Network) dropBEFlow(id flit.ConnID) bool {
 			continue
 		}
 		n.m.faultFlitsLost += int64(bf.niQueue.Len())
-		pool := n.nodes[bf.src].pool
-		for bf.niQueue.Len() > 0 {
-			pool.Put(bf.niQueue.Pop())
-		}
-		n.beFlows = append(n.beFlows[:i], n.beFlows[i+1:]...)
-		nd := n.nodes[bf.src]
-		for j, x := range nd.beSrc {
-			if x == bf {
-				nd.beSrc = append(nd.beSrc[:j], nd.beSrc[j+1:]...)
-				break
-			}
-		}
+		n.removeBEFlowAt(i)
 		return true
 	}
 	return false

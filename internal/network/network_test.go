@@ -190,10 +190,10 @@ func TestCloseReleasesEverything(t *testing.T) {
 
 func TestBestEffortAcrossNetwork(t *testing.T) {
 	n := meshNet(t, 3, 3)
-	if err := n.AddBestEffortFlow(0, 8, 0.02); err != nil {
+	if _, err := n.AddBestEffortFlow(0, 8, 0.02); err != nil {
 		t.Fatal(err)
 	}
-	if err := n.AddBestEffortFlow(0, 0, 0.02); err == nil {
+	if _, err := n.AddBestEffortFlow(0, 0, 0.02); err == nil {
 		t.Fatal("same-node BE flow accepted")
 	}
 	n.Run(20000)

@@ -188,8 +188,7 @@ func (r *Router) transmit(t int64) {
 		if !r.arbiter.OutputSharing() {
 			r.xbar.Transmit(in)
 		}
-		st := mem.State(cand.VC)
-		st.Serviced++
+		mem.IncServiced(cand.VC)
 		// Sink-side credit: consume on transmit, returned next cycle.
 		if r.credits[in].Consume(cand.VC) {
 			r.pipes[in].Send(t, cand.VC)
@@ -246,10 +245,8 @@ func (r *Router) runCycles(cycles int64) {
 // source whose forecast says it is due. Everything here is a pure read,
 // so the check cannot perturb the simulation.
 func (r *Router) idle(t int64) bool {
-	for _, mem := range r.mems {
-		if mem.Occupied() > 0 {
-			return false
-		}
+	if r.occ > 0 {
+		return false
 	}
 	for _, p := range r.pipes {
 		if p.InFlight() > 0 {

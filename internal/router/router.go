@@ -237,6 +237,11 @@ type Router struct {
 	credits []*flow.Credits    // sink-side credits per input port VC
 	pipes   []*flow.CreditPipe // credit return latency
 	links   []*sched.LinkScheduler
+
+	// occ aggregates buffered-flit occupancy across every input port,
+	// maintained incrementally by the VCMs (vcm.BindOccupancy), so the
+	// per-cycle idle check reads one counter instead of scanning ports.
+	occ int64
 	alloc   []*admission.LinkAllocator // per output link
 	// Rate-based admission accumulators (AdmitRate mode), as a fraction
 	// of link bandwidth per output.
@@ -290,15 +295,23 @@ func New(cfg Config) (*Router, error) {
 		cands:           make([][]sched.Candidate, cfg.Ports),
 		grants:          make([]int, cfg.Ports),
 	}
+	// Structure-of-arrays port state: all ports' VC memories, link
+	// schedulers and sink-side credit counters are single contiguous
+	// allocations (the per-port slices hold interior pointers), so the
+	// per-cycle port scans walk adjacent memory.
+	memArr := make([]vcm.Memory, cfg.Ports)
+	lsArr := make([]sched.LinkScheduler, cfg.Ports)
+	credCounts := make([]int, cfg.Ports*cfg.VCM.VirtualChannels)
+	vcs := cfg.VCM.VirtualChannels
 	for p := 0; p < cfg.Ports; p++ {
-		mem, err := vcm.New(cfg.VCM)
-		if err != nil {
+		if err := vcm.Init(&memArr[p], cfg.VCM); err != nil {
 			return nil, err
 		}
-		r.mems[p] = mem
-		r.credits[p] = flow.NewCredits(cfg.VCM.VirtualChannels, cfg.VCM.Depth)
+		memArr[p].BindOccupancy(&r.occ)
+		r.mems[p] = &memArr[p]
+		r.credits[p] = flow.NewCreditsBacked(cfg.VCM.Depth, credCounts[p*vcs:(p+1)*vcs:(p+1)*vcs])
 		r.pipes[p] = flow.NewCreditPipe(1)
-		r.links[p] = sched.NewLinkScheduler(sched.LinkConfig{
+		sched.InitLinkScheduler(&lsArr[p], sched.LinkConfig{
 			Input:         p,
 			MaxCandidates: cfg.MaxCandidates,
 			Outputs:       cfg.Ports,
@@ -306,7 +319,8 @@ func New(cfg Config) (*Router, error) {
 			Selection:     cfg.Selection,
 			RNG:           r.rng,
 			NoEnforce:     !cfg.EnforceAllocations,
-		}, mem, r.credits[p])
+		}, r.mems[p], r.credits[p])
+		r.links[p] = &lsArr[p]
 		a, err := admission.NewLinkAllocator(cfg.RoundLen(), cfg.BEReservePerRound, cfg.Concurrency)
 		if err != nil {
 			return nil, err

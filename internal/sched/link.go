@@ -86,13 +86,24 @@ func (ls *LinkScheduler) Counters() LinkCounters { return ls.counters }
 // NewLinkScheduler returns a scheduler over the port's VCM and its
 // downstream credit state.
 func NewLinkScheduler(cfg LinkConfig, mem *vcm.Memory, credits *flow.Credits) *LinkScheduler {
+	ls := new(LinkScheduler)
+	InitLinkScheduler(ls, cfg, mem, credits)
+	return ls
+}
+
+// InitLinkScheduler initializes ls in place — the structure-of-arrays
+// allocation form: a router lays its per-port schedulers out in one
+// contiguous slice and Inits each element, so the cross-cycle scheduler
+// state (excess election, counters) of adjacent ports shares cache lines
+// instead of being scattered across the heap.
+func InitLinkScheduler(ls *LinkScheduler, cfg LinkConfig, mem *vcm.Memory, credits *flow.Credits) {
 	if cfg.MaxCandidates < 1 {
 		cfg.MaxCandidates = 1
 	}
 	if cfg.Scheme == nil {
 		cfg.Scheme = Biased{}
 	}
-	return &LinkScheduler{
+	*ls = LinkScheduler{
 		cfg:      cfg,
 		mem:      mem,
 		credits:  credits,
@@ -132,15 +143,19 @@ func (ls *LinkScheduler) classify(vc int) (Phase, bool) {
 		if ls.cfg.NoEnforce {
 			return PhaseGuaranteed, true
 		}
-		if st.Serviced < st.Allocated {
+		if ls.mem.Serviced(vc) < st.Allocated {
 			return PhaseGuaranteed, true
 		}
 		return 0, false
 	case flit.ClassVBR:
-		if ls.cfg.NoEnforce || st.Serviced < st.Allocated {
+		if ls.cfg.NoEnforce {
 			return PhaseGuaranteed, true
 		}
-		if st.Serviced < st.Peak {
+		serviced := ls.mem.Serviced(vc)
+		if serviced < st.Allocated {
+			return PhaseGuaranteed, true
+		}
+		if serviced < st.Peak {
 			return PhaseExcess, true
 		}
 		return 0, false

@@ -87,9 +87,9 @@ func TestLinkCountersGatingEquivalence(t *testing.T) {
 		if len(candsAll) > 0 {
 			vc := candsAll[0].VC
 			memAll.Pop(vc)
-			memAll.State(vc).Serviced++
+			memAll.IncServiced(vc)
 			memGated.Pop(vc)
-			memGated.State(vc).Serviced++
+			memGated.IncServiced(vc)
 		}
 	}
 

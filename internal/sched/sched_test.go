@@ -161,7 +161,7 @@ func TestLinkSchedulerRoundEnforcement(t *testing.T) {
 	ls, mem, _ := newPort(t, 4, Biased{})
 	mem.Reserve(1, vcm.VCState{Class: flit.ClassCBR, Allocated: 2, InterArrival: 5, Output: 0})
 	mem.Push(1, &flit.Flit{})
-	mem.State(1).Serviced = 2 // allocation consumed this round
+	mem.SetServiced(1, 2) // allocation consumed this round
 	if cands := ls.Candidates(10, nil); len(cands) != 0 {
 		t.Fatal("over-allocation VC still scheduled")
 	}
@@ -200,13 +200,13 @@ func TestLinkSchedulerVBRPhases(t *testing.T) {
 		t.Fatalf("VBR within permanent: %+v", cands)
 	}
 	// Consume permanent: moves to excess phase.
-	mem.State(0).Serviced = 2
+	mem.SetServiced(0, 2)
 	cands = ls.Candidates(11, nil)
 	if len(cands) != 1 || cands[0].Phase != PhaseExcess {
 		t.Fatalf("VBR excess: %+v", cands)
 	}
 	// Consume peak: ineligible.
-	mem.State(0).Serviced = 5
+	mem.SetServiced(0, 5)
 	if cands = ls.Candidates(12, nil); len(cands) != 0 {
 		t.Fatalf("VBR beyond peak still scheduled: %+v", cands)
 	}
@@ -232,7 +232,7 @@ func TestLinkSchedulerExcessOneAtATime(t *testing.T) {
 		t.Fatalf("excess candidates = %+v, want only VC 2", cands)
 	}
 	// Drain VC 2 to its peak; the next election must pick VC 1.
-	mem.State(2).Serviced = 10
+	mem.SetServiced(2, 10)
 	ls.Candidates(12, nil)
 	if ls.ExcessVC() != 1 {
 		t.Fatalf("re-election chose %d, want 1", ls.ExcessVC())

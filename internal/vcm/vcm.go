@@ -64,9 +64,6 @@ type VCState struct {
 	Allocated int
 	Peak      int
 
-	// Serviced counts flit cycles consumed in the current round.
-	Serviced int
-
 	// BasePriority is the static VBR priority (dynamically modifiable via
 	// control words, §4.3). Bias is the dynamic priority-biasing value the
 	// switch scheduler updates every flit cycle (§4.4).
@@ -120,11 +117,21 @@ func (q *vcQueue) peek() *flit.Flit {
 	return q.buf[q.head]
 }
 
-// Memory is one input link's virtual channel memory.
+// Memory is one input link's virtual channel memory. Its state is laid
+// out structure-of-arrays style: queue rings share one contiguous backing
+// array, scheduling state is one contiguous []VCState, and the per-round
+// serviced counters live in their own compact array so a round-boundary
+// reset is a single memclr instead of a strided walk over fat structs.
 type Memory struct {
 	cfg    Config
 	queues []vcQueue
 	state  []VCState
+
+	// serviced[vc] counts flit cycles consumed in the current round
+	// (§4.1). Kept out of VCState: it is the only per-VC field written on
+	// every grant and cleared wholesale at round boundaries, so a packed
+	// array keeps both touches on a handful of cache lines.
+	serviced []int32
 
 	// Status bit vectors (§4.1). FlitsAvailable has a set bit for every VC
 	// with at least one buffered flit; Full for every VC at capacity;
@@ -134,26 +141,56 @@ type Memory struct {
 	reserved       *bitvec.Vector
 
 	occupied int // total flits buffered across VCs
+
+	// ext, when bound, is an external aggregate occupancy counter kept in
+	// lock-step with occupied. The network binds every memory of a node to
+	// one per-node slot so its activity scan reads a flat array instead of
+	// chasing per-port Memory pointers.
+	ext *int64
 }
 
 // New returns an empty VCM with the given configuration.
 func New(cfg Config) (*Memory, error) {
-	if err := cfg.validate(); err != nil {
+	m := &Memory{}
+	if err := Init(m, cfg); err != nil {
 		return nil, err
 	}
-	m := &Memory{
+	return m, nil
+}
+
+// Init initializes m in place — the structure-of-arrays allocation form:
+// callers lay several Memory values out in one contiguous slice and Init
+// each element, so a router's per-port state is adjacent in memory.
+func Init(m *Memory, cfg Config) error {
+	if err := cfg.validate(); err != nil {
+		return err
+	}
+	*m = Memory{
 		cfg:            cfg,
 		queues:         make([]vcQueue, cfg.VirtualChannels),
 		state:          make([]VCState, cfg.VirtualChannels),
+		serviced:       make([]int32, cfg.VirtualChannels),
 		flitsAvailable: bitvec.New(cfg.VirtualChannels),
 		full:           bitvec.New(cfg.VirtualChannels),
 		reserved:       bitvec.New(cfg.VirtualChannels),
 	}
+	// One backing array for every VC ring: queue i occupies the slots
+	// [i*Depth, (i+1)*Depth), full-slice-capped so an overrun cannot bleed
+	// into a neighboring queue.
+	backing := make([]*flit.Flit, cfg.VirtualChannels*cfg.Depth)
 	for i := range m.queues {
-		m.queues[i].buf = make([]*flit.Flit, cfg.Depth)
+		m.queues[i].buf = backing[i*cfg.Depth : (i+1)*cfg.Depth : (i+1)*cfg.Depth]
 		m.state[i].Output = -1
 	}
-	return m, nil
+	return nil
+}
+
+// BindOccupancy points the memory's aggregate occupancy mirror at ext:
+// every Push/Pop updates *ext alongside the internal count. Bind before
+// buffering any flits (the mirror starts from the current occupancy).
+func (m *Memory) BindOccupancy(ext *int64) {
+	m.ext = ext
+	*ext += int64(m.occupied)
 }
 
 // MustNew is New for static configurations known to be valid.
@@ -193,6 +230,9 @@ func (m *Memory) Push(vc int, f *flit.Flit) bool {
 		return false
 	}
 	m.occupied++
+	if m.ext != nil {
+		*m.ext++
+	}
 	m.flitsAvailable.Set(vc)
 	if q.size == len(q.buf) {
 		m.full.Set(vc)
@@ -211,6 +251,9 @@ func (m *Memory) Pop(vc int) *flit.Flit {
 		return nil
 	}
 	m.occupied--
+	if m.ext != nil {
+		*m.ext--
+	}
 	if q.size == 0 {
 		m.flitsAvailable.Clear(vc)
 	}
@@ -236,6 +279,7 @@ func (m *Memory) Reserve(vc int, st VCState) bool {
 	}
 	st.InUse = true
 	m.state[vc] = st
+	m.serviced[vc] = 0
 	m.reserved.Set(vc)
 	return true
 }
@@ -247,6 +291,7 @@ func (m *Memory) Release(vc int) {
 		panic(fmt.Sprintf("vcm: release of non-empty VC %d (%d flits)", vc, m.queues[vc].size))
 	}
 	m.state[vc] = VCState{Output: -1}
+	m.serviced[vc] = 0
 	m.reserved.Clear(vc)
 }
 
@@ -264,8 +309,8 @@ func (m *Memory) FlitAt(vc, i int) *flit.Flit {
 // RestoreState overwrites VC vc's scheduling state wholesale, setting
 // the reserved bit from st.InUse. Unlike Reserve it does not force
 // InUse, so checkpoint restore can reinstate both free and reserved VCs
-// with exact Serviced/Bias values. Buffered flits are restored
-// separately via Push.
+// with exact Bias values (per-round serviced counters are restored
+// separately via SetServiced). Buffered flits are restored via Push.
 func (m *Memory) RestoreState(vc int, st VCState) {
 	m.state[vc] = st
 	if st.InUse {
@@ -291,10 +336,21 @@ func (m *Memory) FindFree(from int) int {
 // FreeVCs returns the number of unreserved virtual channels.
 func (m *Memory) FreeVCs() int { return m.cfg.VirtualChannels - m.reserved.Count() }
 
+// Serviced returns the flit cycles VC vc has consumed this round.
+func (m *Memory) Serviced(vc int) int { return int(m.serviced[vc]) }
+
+// IncServiced charges one flit cycle to VC vc's round account.
+func (m *Memory) IncServiced(vc int) { m.serviced[vc]++ }
+
+// SetServiced overwrites VC vc's round account (checkpoint restore,
+// tests constructing mid-round states).
+func (m *Memory) SetServiced(vc, n int) { m.serviced[vc] = int32(n) }
+
 // ResetRound clears every VC's serviced counter — called at each round
-// (frame) boundary by the link scheduler (§4.1).
+// (frame) boundary by the link scheduler (§4.1). The counters are a
+// packed array precisely so this compiles to one memclr.
 func (m *Memory) ResetRound() {
-	for i := range m.state {
-		m.state[i].Serviced = 0
+	for i := range m.serviced {
+		m.serviced[i] = 0
 	}
 }

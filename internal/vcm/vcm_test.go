@@ -156,11 +156,11 @@ func TestReleaseNonEmptyPanics(t *testing.T) {
 func TestResetRound(t *testing.T) {
 	m := mk(t, 3, 2)
 	for i := 0; i < 3; i++ {
-		m.State(i).Serviced = 7
+		m.SetServiced(i, 7)
 	}
 	m.ResetRound()
 	for i := 0; i < 3; i++ {
-		if m.State(i).Serviced != 0 {
+		if m.Serviced(i) != 0 {
 			t.Fatal("serviced count not reset")
 		}
 	}
