@@ -30,12 +30,21 @@ SPARSEBENCH = NetworkStepSparse|NetworkStepSparseNoSkip|NetworkRunIdleGaps
 # host provenance.
 SCALEBENCH = NetworkStepScaling|NetworkStepSparse
 SCALEFAMILY = NetworkStepScaling
+# Fabric-footprint and batched-establishment benchmarks, recorded into
+# $(MEMBENCHFILE). The footprint rows are gated as *absolute* budgets
+# (benchjson -max), not relative deltas: the question is whether the
+# ROADMAP's 4k-router / 1M-flow fabric fits in a few GB, and
+# 4096·600000 + 1e6·1200 ≈ 3.7 GB keeps that true with ~2× headroom
+# over the measured values.
+MEMBENCH = FabricFootprint|OpenSerial|OpenBatch
+MEMBENCHFILE = BENCH_PR8.json
+MEMBUDGETS = bytes/router=600000,bytes/flow=1200
 
 SOAKEVENTS ?= 1000000
 SOAKKILLS ?= 25
 SOAKSEED ?= 7
 
-.PHONY: build test vet race fuzz-smoke soak soak-smoke check bench bench-check bench-net bench-net-check bench-sparse bench-sparse-check bench-scale bench-scale-check
+.PHONY: build test vet race fuzz-smoke soak soak-smoke check bench bench-check bench-net bench-net-check bench-sparse bench-sparse-check bench-scale bench-scale-check bench-mem bench-mem-check smoke-large-fabric
 
 build:
 	$(GO) build ./...
@@ -80,7 +89,7 @@ bench:
 # -allow-missing: this gate deliberately reruns only the microbenchmarks,
 # while the baseline section also records the (ungated) figure
 # benchmarks; absences are reported as warnings instead of failures.
-bench-check: bench-net-check bench-sparse-check bench-scale-check
+bench-check: bench-net-check bench-sparse-check bench-scale-check bench-mem-check
 	$(GO) test -run='^$$' -bench='^Benchmark($(MICROBENCH))$$' -benchmem -benchtime=$(BENCHTIME) . \
 	| tee /dev/stderr | $(GO) run ./cmd/benchjson -check -baseline $(BENCHFILE) -against current -tol $(BENCHTOL) -allow-missing
 
@@ -132,5 +141,29 @@ bench-scale:
 bench-scale-check:
 	$(GO) test -run='^$$' -bench='^Benchmark$(SCALEFAMILY)$$' -benchmem -benchtime=$(BENCHTIME) ./internal/network \
 	| tee /dev/stderr | $(GO) run ./cmd/benchjson -scale $(SCALEFAMILY) -min-eff $(MINEFF)
+
+# Record the fabric-footprint (bytes/router, bytes/flow on fat trees)
+# and serial-vs-batched establishment benchmarks into $(MEMBENCHFILE).
+# Footprint rows rebuild whole fabrics per iteration, so they run 1x;
+# the establishment pair uses the normal budget.
+bench-mem:
+	{ $(GO) test -run='^$$' -bench='^BenchmarkFabricFootprint$$' -benchtime=1x ./internal/network ; \
+	  $(GO) test -run='^$$' -bench='^Benchmark(OpenSerial|OpenBatch)$$' -benchmem -benchtime=$(BENCHTIME) ./internal/network ; } \
+	| tee /dev/stderr | $(GO) run ./cmd/benchjson -o $(MEMBENCHFILE) -section current
+
+# Gate the footprint as an absolute budget (MEMBUDGETS) plus the usual
+# relative ns/op check on the establishment pair. The budget side is
+# host-independent — bytes are bytes — so it gates everywhere, even on
+# runners too noisy for timing tolerances.
+bench-mem-check:
+	{ $(GO) test -run='^$$' -bench='^BenchmarkFabricFootprint$$' -benchtime=1x ./internal/network ; \
+	  $(GO) test -run='^$$' -bench='^Benchmark(OpenSerial|OpenBatch)$$' -benchmem -benchtime=$(BENCHTIME) ./internal/network ; } \
+	| tee /dev/stderr | $(GO) run ./cmd/benchjson -check -baseline $(MEMBENCHFILE) -against current -tol $(NETBENCHTOL) -allow-missing -max '$(MEMBUDGETS)'
+
+# Large-fabric smoke: a 1280-router fat tree brought up with a batched
+# ≥100k-session establishment, stepped, and checkpointed under a
+# bounded heap. Skipped under -short; ~20 s and ~2 GB on a laptop.
+smoke-large-fabric:
+	$(GO) test -run='^TestLargeFabricSmoke$$' -v -timeout 10m ./internal/network
 
 check: vet test race fuzz-smoke soak-smoke

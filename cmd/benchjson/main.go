@@ -17,6 +17,13 @@
 //
 //	go test -run '^$' -bench . -benchmem . | benchjson -check -baseline BENCH_PR2.json -against current
 //
+// Max mode gates custom metrics against absolute ceilings instead of
+// (or in addition to, when combined with -check) relative deltas —
+// the right shape for memory-footprint metrics, where the question is
+// "does the target fabric fit" rather than "did this run drift":
+//
+//	go test -run '^$' -bench FabricFootprint . | benchjson -max 'bytes/router=600000,bytes/flow=1200'
+//
 // Scale mode parses a worker-scaling benchmark family
 // (Benchmark<Family>/w=N sub-benchmarks) and gates *parallel
 // efficiency* — eff(w) = ns(1) / (ns(w)·w) — instead of raw ns/op.
@@ -329,6 +336,65 @@ func checkScale(w io.Writer, benches map[string]Benchmark, host Host, family str
 	return nil
 }
 
+// checkMax gates custom metrics against absolute ceilings. Relative
+// gating (check mode's -tol) is the wrong shape for footprint metrics:
+// what matters for bytes/router or bytes/flow is whether the target
+// fabric fits the machine, an absolute budget, not whether this run
+// drifted from the last recording. Spec is comma-separated
+// metric=ceiling pairs; every benchmark on stdin reporting a gated
+// metric must stay at or under its ceiling, and each metric must appear
+// on at least one benchmark — a renamed or filtered-out benchmark must
+// not let the gate pass vacuously.
+func checkMax(w io.Writer, benches map[string]Benchmark, spec string) error {
+	type gate struct {
+		metric  string
+		ceiling float64
+	}
+	var gates []gate
+	for _, part := range strings.Split(spec, ",") {
+		metric, val, ok := strings.Cut(strings.TrimSpace(part), "=")
+		if !ok || metric == "" {
+			return fmt.Errorf("benchjson: bad -max entry %q (want metric=ceiling)", part)
+		}
+		c, err := strconv.ParseFloat(val, 64)
+		if err != nil || c <= 0 {
+			return fmt.Errorf("benchjson: bad -max ceiling in %q", part)
+		}
+		gates = append(gates, gate{metric, c})
+	}
+	names := make([]string, 0, len(benches))
+	for name := range benches {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	failed := false
+	for _, g := range gates {
+		seen := 0
+		for _, name := range names {
+			v, ok := benches[name].Metrics[g.metric]
+			if !ok {
+				continue
+			}
+			seen++
+			verdict := "ok"
+			if v > g.ceiling {
+				verdict = fmt.Sprintf("FAIL: over budget by %.1f%%", (v/g.ceiling-1)*100)
+				failed = true
+			}
+			fmt.Fprintf(w, "%-28s %18s %14.1f <= %14.1f  %s\n", name, g.metric, v, g.ceiling, verdict)
+		}
+		if seen == 0 {
+			fmt.Fprintf(w, "FAIL: no benchmark on stdin reports %q\n", g.metric)
+			failed = true
+		}
+	}
+	if failed {
+		return fmt.Errorf("benchjson: absolute-budget gate failed")
+	}
+	fmt.Fprintf(w, "ok: all -max budgets hold\n")
+	return nil
+}
+
 // nameList renders a benchmark name list for diagnostics.
 func nameList(names []string) string {
 	if len(names) == 0 {
@@ -350,6 +416,8 @@ func main() {
 			"check mode: warn instead of failing when a baseline benchmark is absent from stdin")
 		scale  = flag.String("scale", "", "gate parallel efficiency of a <family>/w=N benchmark family instead of recording")
 		minEff = flag.Float64("min-eff", 0.35, "minimum parallel efficiency ns(1)/(ns(w)*w) for gated rows (scale mode)")
+		maxes  = flag.String("max", "",
+			"comma-separated metric=ceiling pairs gated as absolute budgets (e.g. bytes/router=600000); combines with -check, or runs alone")
 	)
 	flag.Parse()
 
@@ -366,6 +434,11 @@ func main() {
 			err = checkScale(os.Stdout, benches, host, *scale, *minEff)
 		case *doCheck:
 			err = check(os.Stdout, benches, host, *baseline, *against, *tol, *allowMissing)
+			if err == nil && *maxes != "" {
+				err = checkMax(os.Stdout, benches, *maxes)
+			}
+		case *maxes != "":
+			err = checkMax(os.Stdout, benches, *maxes)
 		default:
 			err = record(benches, host, *out, *section, *note)
 		}

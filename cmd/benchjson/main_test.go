@@ -287,3 +287,42 @@ func TestScaleGateNoSerialRow(t *testing.T) {
 		t.Error("missing w=1 row passed")
 	}
 }
+
+const footprintOutput = `BenchmarkFabricFootprint-8 1 120000 ns/op 280511 bytes/router 592 bytes/flow
+BenchmarkOpenBatch-8 1000 932135 ns/op 2560 sessions/op
+`
+
+func TestMaxGatePassAndOverBudget(t *testing.T) {
+	b := parseString(t, footprintOutput)
+	var out strings.Builder
+	if err := checkMax(&out, b, "bytes/router=600000,bytes/flow=1200"); err != nil {
+		t.Errorf("within-budget metrics failed: %v\n%s", err, out.String())
+	}
+	out.Reset()
+	if err := checkMax(&out, b, "bytes/flow=500"); err == nil {
+		t.Errorf("over-budget bytes/flow passed:\n%s", out.String())
+	} else if !strings.Contains(out.String(), "over budget") {
+		t.Errorf("no over-budget verdict printed:\n%s", out.String())
+	}
+}
+
+// TestMaxGateMissingMetric: a gated metric reported by no benchmark is
+// a gate-integrity failure — the benchmark was renamed or filtered out
+// and the budget would otherwise pass vacuously.
+func TestMaxGateMissingMetric(t *testing.T) {
+	b := parseString(t, footprintOutput)
+	var out strings.Builder
+	if err := checkMax(&out, b, "bytes/nonexistent=100"); err == nil {
+		t.Errorf("absent metric passed:\n%s", out.String())
+	}
+}
+
+func TestMaxGateBadSpec(t *testing.T) {
+	b := parseString(t, footprintOutput)
+	for _, spec := range []string{"bytes/router", "bytes/router=abc", "=5", "bytes/router=-1"} {
+		var out strings.Builder
+		if err := checkMax(&out, b, spec); err == nil {
+			t.Errorf("malformed spec %q accepted", spec)
+		}
+	}
+}

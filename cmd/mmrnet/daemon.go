@@ -61,6 +61,11 @@ const (
 	// publishEvery throttles metrics snapshots to one per this many
 	// control-loop iterations.
 	publishEvery = 16
+	// quiesceBudget bounds how many cycles a snapshot may run the fabric
+	// forward to let in-flight establishment probes settle. Checkpoints
+	// refuse to encode mid-probe state (probes are not durable), so a
+	// snapshot requested during a connection bring-up drains it first.
+	quiesceBudget = 1 << 16
 )
 
 // ctlResp is a control request's answer: a JSON-marshalable value or an
@@ -171,6 +176,9 @@ func (d *daemon) drainAndExit(n *network.Network, sig os.Signal) error {
 	n.Run(drainGrace)
 	d.drainCtl(n)
 	if d.o.checkpoint != "" {
+		if err := n.QuiesceProbes(quiesceBudget); err != nil {
+			return fmt.Errorf("final checkpoint: %w", err)
+		}
 		if err := n.SaveCheckpoint(d.o.checkpoint); err != nil {
 			return fmt.Errorf("final checkpoint: %w", err)
 		}
@@ -199,6 +207,10 @@ func (d *daemon) maybeCheckpoint(n *network.Network) {
 	// Advance the stamp even on failure so a persistent error (disk
 	// full, unwritable path) logs once per interval, not once per slice.
 	d.lastCkpt = n.Now()
+	if err := n.QuiesceProbes(quiesceBudget); err != nil {
+		fmt.Fprintf(d.diag, "mmrnet: checkpoint at cycle %d skipped: %v\n", n.Now(), err)
+		return
+	}
 	if err := n.SaveCheckpoint(d.o.checkpoint); err != nil {
 		fmt.Fprintf(d.diag, "mmrnet: checkpoint at cycle %d failed: %v\n", n.Now(), err)
 	}
@@ -557,8 +569,26 @@ func (d *daemon) handleStatus(w http.ResponseWriter, r *http.Request) {
 			}
 		}
 		st := n.Stats()
+		tp := n.Config().Topology
+		shape := tp.Shape()
+		params := map[string]int{}
+		for _, p := range shape.Params {
+			params[p.Name] = p.Value
+		}
+		kind := shape.Kind
+		if kind == "" {
+			kind = d.o.topo
+		}
 		reply <- ctlResp{v: map[string]any{
-			"cycle":                 n.Now(),
+			"cycle": n.Now(),
+			"topology": map[string]any{
+				"kind":    kind,
+				"params":  params,
+				"nodes":   tp.Nodes,
+				"links":   len(tp.Links),
+				"regions": tp.NumRegions(),
+				"route":   d.o.route,
+			},
 			"conns_open":            open,
 			"conns_total":           len(n.Conns()),
 			"setup_attempts":        st.SetupAttempts,

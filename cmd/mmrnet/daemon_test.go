@@ -260,3 +260,56 @@ func TestValidateOpts(t *testing.T) {
 		})
 	}
 }
+
+// TestDaemonFatTreeStatus runs the daemon on a generated fat tree and
+// checks that /api/status reports the fabric's shape, that sessions
+// establish across pods, and that periodic checkpoints land while the
+// fabric is live.
+func TestDaemonFatTreeStatus(t *testing.T) {
+	ckpt := filepath.Join(t.TempDir(), "fabric.ckpt")
+	o := defaultOpts()
+	o.topo = "fattree"
+	o.ftK = 4
+	o.seed = 11
+	o.checkpoint = ckpt
+	o.checkpointInterval = 10_000
+	addr, sigc, done, _ := startTestDaemon(t, o)
+	base := "http://" + addr
+
+	// Cross-pod session between two edge routers: edge(0,0) -> edge(1,1).
+	var opened openResponse
+	if code, body := postJSON(t, base+"/api/open",
+		openRequest{Src: 0, Dst: 5, Class: "cbr", RateMbps: 20}, &opened); code != http.StatusOK {
+		t.Fatalf("open: status %d: %s", code, body)
+	}
+
+	var status map[string]any
+	getJSON(t, base+"/api/status", &status)
+	topo, ok := status["topology"].(map[string]any)
+	if !ok {
+		t.Fatalf("status has no topology object: %v", status)
+	}
+	if topo["kind"] != "fattree" || topo["nodes"].(float64) != 20 || topo["regions"].(float64) != 5 {
+		t.Fatalf("topology status = %v, want fattree with 20 nodes in 5 regions", topo)
+	}
+	if params := topo["params"].(map[string]any); params["k"].(float64) != 4 {
+		t.Fatalf("topology params = %v, want k=4", params)
+	}
+
+	// A periodic snapshot lands while sessions are live.
+	deadline := time.Now().Add(20 * time.Second)
+	for {
+		getJSON(t, base+"/api/status", &status)
+		if status["last_checkpoint_cycle"].(float64) > 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("no periodic checkpoint within 20s")
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	if _, err := os.Stat(ckpt); err != nil {
+		t.Fatalf("periodic checkpoint missing: %v", err)
+	}
+	stopDaemon(t, sigc, done)
+}

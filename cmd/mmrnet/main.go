@@ -35,6 +35,7 @@ import (
 	"mmr/internal/flit"
 	"mmr/internal/metrics"
 	"mmr/internal/network"
+	"mmr/internal/routing"
 	"mmr/internal/sim"
 	"mmr/internal/stats"
 	"mmr/internal/topology"
@@ -48,6 +49,9 @@ type simOpts struct {
 	w, h          int
 	nodes, degree int
 	ports         int
+	ftK           int
+	dfA, dfP, dfH int
+	route         string
 	conns         int
 	rate          float64
 	vbr           float64
@@ -96,6 +100,7 @@ type simOpts struct {
 func defaultOpts() simOpts {
 	return simOpts{
 		topo: "mesh", w: 4, h: 4, nodes: 16, degree: 3, ports: 4,
+		ftK: 4, dfA: 4, dfP: 2, dfH: 2, route: "minimal",
 		conns: 48, cycles: 50_000, warmup: 10_000, vcs: 64, seed: 1,
 		netWorkers: runtime.GOMAXPROCS(0), faultDowntime: 5000, faultMTTR: 1000,
 		serveAddr: "127.0.0.1:9191",
@@ -113,8 +118,26 @@ func buildTopology(o simOpts, rng *sim.RNG) (*topology.Topology, error) {
 		return topology.Torus(o.w, o.h, o.ports)
 	case "irregular":
 		return topology.Irregular(o.nodes, o.ports, o.degree, rng)
+	case "fattree":
+		return topology.FatTree(o.ftK)
+	case "dragonfly":
+		return topology.Dragonfly(o.dfA, o.dfP, o.dfH)
 	default:
 		return nil, fmt.Errorf("unknown topology %q", o.topo)
+	}
+}
+
+// routeMode parses the -route flag.
+func routeMode(s string) (routing.RouteMode, error) {
+	switch s {
+	case "", "minimal":
+		return routing.RouteMinimal, nil
+	case "valiant":
+		return routing.RouteValiant, nil
+	case "ugal":
+		return routing.RouteUGAL, nil
+	default:
+		return 0, fmt.Errorf("unknown route mode %q (want minimal, valiant or ugal)", s)
 	}
 }
 
@@ -123,6 +146,7 @@ func buildTopology(o simOpts, rng *sim.RNG) (*topology.Topology, error) {
 // the same fabric configuration and can restore its checkpoints.
 func buildConfig(o simOpts, tp *topology.Topology) network.Config {
 	cfg := network.DefaultConfig(tp)
+	cfg.Route, _ = routeMode(o.route) // validated before any config is built
 	cfg.VCs = o.vcs
 	cfg.Seed = o.seed
 	cfg.Workers = o.netWorkers
@@ -165,6 +189,9 @@ func validateOpts(o simOpts, set map[string]bool) error {
 	case o.checkpointInterval < 0:
 		return fmt.Errorf("-checkpoint-interval must be non-negative, got %d", o.checkpointInterval)
 	}
+	if _, err := routeMode(o.route); err != nil {
+		return err
+	}
 	if o.serve {
 		// The daemon runs an open-ended fabric: batch-run shaping flags
 		// and the finite-horizon fault plan contradict it, and the control
@@ -194,11 +221,16 @@ func validateOpts(o simOpts, set map[string]bool) error {
 
 func main() {
 	o := defaultOpts()
-	flag.StringVar(&o.topo, "topo", o.topo, "topology: mesh, torus, irregular")
+	flag.StringVar(&o.topo, "topo", o.topo, "topology: mesh, torus, irregular, fattree, dragonfly")
 	flag.IntVar(&o.w, "w", o.w, "mesh/torus width")
 	flag.IntVar(&o.h, "h", o.h, "mesh/torus height")
 	flag.IntVar(&o.nodes, "nodes", o.nodes, "irregular topology node count")
 	flag.IntVar(&o.degree, "degree", o.degree, "irregular topology average degree")
+	flag.IntVar(&o.ftK, "ft-k", o.ftK, "fat-tree arity k (even: k pods of k routers plus (k/2)² core routers)")
+	flag.IntVar(&o.dfA, "df-a", o.dfA, "dragonfly routers per group")
+	flag.IntVar(&o.dfP, "df-p", o.dfP, "dragonfly host-facing ports per router (shape bookkeeping)")
+	flag.IntVar(&o.dfH, "df-h", o.dfH, "dragonfly global links per router")
+	flag.StringVar(&o.route, "route", o.route, "establishment routing: minimal (EPB search), valiant, ugal")
 	flag.IntVar(&o.ports, "ports", o.ports, "inter-router ports per router")
 	flag.IntVar(&o.conns, "conns", o.conns, "connections to open at random endpoints")
 	flag.Float64Var(&o.rate, "rate", o.rate, "connection rate in Mbps (0 = draw from the paper's rate set)")

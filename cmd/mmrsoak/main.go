@@ -37,34 +37,42 @@ import (
 )
 
 type soakOpts struct {
-	w, h, ports int
-	vcs         int
-	events      int64
-	kills       int
-	seed        uint64
-	maxLive     int
-	meanGap     float64
-	flashEvery  int64
-	flashBurst  int
-	faultEvery  int64
-	downtime    int64
-	drainLimit  int64
-	reportEvery int64
-	cpuProfile  string
+	topo          string
+	w, h, ports   int
+	ftK           int
+	dfA, dfP, dfH int
+	vcs           int
+	events        int64
+	kills         int
+	seed          uint64
+	maxLive       int
+	meanGap       float64
+	flashEvery    int64
+	flashBurst    int
+	faultEvery    int64
+	downtime      int64
+	drainLimit    int64
+	reportEvery   int64
+	cpuProfile    string
 }
 
 func main() {
 	o := soakOpts{
-		w: 4, h: 4, ports: 4, vcs: 32,
+		topo: "mesh", w: 4, h: 4, ports: 4, ftK: 4, dfA: 4, dfP: 2, dfH: 2, vcs: 32,
 		events: 1_000_000, kills: 25, seed: 7,
 		maxLive: 64, meanGap: 4,
 		flashEvery: 10_000, flashBurst: 32,
 		faultEvery: 5_000, downtime: 1500,
 		drainLimit: 2000, reportEvery: 100_000,
 	}
-	flag.IntVar(&o.w, "w", o.w, "mesh width")
-	flag.IntVar(&o.h, "h", o.h, "mesh height")
-	flag.IntVar(&o.ports, "ports", o.ports, "inter-router ports per router")
+	flag.StringVar(&o.topo, "topo", o.topo, "topology: mesh, torus, fattree, dragonfly")
+	flag.IntVar(&o.w, "w", o.w, "mesh/torus width")
+	flag.IntVar(&o.h, "h", o.h, "mesh/torus height")
+	flag.IntVar(&o.ports, "ports", o.ports, "inter-router ports per router (mesh/torus)")
+	flag.IntVar(&o.ftK, "ft-k", o.ftK, "fat-tree arity k")
+	flag.IntVar(&o.dfA, "df-a", o.dfA, "dragonfly routers per group")
+	flag.IntVar(&o.dfP, "df-p", o.dfP, "dragonfly host-facing ports per router")
+	flag.IntVar(&o.dfH, "df-h", o.dfH, "dragonfly global links per router")
 	flag.IntVar(&o.vcs, "vcs", o.vcs, "virtual channels per input port")
 	flag.Int64Var(&o.events, "events", o.events, "session-event budget (opens + closes)")
 	flag.IntVar(&o.kills, "kills", o.kills, "fabric kill+restore points spread over the run")
@@ -119,8 +127,25 @@ type harness struct {
 	lastFaultEnd int64
 }
 
+// buildTopology constructs the soak fabric; kill+restore rebuilds it
+// from scratch, so generators must be deterministic per flags.
+func buildTopology(o soakOpts) (*topology.Topology, error) {
+	switch o.topo {
+	case "mesh":
+		return topology.Mesh(o.w, o.h, o.ports)
+	case "torus":
+		return topology.Torus(o.w, o.h, o.ports)
+	case "fattree":
+		return topology.FatTree(o.ftK)
+	case "dragonfly":
+		return topology.Dragonfly(o.dfA, o.dfP, o.dfH)
+	default:
+		return nil, fmt.Errorf("unknown topology %q", o.topo)
+	}
+}
+
 func soak(o soakOpts) error {
-	tp, err := topology.Mesh(o.w, o.h, o.ports)
+	tp, err := buildTopology(o)
 	if err != nil {
 		return err
 	}
@@ -329,7 +354,7 @@ func (h *harness) regionalOutage() error {
 	}
 	at := h.n.Now() + 10
 	center := h.rng.Intn(h.tp.Nodes)
-	plan := faults.NewPlan(h.o.seed ^ uint64(at)).FailRegionAt(h.tp, center, 1, at, h.o.downtime)
+	plan := faults.NewPlan(h.o.seed^uint64(at)).FailRegionAt(h.tp, center, 1, at, h.o.downtime)
 	if err := h.n.ApplyPlan(plan, at+h.o.downtime+1); err != nil {
 		return fmt.Errorf("regional outage at node %d: %w", center, err)
 	}
@@ -366,7 +391,7 @@ func (h *harness) killAndRestore(ev int64) error {
 	// A real restart builds everything from scratch, including the
 	// topology object (whose live link state the old fabric mutated);
 	// the checkpoint must carry the link state itself.
-	tp2, err := topology.Mesh(h.o.w, h.o.h, h.o.ports)
+	tp2, err := buildTopology(h.o)
 	if err != nil {
 		return err
 	}

@@ -69,6 +69,18 @@ func (a *LinkAllocator) GuaranteedLoad() float64 {
 	return float64(a.guaranteed) / float64(a.roundLen)
 }
 
+// Headroom returns the guaranteed cycles per round still available to new
+// connections: the upper bound on any single admission this link can
+// accept. Batched establishment uses it for provably-fatal-only
+// pre-checks — a demand exceeding the headroom of every candidate link
+// cannot be admitted no matter which path a search finds.
+func (a *LinkAllocator) Headroom() int {
+	if h := a.budget() - a.guaranteed; h > 0 {
+		return h
+	}
+	return 0
+}
+
 // RestoreState overwrites the allocator's admission registers. The
 // configured geometry (round length, reserve, concurrency) is not part
 // of the state: a restored allocator must be built with the same

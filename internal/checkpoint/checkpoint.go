@@ -20,9 +20,11 @@ import (
 )
 
 // Version is the current checkpoint format version. Bump it on any
-// incompatible payload layout change. Version 2 added best-effort flow
+// incompatible payload layout change. Version 3 switched per-connection
+// jitter-tracker records from global connection numbering to per-destination
+// slot numbering (the sparse tracker layout). Version 2 added best-effort flow
 // owner IDs (and the network's ID counter) to the network payload.
-const Version uint32 = 2
+const Version uint32 = 3
 
 // magic identifies a checkpoint file. 8 bytes: "MMRCKPT" + NUL.
 var magic = [8]byte{'M', 'M', 'R', 'C', 'K', 'P', 'T', 0}

@@ -41,6 +41,9 @@ type Options struct {
 	// reference side of the equivalence tests and a debugging escape
 	// hatch, never needed for figures.
 	NoIdleSkip bool
+	// Topo selects the fabric of the network-level sweep. The zero value
+	// keeps the goldened 4×4 mesh.
+	Topo TopoSpec
 }
 
 // loads returns the sweep to use.

@@ -191,6 +191,37 @@ func TestNetworkSweepShape(t *testing.T) {
 	}
 }
 
+// TestNetworkSweepGeneratedFabrics: the network sweep runs on the
+// generated datacenter fabrics through Options.Topo, the figure title
+// names the fabric (so a fat-tree figure can never masquerade as the
+// goldened mesh), and light-load acceptance stays high on both
+// generators. UGAL on the fat tree checks the route mode threads all
+// the way through the sweep.
+func TestNetworkSweepGeneratedFabrics(t *testing.T) {
+	for _, tc := range []struct {
+		topo  TopoSpec
+		title string
+	}{
+		{TopoSpec{Kind: "fattree", FatTreeK: 4, Route: "ugal"}, "fat tree k=4"},
+		{TopoSpec{Kind: "dragonfly", DragonflyA: 4, DragonflyP: 2, DragonflyH: 2}, "dragonfly a=4 p=2 h=2"},
+	} {
+		opts := tinyOpts()
+		opts.Loads = []float64{0.1}
+		opts.Topo = tc.topo
+		res, err := NetworkSweep(opts)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.title, err)
+		}
+		fig := res.Figures[0]
+		if !strings.Contains(fig.Title, tc.title) {
+			t.Errorf("figure title %q does not name the fabric %q", fig.Title, tc.title)
+		}
+		if acc, ok := fig.FindSeries("setup acceptance").YAt(0.1); !ok || acc < 0.9 {
+			t.Errorf("%s: light-load acceptance = %.3f", tc.title, acc)
+		}
+	}
+}
+
 // paperBase is the §5 router configuration.
 func paperBase() router.Config { return router.PaperConfig() }
 

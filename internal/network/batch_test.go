@@ -1,0 +1,341 @@
+package network
+
+import (
+	"testing"
+
+	"mmr/internal/flit"
+	"mmr/internal/routing"
+	"mmr/internal/topology"
+	"mmr/internal/traffic"
+)
+
+// batchReqs builds an all-to-some request list over a fabric: shell s
+// gives every router one outgoing session to the router s+1 positions
+// ahead, so sources and destinations stay evenly loaded.
+func batchReqs(nodes, shells int, spec traffic.ConnSpec) []OpenReq {
+	var reqs []OpenReq
+	for s := 1; s <= shells; s++ {
+		for src := 0; src < nodes; src++ {
+			reqs = append(reqs, OpenReq{Src: src, Dst: (src + s) % nodes, Spec: spec})
+		}
+	}
+	return reqs
+}
+
+// TestOpenBatchMatchesSerial asserts OpenBatch is bit-exact with a serial
+// Open loop when no pre-check short-circuits: same paths, same VCs, same
+// RNG stream, and — after stepping both fabrics — byte-identical
+// checkpoints.
+func TestOpenBatchMatchesSerial(t *testing.T) {
+	build := func() *Network {
+		tp, err := topology.FatTree(4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		n, err := New(DefaultConfig(tp))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return n
+	}
+	spec := traffic.ConnSpec{Class: flit.ClassCBR, Rate: 8 * traffic.Mbps}
+	reqs := batchReqs(topology.FatTreeNodes(4), 3, spec)
+
+	serial := build()
+	for _, r := range reqs {
+		if _, err := serial.Open(r.Src, r.Dst, r.Spec); err != nil {
+			t.Fatalf("serial Open(%d,%d): %v", r.Src, r.Dst, err)
+		}
+	}
+	batched := build()
+	res := batched.OpenBatch(reqs)
+	for i, r := range res {
+		if r.Err != nil {
+			t.Fatalf("batched request %d: %v", i, r.Err)
+		}
+	}
+
+	sc := serial.Conns()
+	bc := batched.Conns()
+	if len(sc) != len(bc) {
+		t.Fatalf("conn counts differ: %d vs %d", len(sc), len(bc))
+	}
+	for i := range sc {
+		a, b := sc[i], bc[i]
+		if a.SetupTime != b.SetupTime || a.Backtracks != b.Backtracks || len(a.Path) != len(b.Path) {
+			t.Fatalf("conn %d setup differs: %+v vs %+v", i, a, b)
+		}
+		for j := range a.Path {
+			if a.Path[j] != b.Path[j] || a.VCs[j] != b.VCs[j] || a.Nodes[j] != b.Nodes[j] {
+				t.Fatalf("conn %d hop %d differs", i, j)
+			}
+		}
+	}
+
+	serial.Run(2000)
+	batched.Run(2000)
+	sb, err := serial.EncodeState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	bb, err := batched.EncodeState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(sb) != string(bb) {
+		t.Fatal("serial and batched fabrics diverged: checkpoints differ")
+	}
+}
+
+// TestOpenBatchPrecheckExact asserts the pre-checks reject exactly the
+// requests serial establishment would reject, for the two
+// placement-independent resources they model exactly: source entry VCs
+// and destination ejection bandwidth.
+func TestOpenBatchPrecheckExact(t *testing.T) {
+	tp, err := topology.Mesh(4, 4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig(tp)
+	cfg.VCs = 8 // small enough to exhaust the source's entry VCs quickly
+	cfg.K = 4
+
+	// Destination ejection saturation: the host output port admits
+	// roundLen guaranteed cycles; drive one destination past it.
+	spec := traffic.ConnSpec{Class: flit.ClassCBR, Rate: 100 * traffic.Mbps}
+	serial, _ := New(cfg)
+	batched, _ := New(cfg)
+	var reqs []OpenReq
+	for src := 0; src < tp.Nodes-1; src++ {
+		for k := 0; k < 3; k++ {
+			reqs = append(reqs, OpenReq{Src: src, Dst: tp.Nodes - 1, Spec: spec})
+		}
+	}
+	pattern := make([]bool, len(reqs))
+	for i, r := range reqs {
+		_, err := serial.Open(r.Src, r.Dst, r.Spec)
+		pattern[i] = err == nil
+	}
+	res := batched.OpenBatch(reqs)
+	accepted := 0
+	for i := range res {
+		if (res[i].Err == nil) != pattern[i] {
+			t.Fatalf("request %d: batch accept=%v, serial accept=%v (%v)",
+				i, res[i].Err == nil, pattern[i], res[i].Err)
+		}
+		if res[i].Err == nil {
+			accepted++
+		}
+	}
+	if accepted == 0 || accepted == len(reqs) {
+		t.Fatalf("saturation test did not straddle the admission limit (accepted %d/%d)", accepted, len(reqs))
+	}
+
+	// Source entry-VC exhaustion: only cfg.VCs sessions can originate at
+	// one router.
+	serial2, _ := New(cfg)
+	batched2, _ := New(cfg)
+	small := traffic.ConnSpec{Class: flit.ClassCBR, Rate: 1 * traffic.Mbps}
+	var reqs2 []OpenReq
+	for i := 0; i < cfg.VCs+4; i++ {
+		reqs2 = append(reqs2, OpenReq{Src: 0, Dst: 1 + i%(tp.Nodes-1), Spec: small})
+	}
+	for i, r := range reqs2 {
+		_, serr := serial2.Open(r.Src, r.Dst, r.Spec)
+		pattern[i] = serr == nil
+	}
+	res2 := batched2.OpenBatch(reqs2)
+	for i := range res2 {
+		if (res2[i].Err == nil) != pattern[i] {
+			t.Fatalf("vc-exhaustion request %d: batch accept=%v, serial accept=%v",
+				i, res2[i].Err == nil, pattern[i])
+		}
+	}
+}
+
+// TestOpenBatchRegionalPrecheck asserts the border-capacity aggregate
+// rejects cross-region demand that provably cannot fit, on the smallest
+// fat tree (one border link per pod), and that serial establishment
+// agrees.
+func TestOpenBatchRegionalPrecheck(t *testing.T) {
+	tp, err := topology.FatTree(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig(tp)
+	roundLen := cfg.K * cfg.VCs
+	// Each session demands just over a third of a round: two fit on the
+	// single pod-0 border link, the third must be rejected.
+	rate := traffic.Rate(float64(cfg.Link.Bandwidth) * 49.5 / float64(roundLen))
+	spec := traffic.ConnSpec{Class: flit.ClassCBR, Rate: rate}
+	d := demandFromRate(t, cfg, rate)
+	if d*3 <= roundLen || d*2 > roundLen {
+		t.Fatalf("demand %d does not straddle the border capacity %d", d, roundLen)
+	}
+
+	serial, _ := New(cfg)
+	batched, _ := New(cfg)
+	// Cross-pod: pod 0 (edge router 0) to pod 1 (edge router 2).
+	reqs := []OpenReq{
+		{Src: 0, Dst: 2, Spec: spec},
+		{Src: 0, Dst: 2, Spec: spec},
+		{Src: 0, Dst: 2, Spec: spec},
+	}
+	for i, r := range reqs {
+		_, serr := serial.Open(r.Src, r.Dst, r.Spec)
+		br := batched.OpenBatch([]OpenReq{r})
+		if (serr == nil) != (br[0].Err == nil) {
+			t.Fatalf("request %d: serial accept=%v, batch accept=%v", i, serr == nil, br[0].Err == nil)
+		}
+	}
+	if got := batched.Stats().SetupRejected; got != 1 {
+		t.Fatalf("expected exactly 1 rejection, got %d", got)
+	}
+}
+
+func demandFromRate(t *testing.T, cfg Config, rate traffic.Rate) int {
+	t.Helper()
+	return cfg.Link.CyclesPerRound(rate, cfg.K*cfg.VCs)
+}
+
+// TestOpenBatchCheckpointRoundTrip asserts arena-backed connections
+// survive a checkpoint/restore bit-exactly.
+func TestOpenBatchCheckpointRoundTrip(t *testing.T) {
+	tp, err := topology.Dragonfly(4, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig(tp)
+	n, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := traffic.ConnSpec{Class: flit.ClassCBR, Rate: 8 * traffic.Mbps}
+	res := n.OpenBatch(batchReqs(tp.Nodes, 2, spec))
+	for i, r := range res {
+		if r.Err != nil {
+			t.Fatalf("request %d: %v", i, r.Err)
+		}
+	}
+	n.Run(1500)
+	blob, err := n.EncodeState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.RestoreState(blob); err != nil {
+		t.Fatal(err)
+	}
+	n.Run(1500)
+	m.Run(1500)
+	nb, err := n.EncodeState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	mb, err := m.EncodeState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(nb) != string(mb) {
+		t.Fatal("restored fabric diverged from original after identical stepping")
+	}
+}
+
+// TestRouteModesEstablish asserts Valiant and UGAL establishment works
+// end to end on both generated fabrics: sessions come up, traffic flows,
+// and two identically-seeded runs stay bit-exact.
+func TestRouteModesEstablish(t *testing.T) {
+	for _, mode := range []routing.RouteMode{routing.RouteValiant, routing.RouteUGAL} {
+		run := func() []byte {
+			tp, err := topology.FatTree(4)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cfg := DefaultConfig(tp)
+			cfg.Route = mode
+			n, err := New(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			spec := traffic.ConnSpec{Class: flit.ClassCBR, Rate: 8 * traffic.Mbps}
+			res := n.OpenBatch(batchReqs(tp.Nodes, 2, spec))
+			for i, r := range res {
+				if r.Err != nil {
+					t.Fatalf("%v request %d: %v", mode, i, r.Err)
+				}
+			}
+			n.Run(3000)
+			if s := n.Stats(); s.FlitsDelivered == 0 {
+				t.Fatalf("%v: no flits delivered", mode)
+			}
+			blob, err := n.EncodeState()
+			if err != nil {
+				t.Fatal(err)
+			}
+			return blob
+		}
+		if string(run()) != string(run()) {
+			t.Fatalf("%v: identically-seeded runs diverged", mode)
+		}
+	}
+}
+
+// TestRouteModeChangesConfigHash asserts non-minimal route modes hash to
+// distinct configurations while the minimal default preserves the
+// pre-existing hash (old checkpoints stay loadable).
+func TestRouteModeChangesConfigHash(t *testing.T) {
+	tp, err := topology.FatTree(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig(tp)
+	a, _ := New(cfg)
+	cfg.Route = routing.RouteValiant
+	b, _ := New(cfg)
+	cfg.Route = routing.RouteUGAL
+	c, _ := New(cfg)
+	if a.ConfigHash() == b.ConfigHash() || b.ConfigHash() == c.ConfigHash() || a.ConfigHash() == c.ConfigHash() {
+		t.Fatal("route modes must hash to distinct configurations")
+	}
+}
+
+// TestQuiesceProbes asserts a fabric with establishment probes in flight
+// refuses to checkpoint, quiesces in bounded time, and then checkpoints
+// cleanly — the daemon's snapshot-during-bring-up path.
+func TestQuiesceProbes(t *testing.T) {
+	tp, err := topology.Mesh(4, 4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := New(DefaultConfig(tp))
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := traffic.ConnSpec{Class: flit.ClassCBR, Rate: 8 * traffic.Mbps}
+	opened := 0
+	for i := 0; i < 6; i++ {
+		err := n.OpenAsync(i, 15-i, spec, func(c *Conn, err error) {
+			if err == nil {
+				opened++
+			}
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := n.EncodeState(); err == nil {
+		t.Fatal("EncodeState must refuse while probes are in flight")
+	}
+	if err := n.QuiesceProbes(100_000); err != nil {
+		t.Fatal(err)
+	}
+	if opened == 0 {
+		t.Fatal("no probe completed during quiesce")
+	}
+	if _, err := n.EncodeState(); err != nil {
+		t.Fatalf("EncodeState after quiesce: %v", err)
+	}
+}

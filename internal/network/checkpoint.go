@@ -309,9 +309,9 @@ func (n *Network) EncodeState() ([]byte, error) {
 					continue
 				}
 				e.Int(vc)
-				e.Int(up.node)
-				e.Int(up.port)
-				e.Int(up.vc)
+				e.Int(int(up.node))
+				e.Int(int(up.port))
+				e.Int(int(up.vc))
 			}
 
 			a := nd.alloc[p]
@@ -340,9 +340,9 @@ func (n *Network) EncodeState() ([]byte, error) {
 			e.Int(len(cpend))
 			for _, cm := range cpend {
 				e.I64(cm.arriveAt)
-				e.Int(cm.to.node)
-				e.Int(cm.to.port)
-				e.Int(cm.to.vc)
+				e.Int(int(cm.to.node))
+				e.Int(int(cm.to.port))
+				e.Int(int(cm.to.vc))
 			}
 		}
 
@@ -521,7 +521,7 @@ func (n *Network) RestoreState(payload []byte) error {
 		return err
 	}
 	for i := 0; i < nc; i++ {
-		c := &Conn{ID: flit.ConnID(i)}
+		c := &Conn{ID: flit.ConnID(i), dstSlot: -1}
 		c.Src = d.Int()
 		c.Dst = d.Int()
 		c.Spec = decodeSpec(d)
@@ -597,9 +597,10 @@ func (n *Network) RestoreState(payload []byte) error {
 		if !c.terminal() {
 			n.nodes[c.Src].srcConns = append(n.nodes[c.Src].srcConns, c)
 		}
-		// The tracker grows only at the ejecting node, exactly as the
-		// live admission path did when this connection was accepted.
-		n.growTracker(c.Dst, int(c.ID)+1)
+		// Trackers grow only at the ejecting node. Replaying connections
+		// in ID order reproduces the per-destination slot assignment the
+		// live admission path made when each connection was accepted.
+		n.assignTrackerSlot(c)
 	}
 
 	n.nextFlowID = FlowID(d.I64())
@@ -761,7 +762,7 @@ func (n *Network) RestoreState(payload []byte) error {
 				if err := checkVC(d, n, vc); err != nil {
 					return err
 				}
-				nd.upstream[p][vc] = upRef{node: d.Int(), port: d.Int(), vc: d.Int()}
+				nd.upstream[p][vc] = upRef{node: int32(d.Int()), port: int16(d.Int()), vc: int16(d.Int())}
 			}
 
 			g := d.Int()
@@ -800,7 +801,7 @@ func (n *Network) RestoreState(payload []byte) error {
 			}
 			for i := 0; i < nCred; i++ {
 				at := d.I64()
-				to := upRef{node: d.Int(), port: d.Int(), vc: d.Int()}
+				to := upRef{node: int32(d.Int()), port: int16(d.Int()), vc: int16(d.Int())}
 				if d.Err() == nil {
 					nd.credOut[p].push(creditMsg{arriveAt: at, to: to})
 				}
@@ -1049,7 +1050,32 @@ func (n *Network) ConfigHash() uint64 {
 	mix(uint64(cfg.Fault.RetryBackoff))
 	mixBool(cfg.Fault.Degrade)
 	mixBool(cfg.Fault.Paranoid)
+	// Route changes establishment decisions, so it is part of the
+	// simulated configuration. Mixed only when non-minimal: every
+	// checkpoint written before the mode existed hashes as RouteMinimal.
+	if cfg.Route != routing.RouteMinimal {
+		mixStr("route")
+		mix(uint64(cfg.Route))
+	}
 	return h
+}
+
+// QuiesceProbes steps the fabric until no establishment probe is in
+// flight and every pending event sits in the durable journal, bounded by
+// limit cycles — the preamble a live checkpoint needs when sessions are
+// still being set up. Probes resolve in bounded time (each advances or
+// backtracks every HopLatency cycles and the search space is finite), so
+// a limit of a few HopLatency × fabric-diameter × probes cycles is ample.
+func (n *Network) QuiesceProbes(limit int64) error {
+	deadline := n.now + limit
+	for n.activeProbes > 0 || n.events.Pending() != len(n.durables) {
+		if n.now >= deadline {
+			return fmt.Errorf("network: %d probes and %d non-durable events still in flight after %d quiesce cycles",
+				n.activeProbes, n.events.Pending()-len(n.durables), limit)
+		}
+		n.Step()
+	}
+	return nil
 }
 
 // --- encoding helpers ---

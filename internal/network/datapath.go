@@ -527,7 +527,7 @@ func (n *Network) phaseDeliver(nd *node, t int64) {
 		for cl.head < len(cl.buf) && cl.buf[cl.head].arriveAt <= t {
 			to := cl.buf[cl.head].to
 			cl.head++
-			nd.shadow[to.port].Return(to.vc)
+			nd.shadow[to.port].Return(int(to.vc))
 		}
 		cl.compact()
 
@@ -778,7 +778,7 @@ func (n *Network) eject(nd *node, t int64, f *flit.Flit) {
 		nd.stats.beDelivered++
 		nd.stats.beLatency.Add(delay)
 	default:
-		if j, ok := nd.stats.tracker.Record(int(f.Conn), delay); ok {
+		if j, ok := nd.stats.tracker.Record(int(n.conns[f.Conn].dstSlot), delay); ok {
 			nd.ms.Observe(n.nm.classJitter[f.Class], j)
 		}
 		nd.stats.delivered++

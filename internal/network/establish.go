@@ -28,14 +28,14 @@ func (n *Network) Open(src, dst int, spec traffic.ConnSpec) (*Conn, error) {
 		return nil, err
 	}
 	n.m.setupAttempts++
-	conn := &Conn{ID: flit.ConnID(len(n.conns)), Src: src, Dst: dst, Spec: spec}
+	conn := &Conn{ID: flit.ConnID(len(n.conns)), Src: src, Dst: dst, Spec: spec, dstSlot: -1}
 	if err := n.establish(conn); err != nil {
 		n.m.setupRejected++
 		return nil, err
 	}
 	n.conns = append(n.conns, conn)
 	n.nodes[src].srcConns = append(n.nodes[src].srcConns, conn)
-	n.growTracker(dst, len(n.conns))
+	n.assignTrackerSlot(conn)
 	n.m.setupAccepted++
 	n.m.setupLatency.Add(float64(conn.SetupTime))
 	n.m.setupBacktracks.Add(float64(conn.Backtracks))
@@ -107,13 +107,105 @@ func (n *Network) checkEndpoints(src, dst int, spec traffic.ConnSpec) error {
 	return nil
 }
 
-// establish runs the synchronous EPB search for conn's spec and, on
+// establish sets up conn's path according to the configured route mode.
+// RouteMinimal runs the classic synchronous EPB search; the multipath
+// modes first try to reserve along one Valiant/UGAL candidate and fall
+// back to the exhaustive EPB search when the candidate cannot reserve —
+// the candidate spreads load, the fallback preserves EPB's completeness
+// guarantee (if any minimal path has resources, establishment succeeds).
+func (n *Network) establish(conn *Conn) error {
+	if n.cfg.Route != routing.RouteMinimal {
+		if err := n.establishMultipath(conn); err == nil {
+			return nil
+		}
+	}
+	return n.establishEPB(conn)
+}
+
+// establishMultipath picks one candidate path under the configured
+// multipath mode (UGAL weighs candidates by first-hop guaranteed load)
+// and attempts to reserve along it.
+func (n *Network) establishMultipath(conn *Conn) error {
+	ports := n.mp.Choose(n.cfg.Route, conn.Src, conn.Dst, n.rng, n.GuaranteedLoadAt)
+	if ports == nil {
+		return fmt.Errorf("network: no legal route from %d to %d", conn.Src, conn.Dst)
+	}
+	return n.establishAlong(conn, ports)
+}
+
+// establishAlong reserves conn's resources hop by hop along a fixed port
+// path — no backtracking; any hop without resources fails the whole
+// attempt and releases every hold. On success the path state is
+// installed exactly as EPB establishment would.
+func (n *Network) establishAlong(conn *Conn, ports []int) error {
+	src, dst, spec := conn.Src, conn.Dst, conn.Spec
+	d := n.demandFor(spec)
+	hp := n.cfg.hostPort()
+	entryVC := n.nodes[src].mems[hp].FindFree(n.rng.Intn(n.cfg.VCs))
+	if entryVC < 0 {
+		return fmt.Errorf("network: no free VC on host port of node %d", src)
+	}
+	n.nodes[src].mems[hp].Reserve(entryVC, vcm.VCState{Conn: flit.InvalidConn, Class: spec.Class, Output: -1})
+
+	hops := make([]probeHop, 0, len(ports))
+	committed := false
+	defer func() {
+		if committed {
+			return
+		}
+		for _, h := range hops {
+			n.releaseOut(n.nodes[h.node], h.port, spec, d)
+			nb := n.cfg.Topology.Wired(h.node, h.port)
+			pp := n.cfg.Topology.WiredPeer(h.node, h.port)
+			n.nodes[nb].mems[pp].Release(h.vc)
+		}
+		n.nodes[src].mems[hp].Release(entryVC)
+	}()
+
+	cur := src
+	for _, p := range ports {
+		if searchHook != nil {
+			searchHook()
+		}
+		nb := n.cfg.Topology.Neighbor(cur, p)
+		if nb < 0 {
+			return fmt.Errorf("network: candidate path uses dead link %d.%d", cur, p)
+		}
+		pp := n.cfg.Topology.PeerPort(cur, p)
+		vc := n.nodes[nb].mems[pp].FindFree(n.rng.Intn(n.cfg.VCs))
+		if vc < 0 {
+			return fmt.Errorf("network: no free VC on input %d.%d", nb, pp)
+		}
+		if !n.admitOut(n.nodes[cur], p, spec, d) {
+			return fmt.Errorf("network: output %d.%d cannot admit %v", cur, p, spec.Rate)
+		}
+		n.nodes[nb].mems[pp].Reserve(vc, vcm.VCState{Conn: flit.InvalidConn, Class: spec.Class, Output: -1})
+		hops = append(hops, probeHop{node: cur, port: p, vc: vc})
+		cur = nb
+	}
+	if cur != dst {
+		return fmt.Errorf("network: candidate path from %d ends at %d, not %d", src, cur, dst)
+	}
+	if !n.admitOut(n.nodes[dst], hp, spec, d) {
+		return fmt.Errorf("network: destination host port of node %d cannot admit %v", dst, spec.Rate)
+	}
+
+	committed = true
+	conn.Backtracks = 0
+	// The probe walks the path forward, the ack retraces it (§4.2); a
+	// fixed candidate path never backtracks.
+	conn.SetupTime = n.cfg.HopLatency * int64(2*len(hops))
+	n.installPath(conn, entryVC, hops, d)
+	return nil
+}
+
+// establishEPB runs the synchronous EPB search for conn's spec and, on
 // success, installs the path state (VCs, channel mappings, upstream
 // pointers, bandwidth) into conn. It is the shared engine of Open and of
 // fault restoration. All transient holds — the entry VC and every
 // partial-path reservation — are released if the search fails or any
 // admission/demand computation panics mid-way.
-func (n *Network) establish(conn *Conn) error {
+func (n *Network) establishEPB(conn *Conn) error {
 	src, dst, spec := conn.Src, conn.Dst, conn.Spec
 	d := n.demandFor(spec)
 
@@ -245,7 +337,7 @@ func (n *Network) installPath(conn *Conn, entryVC int, hops []probeHop, d demand
 		n.nodes[cur].cmap.Map(routing.VCRef{Port: inPort, VC: inVC}, routing.VCRef{Port: h.port, VC: h.vc})
 		// Upstream pointer: draining the neighbor's VC returns a credit
 		// to this router's shadow for (inPort, inVC).
-		n.nodes[nb].upstream[pp][h.vc] = upRef{node: cur, port: inPort, vc: inVC}
+		n.nodes[nb].upstream[pp][h.vc] = upRef{node: int32(cur), port: int16(inPort), vc: int16(inVC)}
 		conn.Path = append(conn.Path, routing.PathHop{Node: h.node, Port: h.port})
 		cur, inPort, inVC = nb, pp, h.vc
 		conn.VCs = append(conn.VCs, routing.VCRef{Port: inPort, VC: inVC})

@@ -269,7 +269,7 @@ func (n *Network) breakConn(c *Conn, reason string) {
 	// are emitted by the node at hop i+1 when it drains that VC, so they
 	// can only sit in that node's outbound credit lane for that port.
 	for i := 0; i+1 < len(c.VCs); i++ {
-		target := upRef{node: c.Nodes[i], port: c.VCs[i].Port, vc: c.VCs[i].VC}
+		target := upRef{node: int32(c.Nodes[i]), port: int16(c.VCs[i].Port), vc: int16(c.VCs[i].VC)}
 		lane := &n.nodes[c.Nodes[i+1]].credOut[c.VCs[i+1].Port]
 		lane.filter(func(cm creditMsg) bool { return cm.to != target })
 	}

@@ -77,7 +77,7 @@ func (n *Network) CheckInvariants() error {
 			// credit lane of the downstream node (the unique emitter).
 			inflight := 0
 			for _, cm := range n.nodes[c.Nodes[i+1]].credOut[down.Port].pending() {
-				if cm.to.node == c.Nodes[i] && cm.to.port == up.Port && cm.to.vc == up.VC {
+				if int(cm.to.node) == c.Nodes[i] && int(cm.to.port) == up.Port && int(cm.to.vc) == up.VC {
 					inflight++
 				}
 			}

@@ -47,6 +47,16 @@ type Config struct {
 	Scheme        sched.PriorityScheme
 	ArbiterIters  int
 
+	// Route selects how establishment picks candidate paths.
+	// RouteMinimal (the zero value) is the classic EPB search over
+	// minimal paths; RouteValiant and RouteUGAL first try a multipath
+	// candidate (randomized detour over the up*/down* orientation,
+	// optionally load-compared against the minimal route) and fall back
+	// to the EPB search when the candidate cannot reserve. The default
+	// keeps establishment decisions — and therefore every golden suite —
+	// bit-exact with prior versions.
+	Route routing.RouteMode
+
 	// LinkDelay is the flit propagation delay between routers in cycles;
 	// HopLatency is the probe processing cost per hop during
 	// establishment (routing decision + VC reservation, §3.5).
@@ -167,8 +177,13 @@ type linkFlit struct {
 
 // upRef points at the upstream buffer slot a flit occupied before this
 // hop, so draining it returns a credit there (link-level VC flow control).
+// Packed to 8 bytes: a fabric holds radix×VCs of these per router, so at
+// datacenter scale (4k routers × 33 ports × 64 VCs) the upstream tables
+// alone are ~8.6M entries — int32/int16 fields cut them 3× versus three
+// ints while still covering 2³¹ nodes and 2¹⁵ ports/VCs.
 type upRef struct {
-	node, port, vc int
+	node     int32
+	port, vc int16
 }
 
 // noUpstream marks VCs fed directly by a host interface.
@@ -316,6 +331,13 @@ type Conn struct {
 	// forecast next event so idle cycles need no per-conn work at all.
 	lastTick int64
 	nextDue  int64
+
+	// dstSlot is this connection's index in the destination node's jitter
+	// tracker. Slots are per-destination (assigned in establishment order
+	// at each dst), so tracker arrays scale with the sessions actually
+	// terminating at a node instead of the global session count. -1 until
+	// assigned.
+	dstSlot int32
 }
 
 // Open reports whether the connection currently carries guaranteed
@@ -340,6 +362,7 @@ type Network struct {
 	rng   *sim.RNG
 	dists *routing.Dists
 	ud    *routing.UpDown
+	mp    *routing.Multipath
 	nodes []*node
 	now   int64
 
@@ -369,6 +392,11 @@ type Network struct {
 	impair       map[[2]int]faults.Impairment
 	activeProbes int
 	sessionLog   []SessionEvent
+
+	// batch is the reusable scratch for OpenBatch (batch.go): search
+	// state, reservation stack, admission pre-check tables and the
+	// Conn/path arenas. Lazily created, reused across batches.
+	batch *batchState
 
 	m netStats
 
@@ -456,6 +484,7 @@ func New(cfg Config) (*Network, error) {
 		openRetries: map[int64]*openRetry{},
 	}
 	n.ud = routing.NewUpDown(cfg.Topology, n.dists)
+	n.mp = routing.NewMultipath(cfg.Topology, n.dists, n.ud)
 	radix := cfg.radix()
 	vcmCfg := vcm.Config{
 		VirtualChannels: cfg.VCs, Depth: cfg.Depth,
@@ -570,13 +599,22 @@ func New(cfg Config) (*Network, error) {
 	return n, nil
 }
 
-// growTracker extends the destination node's jitter tracker to cover
-// nconns connections. Only the ejecting node ever records a stream
-// connection's flits, so per-conn accumulators live solely at the
-// destination: sizing every node's arrays to the global session count
-// would cost nodes×sessions memory under long-lived churn.
-func (n *Network) growTracker(dst, nconns int) {
-	n.nodes[dst].stats.tracker.Grow(nconns)
+// assignTrackerSlot gives a newly established connection its slot in the
+// destination node's jitter tracker. Only the ejecting node ever records
+// a stream connection's flits, so per-conn accumulators live solely at
+// the destination, and slots are numbered per destination in
+// establishment order: a node's tracker arrays scale with the sessions
+// that actually terminate there, not the global session count —
+// essential once one fabric carries ~10⁶ sessions across thousands of
+// routers. Restoration replays connections in ID order, which reproduces
+// the per-dst assignment order and therefore the same slots.
+func (n *Network) assignTrackerSlot(c *Conn) {
+	if c.dstSlot >= 0 {
+		return // restoration revives the conn; its slot is permanent
+	}
+	tr := n.nodes[c.Dst].stats.tracker
+	c.dstSlot = int32(tr.NumConns())
+	tr.Grow(tr.NumConns() + 1)
 }
 
 // terminal reports a connection that can never inject again: gracefully

@@ -224,12 +224,13 @@ func (p *probe) complete() {
 		ID: flit.ConnID(len(n.conns)), Src: p.src, Dst: p.dst, Spec: p.spec,
 		Backtracks: p.backs,
 		SetupTime:  n.now - p.started,
+		dstSlot:    -1,
 	}
 	n.installPath(conn, p.entryVC, p.hops, p.d)
 	n.conns = append(n.conns, conn)
 	n.nodes[p.src].srcConns = append(n.nodes[p.src].srcConns, conn)
 	n.activeProbes--
-	n.growTracker(p.dst, len(n.conns))
+	n.assignTrackerSlot(conn)
 	n.m.setupAccepted++
 	n.m.setupLatency.Add(float64(conn.SetupTime))
 	n.m.setupBacktracks.Add(float64(p.backs))

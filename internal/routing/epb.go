@@ -92,7 +92,9 @@ func Search(t *topology.Topology, d *Dists, src, dest int,
 		return res, nil
 	}
 	// One history store per node on the current path — in hardware this
-	// state lives with the input VC the probe occupies (§3.5).
+	// state lives with the input VC the probe occupies (§3.5). The map
+	// keeps one-shot searches O(path) in space; batched establishment
+	// uses SearchInto, whose stamped flat arrays amortize across calls.
 	hist := map[int]*History{src: {}}
 	node := src
 	for {
@@ -117,6 +119,88 @@ func Search(t *topology.Topology, d *Dists, src, dest int,
 		}
 		// Exhausted: backtrack, releasing the hop that led here.
 		delete(hist, node)
+		if node == src {
+			return nil, fmt.Errorf("routing: no minimal path with free resources from %d to %d", src, dest)
+		}
+		last := res.Path[len(res.Path)-1]
+		res.Path = res.Path[:len(res.Path)-1]
+		if release != nil {
+			release(last.Node, last.Port)
+		}
+		res.Backtracks++
+		node = last.Node
+	}
+}
+
+// SearchScratch is reusable per-search state for SearchInto: per-node
+// history stores as a stamped flat array (no map churn, no per-visit
+// allocation) and a reusable SearchResult. One scratch amortizes the
+// search-state allocations across an arbitrary number of searches —
+// OpenBatch runs ~10⁶ establishments against a single instance.
+type SearchScratch struct {
+	hist  []History
+	stamp []uint64
+	gen   uint64
+	res   SearchResult
+}
+
+// NewSearchScratch sizes a scratch for a topology of the given order.
+func NewSearchScratch(nodes int) *SearchScratch {
+	return &SearchScratch{hist: make([]History, nodes), stamp: make([]uint64, nodes)}
+}
+
+// SearchInto is Search against caller-owned scratch. It makes decisions
+// identical to a fresh Search — the stamped history array reproduces the
+// map semantics exactly (a node's history is cleared when the probe
+// backtracks off it, and fresh on first visit per search). The returned
+// result aliases the scratch and is valid until the next SearchInto call
+// on the same scratch.
+func SearchInto(t *topology.Topology, d *Dists, src, dest int,
+	reserve func(node, port int) bool, release func(node, port int), scr *SearchScratch) (*SearchResult, error) {
+
+	if src < 0 || src >= t.Nodes || dest < 0 || dest >= t.Nodes {
+		return nil, fmt.Errorf("routing: endpoints (%d,%d) out of range", src, dest)
+	}
+	res := &scr.res
+	res.Path = res.Path[:0]
+	res.Backtracks = 0
+	res.Visited = 0
+	if src == dest {
+		return res, nil
+	}
+	// One history store per node on the current path — in hardware this
+	// state lives with the input VC the probe occupies (§3.5). A stamp
+	// equal to the current generation marks a node's history as live for
+	// this search; stale entries are zeroed lazily on first touch.
+	scr.gen++
+	scr.stamp[src] = scr.gen
+	scr.hist[src] = History{}
+	node := src
+	for {
+		canUse := func(p int) bool {
+			if reserve == nil {
+				return true
+			}
+			return reserve(node, p)
+		}
+		port, ok := EPBStep(t, d, node, dest, &scr.hist[node], canUse)
+		if ok {
+			res.Path = append(res.Path, PathHop{Node: node, Port: port})
+			res.Visited++
+			node = t.Neighbor(node, port)
+			if node == dest {
+				return res, nil
+			}
+			if scr.stamp[node] != scr.gen {
+				scr.stamp[node] = scr.gen
+				scr.hist[node] = History{}
+			}
+			continue
+		}
+		// Exhausted: backtrack, releasing the hop that led here. Zeroing
+		// the history mirrors the map delete — if the probe re-enters this
+		// node later in the same search, it starts a fresh exhaustive scan.
+		scr.hist[node] = History{}
 		if node == src {
 			return nil, fmt.Errorf("routing: no minimal path with free resources from %d to %d", src, dest)
 		}

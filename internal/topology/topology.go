@@ -41,6 +41,12 @@ type Topology struct {
 	// version increments on every link-state change so routing caches
 	// (distance tables, up*/down* orientation) can detect staleness.
 	version uint64
+
+	// shape records generator metadata — kind, shape parameters, and a
+	// region partition (pods, dragonfly groups) — when the topology came
+	// from a named generator. Hand-wired topologies keep the zero value.
+	// See fabrics.go for the Shape type and accessors.
+	shape Shape
 }
 
 // New returns an empty topology with the given geometry.
@@ -310,6 +316,7 @@ func Mesh(w, h, ports int) (*Topology, error) {
 			}
 		}
 	}
+	t.shape = Shape{Kind: "mesh", Params: []ShapeParam{{"w", w}, {"h", h}}, Regions: 1}
 	return t, nil
 }
 
@@ -337,6 +344,7 @@ func Torus(w, h, ports int) (*Topology, error) {
 			return nil, err
 		}
 	}
+	t.shape = Shape{Kind: "torus", Params: []ShapeParam{{"w", w}, {"h", h}}, Regions: 1}
 	return t, nil
 }
 
@@ -394,5 +402,6 @@ func Irregular(nodes, ports, avgDegree int, rng *sim.RNG) (*Topology, error) {
 	if err := t.Validate(); err != nil {
 		return nil, err
 	}
+	t.shape = Shape{Kind: "irregular", Params: []ShapeParam{{"nodes", nodes}, {"degree", avgDegree}}, Regions: 1}
 	return t, nil
 }
