@@ -16,6 +16,12 @@
 //   - With -checkpoint the daemon writes an atomic snapshot every
 //     -checkpoint-interval cycles, and -restore resumes a fabric from
 //     the last snapshot, bit-identical to the process that wrote it.
+//   - Requests may name a tenant; /api/tenant installs per-tenant
+//     admission quotas that establishment, shedding and re-promotion
+//     all settle against.
+//   - With -pace the clock advances in lock-step with wall time (one
+//     flit cycle per -pace of real time; 103ns matches §5's router),
+//     instead of free-running a slice per tick.
 //   - SIGTERM/SIGINT drain gracefully: the listener closes, queued
 //     control work completes, pending open retries get a grace window,
 //     and a final checkpoint plus flight-recorder flush land on disk
@@ -33,6 +39,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"mmr/internal/admission"
 	"mmr/internal/flit"
 	"mmr/internal/metrics"
 	"mmr/internal/network"
@@ -66,6 +73,11 @@ const (
 	// refuse to encode mid-probe state (probes are not durable), so a
 	// snapshot requested during a connection bring-up drains it first.
 	quiesceBudget = 1 << 16
+	// paceBurst caps how many cycles a paced loop iteration may advance
+	// at once to catch up with wall time (after a stall or a large
+	// -pace deficit), so control requests never wait behind an unbounded
+	// catch-up run.
+	paceBurst = 1 << 16
 )
 
 // ctlResp is a control request's answer: a JSON-marshalable value or an
@@ -132,8 +144,13 @@ func runDaemon(o simOpts, out, diag io.Writer, sigc <-chan os.Signal) error {
 		o.afterServe(ln.Addr().String())
 	}
 
+	// With -pace the clock is slaved to wall time: cycle targets are
+	// computed from the loop's start instant (not incrementally), so
+	// rounding never accumulates drift. Free-running mode advances one
+	// slice per iteration as before.
 	pace := time.NewTicker(daemonPace)
 	defer pace.Stop()
+	start, startCycle := time.Now(), n.Now()
 	for {
 		select {
 		case sig := <-sigc:
@@ -143,7 +160,17 @@ func runDaemon(o simOpts, out, diag io.Writer, sigc <-chan os.Signal) error {
 			d.drainCtl(n)
 		case <-pace.C:
 		}
-		n.Run(daemonSlice)
+		if o.pace > 0 {
+			target := startCycle + int64(time.Since(start)/o.pace)
+			if deficit := target - n.Now(); deficit > 0 {
+				if deficit > paceBurst {
+					deficit = paceBurst
+				}
+				n.Run(deficit)
+			}
+		} else {
+			n.Run(daemonSlice)
+		}
 		d.maybeCheckpoint(n)
 		if d.pubCount++; d.pubCount%publishEvery == 0 {
 			d.msrv.Publish(n.GatherMetrics())
@@ -223,6 +250,8 @@ func (d *daemon) handler() http.Handler {
 	mux.HandleFunc("/api/modify", d.handleModify)
 	mux.HandleFunc("/api/query", d.handleQuery)
 	mux.HandleFunc("/api/conns", d.handleConns)
+	mux.HandleFunc("/api/tenant", d.handleTenant)
+	mux.HandleFunc("/api/tenants", d.handleTenants)
 	mux.HandleFunc("/api/status", d.handleStatus)
 	mux.Handle("/", d.msrv.Handler()) // /metrics, /metrics.json, /flight, /debug/pprof
 	return mux
@@ -290,6 +319,9 @@ type openRequest struct {
 	PeakMbps float64 `json:"peak_mbps"` // VBR only; 0 = 3× rate
 	Priority int     `json:"priority"`  // VBR only
 	NoRetry  bool    `json:"no_retry"`  // refuse immediately instead of backoff + degrade
+	// Tenant names the admission-quota owner of the session ("" = the
+	// unlimited default tenant; see /api/tenant).
+	Tenant string `json:"tenant,omitempty"`
 }
 
 type openResponse struct {
@@ -343,6 +375,13 @@ func (d *daemon) handleOpen(w http.ResponseWriter, r *http.Request) {
 			pkts = 1
 		}
 		degrade := func(cause error) {
+			// The fallback flow is uncharged best-effort service, but a
+			// tenant at its session ceiling gets the refusal, not free
+			// capacity under a different guise.
+			if !n.Tenants().CanAdmit(req.Tenant, 0) {
+				reply <- ctlResp{err: fmt.Errorf("tenant %q over admission quota: %v", req.Tenant, cause)}
+				return
+			}
 			id, err := n.AddBestEffortFlow(req.Src, req.Dst, pkts)
 			if err != nil {
 				reply <- ctlResp{err: cause}
@@ -366,10 +405,10 @@ func (d *daemon) handleOpen(w http.ResponseWriter, r *http.Request) {
 			reply <- ctlResp{v: openResponse{Conn: int(c.ID), Nodes: c.Nodes, SetupCycles: c.SetupTime, Cycle: n.Now()}}
 		}
 		if req.NoRetry {
-			finish(n.Open(req.Src, req.Dst, spec))
+			finish(n.OpenAs(req.Tenant, req.Src, req.Dst, spec))
 			return
 		}
-		if err := n.OpenWithRetry(req.Src, req.Dst, spec, finish); err != nil {
+		if err := n.OpenWithRetryAs(req.Tenant, req.Src, req.Dst, spec, finish); err != nil {
 			reply <- ctlResp{err: err} // endpoint validation failed; finish will not fire
 		}
 	}
@@ -522,12 +561,90 @@ func (d *daemon) handleQuery(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, resp.v)
 }
 
+// tenantRequest sets one tenant's admission quota. Zero fields mean
+// unlimited; the Mbps budget is converted to the fabric's guaranteed
+// cycles/round unit at the current link configuration.
+type tenantRequest struct {
+	Tenant            string  `json:"tenant"`
+	MaxSessions       int     `json:"max_sessions"`
+	MaxGuaranteedMbps float64 `json:"max_guaranteed_mbps"`
+}
+
+func (d *daemon) handleTenant(w http.ResponseWriter, r *http.Request) {
+	var req tenantRequest
+	if !decodeJSON(w, r, &req) {
+		return
+	}
+	if req.MaxSessions < 0 || req.MaxGuaranteedMbps < 0 {
+		http.Error(w, "quota fields must be non-negative", http.StatusBadRequest)
+		return
+	}
+	reply := make(chan ctlResp, 1)
+	if !d.submit(w, func(n *network.Network) {
+		q := admission.TenantQuota{MaxSessions: req.MaxSessions}
+		if req.MaxGuaranteedMbps > 0 {
+			q.MaxGuaranteed = n.GuaranteedCyclesFor(traffic.ConnSpec{
+				Class: flit.ClassCBR,
+				Rate:  traffic.Rate(req.MaxGuaranteedMbps) * traffic.Mbps,
+			})
+		}
+		n.Tenants().SetQuota(req.Tenant, q)
+		u := n.Tenants().Usage(req.Tenant)
+		reply <- ctlResp{v: map[string]any{
+			"tenant":                req.Tenant,
+			"max_sessions":          q.MaxSessions,
+			"max_guaranteed_cycles": q.MaxGuaranteed,
+			"sessions":              u.Sessions,
+			"guaranteed_cycles":     u.Guaranteed,
+			"cycle":                 n.Now(),
+		}}
+	}) {
+		return
+	}
+	if resp, ok := d.await(w, r, reply); ok {
+		writeJSON(w, resp.v)
+	}
+}
+
+type tenantInfo struct {
+	Tenant           string `json:"tenant"`
+	Limited          bool   `json:"limited"` // an explicit quota is set
+	MaxSessions      int    `json:"max_sessions"`
+	MaxGuaranteed    int    `json:"max_guaranteed_cycles"`
+	Sessions         int    `json:"sessions"`
+	GuaranteedCycles int    `json:"guaranteed_cycles"`
+}
+
+func (d *daemon) handleTenants(w http.ResponseWriter, r *http.Request) {
+	reply := make(chan ctlResp, 1)
+	if !d.submit(w, func(n *network.Network) {
+		t := n.Tenants()
+		out := make([]tenantInfo, 0)
+		for _, name := range t.Names() {
+			q, limited := t.Quota(name)
+			u := t.Usage(name)
+			out = append(out, tenantInfo{
+				Tenant: name, Limited: limited,
+				MaxSessions: q.MaxSessions, MaxGuaranteed: q.MaxGuaranteed,
+				Sessions: u.Sessions, GuaranteedCycles: u.Guaranteed,
+			})
+		}
+		reply <- ctlResp{v: map[string]any{"tenants": out, "cycle": n.Now()}}
+	}) {
+		return
+	}
+	if resp, ok := d.await(w, r, reply); ok {
+		writeJSON(w, resp.v)
+	}
+}
+
 type connInfo struct {
 	Conn     int     `json:"conn"`
 	Src      int     `json:"src"`
 	Dst      int     `json:"dst"`
 	Class    string  `json:"class"`
 	RateMbps float64 `json:"rate_mbps"`
+	Tenant   string  `json:"tenant,omitempty"`
 	Open     bool    `json:"open"`
 	Broken   bool    `json:"broken"`
 	Degraded bool    `json:"degraded"`
@@ -546,6 +663,7 @@ func (d *daemon) handleConns(w http.ResponseWriter, r *http.Request) {
 			out = append(out, connInfo{
 				Conn: int(c.ID), Src: c.Src, Dst: c.Dst, Class: class,
 				RateMbps: float64(c.Spec.Rate) / float64(traffic.Mbps),
+				Tenant:   c.Tenant,
 				Open:     c.Open(), Broken: c.Broken(), Degraded: c.Degraded,
 				Restores: c.Restores,
 			})
@@ -600,6 +718,8 @@ func (d *daemon) handleStatus(w http.ResponseWriter, r *http.Request) {
 			"be_delivered":          st.BEDelivered,
 			"conns_broken":          st.ConnsBroken,
 			"conns_restored":        st.ConnsRestored,
+			"conns_degraded":        n.DegradedLive(),
+			"conns_promoted":        st.ConnsPromoted,
 			"checkpoint":            d.o.checkpoint,
 			"last_checkpoint_cycle": d.lastCkpt,
 			"queue_depth":           len(d.ctl),

@@ -30,6 +30,7 @@ import (
 	"runtime"
 	"strings"
 	"syscall"
+	"time"
 
 	"mmr/internal/faults"
 	"mmr/internal/flit"
@@ -80,9 +81,10 @@ type simOpts struct {
 	// control API instead of a batch simulation.
 	serve              bool
 	serveAddr          string
-	checkpoint         string // snapshot path (periodic + final on drain)
-	checkpointInterval int64  // cycles between periodic snapshots (0 = final only)
-	restore            bool   // resume the fabric from -checkpoint at startup
+	checkpoint         string        // snapshot path (periodic + final on drain)
+	checkpointInterval int64         // cycles between periodic snapshots (0 = final only)
+	restore            bool          // resume the fabric from -checkpoint at startup
+	pace               time.Duration // wall-clock duration of one flit cycle (0 = free-run)
 
 	// afterRun, when non-nil, is called after the final snapshot is
 	// published and the report printed, while the metrics server (addr)
@@ -209,8 +211,11 @@ func validateOpts(o simOpts, set map[string]bool) error {
 		if o.checkpointInterval > 0 && o.checkpoint == "" {
 			return fmt.Errorf("-checkpoint-interval needs -checkpoint to name the snapshot path")
 		}
+		if o.pace < 0 {
+			return fmt.Errorf("-pace must be non-negative, got %v", o.pace)
+		}
 	} else {
-		for _, f := range []string{"serve-addr", "checkpoint", "checkpoint-interval", "restore"} {
+		for _, f := range []string{"serve-addr", "checkpoint", "checkpoint-interval", "restore", "pace"} {
 			if set[f] {
 				return fmt.Errorf("-%s only applies in daemon mode; add -serve", f)
 			}
@@ -267,6 +272,8 @@ func main() {
 		"cycles between periodic daemon snapshots (0 = only the final one)")
 	flag.BoolVar(&o.restore, "restore", o.restore,
 		"resume the daemon's fabric from the -checkpoint snapshot at startup")
+	flag.DurationVar(&o.pace, "pace", o.pace,
+		"daemon wall-clock duration of one flit cycle (103ns matches the router's real rate; 0 = free-run)")
 	flag.Parse()
 
 	set := map[string]bool{}
@@ -435,13 +442,13 @@ func run(o simOpts, out, diag io.Writer) error {
 	if injectFaults {
 		fmt.Fprintf(out, "faults      %d link failures injected, %d repaired, %d flits lost, %d dropped on impaired links\n",
 			st.FaultsInjected, st.FaultsRepaired, st.FaultFlitsLost, st.FlitsDropped)
-		fmt.Fprintf(out, "healing     %d conns broken, %d restored (mean %s cycles, max %s), %d degraded, %d lost, %d setup retries\n",
+		fmt.Fprintf(out, "healing     %d conns broken, %d restored (mean %s cycles, max %s), %d degraded, %d promoted, %d lost, %d setup retries\n",
 			st.ConnsBroken, st.ConnsRestored,
 			stats.FormatAccumCell(&st.RestoreLatency, "mean", "%.0f"),
 			stats.FormatAccumCell(&st.RestoreLatency, "max", "%.0f"),
-			st.ConnsDegraded, st.ConnsLost, st.SetupRetries)
+			st.ConnsDegraded, st.ConnsPromoted, st.ConnsLost, st.SetupRetries)
 		for _, ev := range n.SessionEvents() {
-			if ev.Kind == "conn-degraded" || ev.Kind == "conn-lost" {
+			if ev.Kind == "conn-degraded" || ev.Kind == "conn-promoted" || ev.Kind == "conn-lost" {
 				fmt.Fprintf(out, "  cycle %-8d %s conn %d: %s\n", ev.Cycle, ev.Kind, ev.Conn, ev.Detail)
 			}
 		}

@@ -196,6 +196,13 @@ func soak(o soakOpts) error {
 		}
 	}
 
+	// Settle: with every fault healed and the workload retired, no
+	// session may be left permanently degraded and no fallback flow may
+	// outlive its owner — this is where a degraded-forever regression
+	// fails the soak.
+	if err := h.settle(); err != nil {
+		return fmt.Errorf("settle audit: %w", err)
+	}
 	// Final audit: the fabric that survived the whole run must still
 	// pass the resource audit, and one last kill+restore must conserve
 	// everything.
@@ -208,8 +215,8 @@ func soak(o soakOpts) error {
 	st := h.n.Stats()
 	fmt.Printf("mmrsoak: PASS — %d session events (%d/%d opens admitted, %d closes), %d flash crowds, %d outages, %d kill+restore cycles, 0 invariant violations, 0 leaked connections\n",
 		h.opens+h.closes, h.opensOK, h.opens, h.closes, h.flashCrowds, h.outages, h.restores)
-	fmt.Printf("mmrsoak: fabric at cycle %d: %d flits delivered, %d conns broken by faults, %d restored, %d degraded, %d lost\n",
-		h.n.Now(), st.FlitsDelivered, st.ConnsBroken, st.ConnsRestored, st.ConnsDegraded, st.ConnsLost)
+	fmt.Printf("mmrsoak: fabric at cycle %d: %d flits delivered, %d conns broken by faults, %d restored, %d degraded, %d promoted, %d lost\n",
+		h.n.Now(), st.FlitsDelivered, st.ConnsBroken, st.ConnsRestored, st.ConnsDegraded, st.ConnsPromoted, st.ConnsLost)
 	// FaultFlitsLost/FlitsDropped mix guaranteed and best-effort flits, so
 	// the outstanding count below includes BE flits lost to faults.
 	fmt.Printf("mmrsoak: best-effort: %d generated, %d delivered, %d in flight, queued, or lost to faults\n",
@@ -363,6 +370,43 @@ func (h *harness) regionalOutage() error {
 	return nil
 }
 
+// settle retires the workload after the last outage has healed and
+// audits the fault lifecycle end state. Each round hangs up every open
+// session — freeing guaranteed capacity and triggering re-promotion
+// scans — then runs the fabric so backed-off restorations and
+// promotions fire; degraded sessions must come back to guaranteed
+// service (there is spare capacity for every one of them now) and are
+// hung up as open sessions in a later round. A session still tracked
+// after the round budget, or any degraded residue or orphaned fallback
+// flow at the end, is a lifecycle bug.
+func (h *harness) settle() error {
+	if gap := h.lastFaultEnd + 1 - h.n.Now(); gap > 0 {
+		h.n.Run(gap)
+	}
+	const settleRounds = 64
+	for round := 0; len(h.liveConns()) > 0; round++ {
+		if round >= settleRounds {
+			degraded := h.n.DegradedLive()
+			return fmt.Errorf("%d sessions still live after %d settle rounds (%d of them degraded)",
+				len(h.liveConns()), settleRounds, degraded)
+		}
+		for _, c := range h.liveConns() {
+			if c.Open() {
+				h.closes++
+				h.n.DrainAndClose(c, h.o.drainLimit)
+			}
+		}
+		h.n.Run(4096)
+	}
+	if got := h.n.DegradedLive(); got != 0 {
+		return fmt.Errorf("%d sessions left permanently degraded after every fault healed", got)
+	}
+	if err := h.n.CheckBEFlowOwners(); err != nil {
+		return fmt.Errorf("fallback-flow audit: %w", err)
+	}
+	return nil
+}
+
 func countOpen(n *network.Network) int {
 	open := 0
 	for _, c := range n.Conns() {
@@ -413,15 +457,20 @@ func (h *harness) killAndRestore(ev int64) error {
 	if after.FlitsDelivered != beforeStats.FlitsDelivered ||
 		after.FlitsGenerated != beforeStats.FlitsGenerated ||
 		after.SetupAccepted != beforeStats.SetupAccepted ||
-		after.Closed != beforeStats.Closed {
-		return fmt.Errorf("restore drifted counters: delivered %d/%d generated %d/%d accepted %d/%d closed %d/%d",
+		after.Closed != beforeStats.Closed ||
+		after.ConnsPromoted != beforeStats.ConnsPromoted {
+		return fmt.Errorf("restore drifted counters: delivered %d/%d generated %d/%d accepted %d/%d closed %d/%d promoted %d/%d",
 			after.FlitsDelivered, beforeStats.FlitsDelivered,
 			after.FlitsGenerated, beforeStats.FlitsGenerated,
 			after.SetupAccepted, beforeStats.SetupAccepted,
-			after.Closed, beforeStats.Closed)
+			after.Closed, beforeStats.Closed,
+			after.ConnsPromoted, beforeStats.ConnsPromoted)
 	}
 	if err := n2.CheckInvariants(); err != nil {
 		return fmt.Errorf("restored fabric fails the resource audit: %w", err)
+	}
+	if err := n2.CheckBEFlowOwners(); err != nil {
+		return fmt.Errorf("restored fabric fails the fallback-flow audit: %w", err)
 	}
 
 	h.n = n2

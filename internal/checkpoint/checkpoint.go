@@ -20,11 +20,21 @@ import (
 )
 
 // Version is the current checkpoint format version. Bump it on any
-// incompatible payload layout change. Version 3 switched per-connection
-// jitter-tracker records from global connection numbering to per-destination
-// slot numbering (the sparse tracker layout). Version 2 added best-effort flow
-// owner IDs (and the network's ID counter) to the network payload.
-const Version uint32 = 3
+// incompatible payload layout change. Version 4 appended a trailer with
+// per-connection tenant owners, tenant admission quotas, and the
+// re-promotion bookkeeping (promotion generation, promoted-connection
+// counter). Version 3 switched per-connection jitter-tracker records from
+// global connection numbering to per-destination slot numbering (the sparse
+// tracker layout). Version 2 added best-effort flow owner IDs (and the
+// network's ID counter) to the network payload.
+const Version uint32 = 4
+
+// MinVersion is the oldest format this build still decodes. Version 3
+// payloads are a strict prefix of version 4 (the v4 additions are a
+// trailer), so they restore with default tenant state; versions 1 and 2
+// predate the sparse tracker layout, which cannot be reconstructed, and
+// are refused.
+const MinVersion uint32 = 3
 
 // magic identifies a checkpoint file. 8 bytes: "MMRCKPT" + NUL.
 var magic = [8]byte{'M', 'M', 'R', 'C', 'K', 'P', 'T', 0}
@@ -212,11 +222,23 @@ func (d *Decoder) String() string {
 //	[32:..) payload
 const headerLen = 32
 
-// Seal wraps payload in the checkpoint envelope.
+// Seal wraps payload in the checkpoint envelope at the current format
+// version.
 func Seal(configHash uint64, payload []byte) []byte {
+	return SealAt(Version, configHash, payload)
+}
+
+// SealAt wraps payload in the checkpoint envelope stamped with an
+// explicit format version — the compatibility tests use it to write
+// files a previous release would have written. The version must be in
+// the decodable range.
+func SealAt(version uint32, configHash uint64, payload []byte) []byte {
+	if version < MinVersion || version > Version {
+		panic(fmt.Sprintf("checkpoint: SealAt version %d outside [%d,%d]", version, MinVersion, Version))
+	}
 	out := make([]byte, 0, headerLen+len(payload))
 	out = append(out, magic[:]...)
-	out = binary.LittleEndian.AppendUint32(out, Version)
+	out = binary.LittleEndian.AppendUint32(out, version)
 	out = binary.LittleEndian.AppendUint64(out, configHash)
 	out = binary.LittleEndian.AppendUint64(out, uint64(len(payload)))
 	out = binary.LittleEndian.AppendUint32(out, crc32.ChecksumIEEE(payload))
@@ -224,33 +246,33 @@ func Seal(configHash uint64, payload []byte) []byte {
 	return out
 }
 
-// Open validates the envelope of data and returns the configuration
-// hash and payload. It rejects bad magic, unknown versions, truncated
-// files and checksum mismatches.
-func Open(data []byte) (configHash uint64, payload []byte, err error) {
+// Open validates the envelope of data and returns the format version,
+// configuration hash and payload. It rejects bad magic, versions outside
+// [MinVersion, Version], truncated files and checksum mismatches.
+func Open(data []byte) (version uint32, configHash uint64, payload []byte, err error) {
 	if len(data) < headerLen {
-		return 0, nil, fmt.Errorf("checkpoint: file too short (%d bytes)", len(data))
+		return 0, 0, nil, fmt.Errorf("checkpoint: file too short (%d bytes)", len(data))
 	}
 	var m [8]byte
 	copy(m[:], data[:8])
 	if m != magic {
-		return 0, nil, fmt.Errorf("checkpoint: bad magic %q", m[:])
+		return 0, 0, nil, fmt.Errorf("checkpoint: bad magic %q", m[:])
 	}
 	ver := binary.LittleEndian.Uint32(data[8:12])
-	if ver != Version {
-		return 0, nil, fmt.Errorf("checkpoint: unsupported format version %d (want %d)", ver, Version)
+	if ver < MinVersion || ver > Version {
+		return 0, 0, nil, fmt.Errorf("checkpoint: unsupported format version %d (decodable range %d..%d)", ver, MinVersion, Version)
 	}
 	configHash = binary.LittleEndian.Uint64(data[12:20])
 	plen := binary.LittleEndian.Uint64(data[20:28])
 	wantCRC := binary.LittleEndian.Uint32(data[28:32])
 	if uint64(len(data)-headerLen) != plen {
-		return 0, nil, fmt.Errorf("checkpoint: payload length mismatch (header says %d, file has %d)", plen, len(data)-headerLen)
+		return 0, 0, nil, fmt.Errorf("checkpoint: payload length mismatch (header says %d, file has %d)", plen, len(data)-headerLen)
 	}
 	payload = data[headerLen:]
 	if got := crc32.ChecksumIEEE(payload); got != wantCRC {
-		return 0, nil, fmt.Errorf("checkpoint: CRC mismatch (got %08x, want %08x)", got, wantCRC)
+		return 0, 0, nil, fmt.Errorf("checkpoint: CRC mismatch (got %08x, want %08x)", got, wantCRC)
 	}
-	return configHash, payload, nil
+	return ver, configHash, payload, nil
 }
 
 // WriteFile atomically writes a sealed checkpoint to path: the bytes
@@ -284,18 +306,20 @@ func WriteFile(path string, configHash uint64, payload []byte) error {
 }
 
 // ReadFile reads and validates a checkpoint from path, checking the
-// configuration hash against wantHash. It returns the payload.
-func ReadFile(path string, wantHash uint64) ([]byte, error) {
+// configuration hash against wantHash. It returns the payload and the
+// format version it was written at, so decoders can apply
+// older-version compatibility rules.
+func ReadFile(path string, wantHash uint64) ([]byte, uint32, error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
-		return nil, fmt.Errorf("checkpoint: read %s: %w", path, err)
+		return nil, 0, fmt.Errorf("checkpoint: read %s: %w", path, err)
 	}
-	gotHash, payload, err := Open(data)
+	ver, gotHash, payload, err := Open(data)
 	if err != nil {
-		return nil, fmt.Errorf("checkpoint: %s: %w", path, err)
+		return nil, 0, fmt.Errorf("checkpoint: %s: %w", path, err)
 	}
 	if gotHash != wantHash {
-		return nil, fmt.Errorf("checkpoint: %s was taken under a different fabric configuration (hash %016x, want %016x)", path, gotHash, wantHash)
+		return nil, 0, fmt.Errorf("checkpoint: %s was taken under a different fabric configuration (hash %016x, want %016x)", path, gotHash, wantHash)
 	}
-	return payload, nil
+	return payload, ver, nil
 }

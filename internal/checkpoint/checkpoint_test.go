@@ -90,9 +90,12 @@ func TestDecoderStickyError(t *testing.T) {
 func TestSealOpenRoundTrip(t *testing.T) {
 	payload := []byte("fabric state goes here")
 	data := Seal(0xfeedface, payload)
-	hash, got, err := Open(data)
+	ver, hash, got, err := Open(data)
 	if err != nil {
 		t.Fatalf("Open: %v", err)
+	}
+	if ver != Version {
+		t.Errorf("version = %d, want %d", ver, Version)
 	}
 	if hash != 0xfeedface {
 		t.Errorf("hash = %#x", hash)
@@ -102,35 +105,67 @@ func TestSealOpenRoundTrip(t *testing.T) {
 	}
 }
 
+func TestSealAtOldVersion(t *testing.T) {
+	payload := []byte("older state")
+	data := SealAt(MinVersion, 42, payload)
+	ver, hash, got, err := Open(data)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	if ver != MinVersion {
+		t.Errorf("version = %d, want %d", ver, MinVersion)
+	}
+	if hash != 42 || string(got) != string(payload) {
+		t.Errorf("hash = %d payload = %q", hash, got)
+	}
+	// Versions outside the decodable range are a programming error.
+	for _, bad := range []uint32{MinVersion - 1, Version + 1} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("SealAt(%d) did not panic", bad)
+				}
+			}()
+			SealAt(bad, 0, nil)
+		}()
+	}
+}
+
 func TestOpenRejectsCorruption(t *testing.T) {
 	payload := []byte("some state")
 	data := Seal(7, payload)
 
 	// Truncated.
-	if _, _, err := Open(data[:len(data)-3]); err == nil {
+	if _, _, _, err := Open(data[:len(data)-3]); err == nil {
 		t.Error("expected error for truncated file")
 	}
 	// Short header.
-	if _, _, err := Open(data[:10]); err == nil {
+	if _, _, _, err := Open(data[:10]); err == nil {
 		t.Error("expected error for short header")
 	}
 	// Flipped payload byte breaks the CRC.
 	bad := append([]byte(nil), data...)
 	bad[len(bad)-1] ^= 0xff
-	if _, _, err := Open(bad); err == nil || !strings.Contains(err.Error(), "CRC") {
+	if _, _, _, err := Open(bad); err == nil || !strings.Contains(err.Error(), "CRC") {
 		t.Errorf("expected CRC error, got %v", err)
 	}
 	// Bad magic.
 	bad = append([]byte(nil), data...)
 	bad[0] = 'X'
-	if _, _, err := Open(bad); err == nil || !strings.Contains(err.Error(), "magic") {
+	if _, _, _, err := Open(bad); err == nil || !strings.Contains(err.Error(), "magic") {
 		t.Errorf("expected magic error, got %v", err)
 	}
 	// Unknown version.
 	bad = append([]byte(nil), data...)
 	bad[8] = 0xff
-	if _, _, err := Open(bad); err == nil || !strings.Contains(err.Error(), "version") {
+	if _, _, _, err := Open(bad); err == nil || !strings.Contains(err.Error(), "version") {
 		t.Errorf("expected version error, got %v", err)
+	}
+	// A version older than MinVersion is refused too.
+	bad = append([]byte(nil), data...)
+	bad[8] = byte(MinVersion - 1)
+	if _, _, _, err := Open(bad); err == nil || !strings.Contains(err.Error(), "version") {
+		t.Errorf("expected version error for pre-MinVersion file, got %v", err)
 	}
 }
 
@@ -141,18 +176,21 @@ func TestWriteFileAtomicAndReadBack(t *testing.T) {
 	if err := WriteFile(path, 99, payload); err != nil {
 		t.Fatalf("WriteFile: %v", err)
 	}
-	got, err := ReadFile(path, 99)
+	got, ver, err := ReadFile(path, 99)
 	if err != nil {
 		t.Fatalf("ReadFile: %v", err)
 	}
 	if string(got) != string(payload) {
 		t.Errorf("payload = %q", got)
 	}
+	if ver != Version {
+		t.Errorf("version = %d, want %d", ver, Version)
+	}
 	// Overwrite with a second checkpoint; the rename must replace it.
 	if err := WriteFile(path, 99, []byte("checkpoint two")); err != nil {
 		t.Fatalf("WriteFile overwrite: %v", err)
 	}
-	got, err = ReadFile(path, 99)
+	got, _, err = ReadFile(path, 99)
 	if err != nil {
 		t.Fatalf("ReadFile after overwrite: %v", err)
 	}
@@ -168,7 +206,7 @@ func TestWriteFileAtomicAndReadBack(t *testing.T) {
 		t.Errorf("directory has %d entries, want just the checkpoint", len(entries))
 	}
 	// Hash mismatch rejected.
-	if _, err := ReadFile(path, 100); err == nil {
+	if _, _, err := ReadFile(path, 100); err == nil {
 		t.Error("expected configuration-hash mismatch error")
 	}
 }

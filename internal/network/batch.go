@@ -29,6 +29,9 @@ func transientHold(spec traffic.ConnSpec) vcm.VCState {
 type OpenReq struct {
 	Src, Dst int
 	Spec     traffic.ConnSpec
+	// Tenant names the admission-quota owner of the session ("" is the
+	// default tenant, unlimited unless a quota is configured for "").
+	Tenant string
 }
 
 // OpenResult reports one request's outcome: the established connection,
@@ -272,17 +275,23 @@ func (n *Network) openBatched(bs *batchState, req OpenReq) OpenResult {
 	}
 	n.m.setupAttempts++
 	d := n.demandFor(req.Spec)
+	// Tenant quota is the cheapest pre-check of all: no fabric state read.
+	if !n.tenants.CanAdmit(req.Tenant, d.alloc) {
+		n.m.setupRejected++
+		return OpenResult{Err: tenantQuotaError(req.Tenant, n.tenants)}
+	}
 	if err := n.precheck(bs, req, d); err != nil {
 		n.m.setupRejected++
 		return OpenResult{Err: err}
 	}
 	conn := bs.conn()
-	*conn = Conn{ID: flit.ConnID(len(n.conns)), Src: req.Src, Dst: req.Dst, Spec: req.Spec, dstSlot: -1}
+	*conn = Conn{ID: flit.ConnID(len(n.conns)), Src: req.Src, Dst: req.Dst, Tenant: req.Tenant, Spec: req.Spec, dstSlot: -1}
 	if err := n.establishBatch(conn, bs, d); err != nil {
 		bs.uncommit()
 		n.m.setupRejected++
 		return OpenResult{Err: err}
 	}
+	n.tenants.AdmitSession(req.Tenant, d.alloc)
 	n.conns = append(n.conns, conn)
 	n.nodes[req.Src].srcConns = append(n.nodes[req.Src].srcConns, conn)
 	n.assignTrackerSlot(conn)

@@ -5,6 +5,7 @@ import (
 	"math"
 	"sort"
 
+	"mmr/internal/admission"
 	"mmr/internal/checkpoint"
 	"mmr/internal/faults"
 	"mmr/internal/flit"
@@ -45,24 +46,33 @@ import (
 // active establishment probe, or a pending event that is not in the
 // durable journal (anything scheduled via Network.Schedule directly).
 func (n *Network) EncodeState() ([]byte, error) {
+	payload, _, err := n.encodeStateParts()
+	return payload, err
+}
+
+// encodeStateParts encodes the payload and reports where the v4 trailer
+// begins — payload[:trailerStart] is byte-identical to what a version-3
+// writer produced, which the compatibility tests exploit to fabricate
+// genuine old-format checkpoints.
+func (n *Network) encodeStateParts() ([]byte, int, error) {
 	if n.activeProbes > 0 {
-		return nil, fmt.Errorf("network: cannot checkpoint with %d establishment probes in flight", n.activeProbes)
+		return nil, 0, fmt.Errorf("network: cannot checkpoint with %d establishment probes in flight", n.activeProbes)
 	}
 	if p := n.events.Pending(); p != len(n.durables) {
-		return nil, fmt.Errorf("network: cannot checkpoint: %d pending events but only %d in the durable journal (events scheduled via Schedule hold closures a checkpoint cannot serialize)", p, len(n.durables))
+		return nil, 0, fmt.Errorf("network: cannot checkpoint: %d pending events but only %d in the durable journal (events scheduled via Schedule hold closures a checkpoint cannot serialize)", p, len(n.durables))
 	}
 	for _, nd := range n.nodes {
 		if len(nd.dropCredits) != 0 {
-			return nil, fmt.Errorf("network: cannot checkpoint mid-cycle: node %d has staged drop credits", nd.id)
+			return nil, 0, fmt.Errorf("network: cannot checkpoint mid-cycle: node %d has staged drop credits", nd.id)
 		}
 		for p := range nd.claim {
 			if nd.claim[p].vc != -1 {
-				return nil, fmt.Errorf("network: cannot checkpoint mid-cycle: node %d has a staged VC claim on port %d", nd.id, p)
+				return nil, 0, fmt.Errorf("network: cannot checkpoint mid-cycle: node %d has a staged VC claim on port %d", nd.id, p)
 			}
 		}
 	}
 	if err := n.quiesce(); err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 
 	e := checkpoint.NewEncoder()
@@ -164,13 +174,13 @@ func (n *Network) EncodeState() ([]byte, error) {
 		e.Bool(c.src != nil)
 		if c.src != nil {
 			if err := encodeConnSource(e, c); err != nil {
-				return nil, err
+				return nil, 0, err
 			}
 		}
 		e.Int(c.niQueue.Len())
 		for i := 0; i < c.niQueue.Len(); i++ {
 			if err := encodeFlit(e, c.niQueue.At(i)); err != nil {
-				return nil, err
+				return nil, 0, err
 			}
 		}
 	}
@@ -194,14 +204,14 @@ func (n *Network) EncodeState() ([]byte, error) {
 			e.F64(st.PerCycle)
 			e.F64(st.Acc)
 		default:
-			return nil, fmt.Errorf("network: best-effort flow has unserializable generator %T", bf.gen)
+			return nil, 0, fmt.Errorf("network: best-effort flow has unserializable generator %T", bf.gen)
 		}
 		e.I64(bf.lastTick)
 		e.I64(bf.nextDue)
 		e.Int(bf.niQueue.Len())
 		for i := 0; i < bf.niQueue.Len(); i++ {
 			if err := encodeFlit(e, bf.niQueue.At(i)); err != nil {
-				return nil, err
+				return nil, 0, err
 			}
 		}
 	}
@@ -277,7 +287,7 @@ func (n *Network) EncodeState() ([]byte, error) {
 				e.Int(ln)
 				for i := 0; i < ln; i++ {
 					if err := encodeFlit(e, mem.FlitAt(vc, i)); err != nil {
-						return nil, err
+						return nil, 0, err
 					}
 				}
 			}
@@ -332,7 +342,7 @@ func (n *Network) EncodeState() ([]byte, error) {
 				e.I64(lf.arriveAt)
 				e.Int(lf.vc)
 				if err := encodeFlit(e, lf.f); err != nil {
-					return nil, err
+					return nil, 0, err
 				}
 			}
 
@@ -421,7 +431,35 @@ func (n *Network) EncodeState() ([]byte, error) {
 	}
 	e.I64(n.nextOpenID)
 
-	return e.Bytes(), nil
+	// --- version 4 trailer: tenant admission state and re-promotion
+	// bookkeeping. Strictly appended so payload[:trailerStart] remains a
+	// valid version-3 payload. Tenant *usage* and the degradedLive
+	// counter are deliberately not serialized: both are recomputed from
+	// the restored connections, so they can never disagree with them.
+	trailerStart := e.Len()
+	for _, c := range n.conns {
+		e.String(c.Tenant)
+	}
+	for _, id := range ids {
+		e.String(n.openRetries[id].tenant)
+	}
+	qnames := make([]string, 0)
+	for _, name := range n.tenants.Names() {
+		if _, ok := n.tenants.Quota(name); ok {
+			qnames = append(qnames, name)
+		}
+	}
+	e.Int(len(qnames))
+	for _, name := range qnames {
+		q, _ := n.tenants.Quota(name)
+		e.String(name)
+		e.Int(q.MaxSessions)
+		e.Int(q.MaxGuaranteed)
+	}
+	e.I64(m.connsPromoted)
+	e.I64(n.promoteGen)
+
+	return e.Bytes(), trailerStart, nil
 }
 
 // RestoreState deserializes a payload produced by EncodeState into n,
@@ -430,7 +468,24 @@ func (n *Network) EncodeState() ([]byte, error) {
 // Do not call ApplyPlan or schedule anything before restoring — the
 // checkpoint carries the fault schedule and every pending event. After
 // a successful restore the global resource invariants are audited.
+// The payload is assumed to be current-format; RestoreStateVersion
+// decodes older formats.
 func (n *Network) RestoreState(payload []byte) error {
+	return n.RestoreStateVersion(payload, checkpoint.Version)
+}
+
+// RestoreStateVersion is RestoreState for a payload written at an
+// explicit format version (as reported by the envelope). Version 3
+// payloads predate tenant quotas and re-promotion: they restore with
+// every session on the default tenant, no quotas, and a zero promotion
+// generation, and their degraded connections — which the old lifecycle
+// left with the broken flag still set — are normalized to the
+// Degraded-implies-not-broken invariant the promotion subsystem
+// depends on.
+func (n *Network) RestoreStateVersion(payload []byte, ver uint32) error {
+	if ver < checkpoint.MinVersion || ver > checkpoint.Version {
+		return fmt.Errorf("network: cannot restore format version %d (decodable range %d..%d)", ver, checkpoint.MinVersion, checkpoint.Version)
+	}
 	if n.now != 0 || len(n.conns) != 0 || len(n.beFlows) != 0 ||
 		n.events.Pending() != 0 || len(n.sessionLog) != 0 || len(n.faultSchedule) != 0 {
 		return fmt.Errorf("network: restore target must be a freshly built network")
@@ -884,6 +939,7 @@ func (n *Network) RestoreState(payload []byte) error {
 	if err := checkCount(d, nOR, "open retries"); err != nil {
 		return err
 	}
+	orIDs := make([]int64, 0, nOR)
 	for i := 0; i < nOR; i++ {
 		id := d.I64()
 		or := &openRetry{}
@@ -893,9 +949,44 @@ func (n *Network) RestoreState(payload []byte) error {
 		or.attempt = d.Int()
 		if d.Err() == nil {
 			n.openRetries[id] = or
+			orIDs = append(orIDs, id)
 		}
 	}
 	n.nextOpenID = d.I64()
+
+	if ver >= 4 {
+		// v4 trailer: tenant owners (conn order, then open-retry order as
+		// written — ascending ID), quota table, promotion bookkeeping.
+		for _, c := range n.conns {
+			c.Tenant = d.String()
+		}
+		for _, id := range orIDs {
+			n.openRetries[id].tenant = d.String()
+		}
+		nq := d.Int()
+		if err := checkCount(d, nq, "tenant quotas"); err != nil {
+			return err
+		}
+		for i := 0; i < nq; i++ {
+			name := d.String()
+			q := admission.TenantQuota{MaxSessions: d.Int(), MaxGuaranteed: d.Int()}
+			if d.Err() == nil {
+				n.tenants.SetQuota(name, q)
+			}
+		}
+		m.connsPromoted = d.I64()
+		n.promoteGen = d.I64()
+	} else {
+		// v3: the old fault lifecycle left degraded connections with the
+		// broken flag still set; normalize to the current invariant
+		// (Degraded implies !broken; only lost keeps broken) so promotion
+		// cannot resurrect a half-broken connection.
+		for _, c := range n.conns {
+			if c.Degraded && !c.lost {
+				c.broken = false
+			}
+		}
+	}
 
 	if err := d.Err(); err != nil {
 		return err
@@ -904,6 +995,27 @@ func (n *Network) RestoreState(payload []byte) error {
 		return fmt.Errorf("network: checkpoint has %d trailing bytes", r)
 	}
 	n.rng.Restore(masterRNG)
+
+	// Derived admission state: recomputed from the restored connections
+	// (for either version) so counters and charges can never drift from
+	// the sessions they describe. Guaranteed bandwidth is charged while a
+	// session holds (or is awaiting restoration of) a guaranteed path;
+	// a degraded session holds only its session slot.
+	n.degradedLive = 0
+	n.tenants.ResetUsage()
+	for _, c := range n.conns {
+		if c.Degraded && !c.closed {
+			n.degradedLive++
+		}
+		if c.closed || c.lost {
+			continue
+		}
+		g := 0
+		if c.open || c.broken {
+			g = n.demandFor(c.Spec).alloc
+		}
+		n.tenants.RestoreSession(c.Tenant, g)
+	}
 
 	if err := n.CheckInvariants(); err != nil {
 		return fmt.Errorf("network: restored state fails the resource audit: %w", err)
@@ -977,11 +1089,11 @@ func RestoreCheckpoint(cfg Config, path string) (*Network, error) {
 	if err != nil {
 		return nil, err
 	}
-	payload, err := checkpoint.ReadFile(path, n.ConfigHash())
+	payload, ver, err := checkpoint.ReadFile(path, n.ConfigHash())
 	if err != nil {
 		return nil, err
 	}
-	if err := n.RestoreState(payload); err != nil {
+	if err := n.RestoreStateVersion(payload, ver); err != nil {
 		return nil, err
 	}
 	return n, nil
@@ -1056,6 +1168,12 @@ func (n *Network) ConfigHash() uint64 {
 	if cfg.Route != routing.RouteMinimal {
 		mixStr("route")
 		mix(uint64(cfg.Route))
+	}
+	// Promote changes which establishments run, so it is simulated
+	// configuration too. Mixed only when disabled: it defaults on, and
+	// every checkpoint written before the knob existed hashes as enabled.
+	if !cfg.Fault.Promote {
+		mixStr("nopromote")
 	}
 	return h
 }

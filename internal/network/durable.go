@@ -29,6 +29,10 @@ const (
 	durRestore
 	// durOpenRetry runs the next queued re-search of openRetries[a].
 	durOpenRetry
+	// durPromote runs a re-promotion scan over degraded connections:
+	// a is the promotion generation the scan belongs to (stale
+	// generations no-op), b is the scan's backoff attempt.
+	durPromote
 )
 
 // durableEvent is one journaled control-plane event: its engine
@@ -50,6 +54,7 @@ type durableEvent struct {
 // "retry pending".
 type openRetry struct {
 	src, dst int
+	tenant   string
 	spec     traffic.ConnSpec
 	attempt  int
 	done     func(*Conn, error)
@@ -77,6 +82,8 @@ func (n *Network) fireDurable(ev *durableEvent) {
 		n.restoreAttempt(n.conns[ev.a], int(ev.b))
 	case durOpenRetry:
 		n.openAttempt(ev.a)
+	case durPromote:
+		n.promoteScan(ev.a, int(ev.b))
 	default:
 		panic(fmt.Sprintf("network: unknown durable event kind %d", ev.kind))
 	}
@@ -115,6 +122,9 @@ func (n *Network) restoreAttempt(c *Conn, attempt int) {
 		if n.cfg.Fault.Paranoid {
 			n.mustInvariants()
 		}
+		// A successful restoration proves establishment is finding
+		// resources again — give degraded sessions a shot too.
+		n.schedulePromotion()
 		return
 	}
 	if attempt >= n.cfg.Fault.MaxRetries {
@@ -134,7 +144,7 @@ func (n *Network) openAttempt(id int64) {
 	if !ok {
 		return
 	}
-	c, err := n.Open(or.src, or.dst, or.spec)
+	c, err := n.OpenAs(or.tenant, or.src, or.dst, or.spec)
 	if err == nil {
 		delete(n.openRetries, id)
 		if or.done != nil {

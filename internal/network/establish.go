@@ -3,6 +3,7 @@ package network
 import (
 	"fmt"
 
+	"mmr/internal/admission"
 	"mmr/internal/flit"
 	"mmr/internal/routing"
 	"mmr/internal/traffic"
@@ -22,17 +23,34 @@ var searchHook func()
 // are installed at every router and the source begins injecting.
 //
 // Open is a single synchronous attempt; OpenWithRetry adds bounded,
-// jittered exponential-backoff re-searches over event time.
+// jittered exponential-backoff re-searches over event time. The session
+// belongs to the default tenant; OpenAs names one.
 func (n *Network) Open(src, dst int, spec traffic.ConnSpec) (*Conn, error) {
+	return n.OpenAs("", src, dst, spec)
+}
+
+// OpenAs is Open on behalf of a tenant: the session and its guaranteed
+// demand are charged against the tenant's admission quota
+// (internal/admission.TenantTable) before any path search runs, so an
+// over-budget tenant is refused without spending fabric work, and the
+// charge follows the session through degradation (bandwidth refunded,
+// session kept) and re-promotion (bandwidth re-charged).
+func (n *Network) OpenAs(tenant string, src, dst int, spec traffic.ConnSpec) (*Conn, error) {
 	if err := n.checkEndpoints(src, dst, spec); err != nil {
 		return nil, err
 	}
 	n.m.setupAttempts++
-	conn := &Conn{ID: flit.ConnID(len(n.conns)), Src: src, Dst: dst, Spec: spec, dstSlot: -1}
+	d := n.demandFor(spec)
+	if !n.tenants.CanAdmit(tenant, d.alloc) {
+		n.m.setupRejected++
+		return nil, tenantQuotaError(tenant, n.tenants)
+	}
+	conn := &Conn{ID: flit.ConnID(len(n.conns)), Src: src, Dst: dst, Tenant: tenant, Spec: spec, dstSlot: -1}
 	if err := n.establish(conn); err != nil {
 		n.m.setupRejected++
 		return nil, err
 	}
+	n.tenants.AdmitSession(tenant, d.alloc)
 	n.conns = append(n.conns, conn)
 	n.nodes[src].srcConns = append(n.nodes[src].srcConns, conn)
 	n.assignTrackerSlot(conn)
@@ -54,10 +72,17 @@ func (n *Network) Open(src, dst int, spec traffic.ConnSpec) (*Conn, error) {
 // behaviour. The done callback does not: a restored fabric replays the
 // remaining attempts but reports completion to no one.
 func (n *Network) OpenWithRetry(src, dst int, spec traffic.ConnSpec, done func(*Conn, error)) error {
+	return n.OpenWithRetryAs("", src, dst, spec, done)
+}
+
+// OpenWithRetryAs is OpenWithRetry on behalf of a tenant; the tenant
+// rides the durable retry journal, so re-searches after a restore are
+// still quota-charged to the right owner.
+func (n *Network) OpenWithRetryAs(tenant string, src, dst int, spec traffic.ConnSpec, done func(*Conn, error)) error {
 	if err := n.checkEndpoints(src, dst, spec); err != nil {
 		return err
 	}
-	c, err := n.Open(src, dst, spec)
+	c, err := n.OpenAs(tenant, src, dst, spec)
 	if err == nil {
 		if done != nil {
 			done(c, nil)
@@ -72,11 +97,19 @@ func (n *Network) OpenWithRetry(src, dst int, spec traffic.ConnSpec, done func(*
 	}
 	id := n.nextOpenID
 	n.nextOpenID++
-	n.openRetries[id] = &openRetry{src: src, dst: dst, spec: spec, attempt: 1, done: done}
+	n.openRetries[id] = &openRetry{src: src, dst: dst, tenant: tenant, spec: spec, attempt: 1, done: done}
 	delay := n.retryBackoff(0)
 	n.m.setupRetries++
 	n.scheduleDurable(n.now+delay, durOpenRetry, id, 0)
 	return nil
+}
+
+// tenantQuotaError renders the rejection for a tenant over its admission
+// quota, naming the tenant and its current holdings.
+func tenantQuotaError(tenant string, t *admission.TenantTable) error {
+	u := t.Usage(tenant)
+	return fmt.Errorf("network: tenant %q over admission quota (%d sessions, %d guaranteed cycles held)",
+		tenant, u.Sessions, u.Guaranteed)
 }
 
 // retryBackoff returns the wait before re-search attempt k (0-based):
@@ -382,10 +415,14 @@ func (n *Network) Close(conn *Conn) error {
 		// The guaranteed path was torn down when the fault broke the
 		// connection; closing the session now means retiring its
 		// best-effort fallback flow so a long-lived fabric does not
-		// accumulate immortal generators across churn.
+		// accumulate immortal generators across churn. (The degraded and
+		// broken branches are order-independent since abandon normalized
+		// the flags: Degraded implies !broken.)
 		n.dropBEFlow(conn.ID)
 		conn.closed = true
+		n.degradedLive--
 		n.m.closed++
+		n.tenants.ReleaseSession(conn.Tenant)
 		return nil
 	}
 	if conn.broken {
@@ -412,6 +449,10 @@ func (n *Network) Close(conn *Conn) error {
 	n.releasePath(conn)
 	n.dropSrcConn(conn)
 	n.m.closed++
+	n.tenants.ReleaseAll(conn.Tenant, n.demandFor(conn.Spec).alloc)
+	// The close freed guaranteed cycles along the whole path — capacity a
+	// degraded session may be waiting on.
+	n.schedulePromotion()
 	return nil
 }
 

@@ -86,6 +86,7 @@ func (n *Network) RestoreLink(nodeID, port int) error {
 	n.logEvent(SessionEvent{Kind: "link-up", Conn: flit.InvalidConn, Node: nodeID, Port: port})
 	n.recordFlight(nodeID, evLinkUp, int32(port), int32(tp.Wired(nodeID, port)), 0)
 	n.afterTransition()
+	n.schedulePromotion()
 	return nil
 }
 
@@ -125,6 +126,7 @@ func (n *Network) RestoreRouter(nodeID int) error {
 	}
 	if restored {
 		n.afterTransition()
+		n.schedulePromotion()
 	}
 	return nil
 }
@@ -152,9 +154,11 @@ func (n *Network) failLink(nodeID, port int) {
 	n.clearStaleOutputs(peer, peerPort)
 
 	// Tear down every connection whose path crosses the link, in either
-	// direction.
+	// direction. Degraded connections are skipped explicitly: their Path
+	// is the stale record of the guaranteed route they lost, already
+	// fully released — matching on it would double-release.
 	for _, c := range n.conns {
-		if c.closed || c.broken {
+		if c.closed || c.broken || c.Degraded {
 			continue
 		}
 		for _, hop := range c.Path {
@@ -218,7 +222,7 @@ func (n *Network) clearStaleOutputs(nodeID, port int) {
 // bandwidth are released. Afterwards the connection holds no resources;
 // restoration (or degradation) is scheduled per the fault policy.
 func (n *Network) breakConn(c *Conn, reason string) {
-	if c.closed || c.broken {
+	if c.closed || c.broken || c.Degraded {
 		return
 	}
 	// Catch the source up to the break point before injection stops: the
@@ -288,13 +292,9 @@ func (n *Network) breakConn(c *Conn, reason string) {
 	}
 	n.releasePath(c)
 
-	switch {
-	case c.Degraded:
-		// Already downgraded once; the best-effort fallback flow is in
-		// place, nothing further to restore.
-	case n.cfg.Fault.Restore:
+	if n.cfg.Fault.Restore {
 		n.scheduleRestore(c)
-	default:
+	} else {
 		n.abandon(c)
 	}
 }
@@ -310,10 +310,24 @@ func (n *Network) scheduleRestore(c *Conn) {
 // abandon gives up on restoring a broken connection: with Degrade set it
 // becomes a best-effort packet flow at the same mean rate (jitter bounds
 // are forfeit but the session survives); otherwise it is lost.
+//
+// State-flag invariant: a degraded connection is Degraded && !broken.
+// The broken flag is cleared here so exactly one of {open, broken,
+// Degraded, lost, closed} describes a connection's lifecycle stage —
+// promotion (promote.go) relies on this to never revive a conn that is
+// still mid-teardown, and Close's branch ordering stops being
+// load-bearing. A lost connection keeps broken set: it is terminal and
+// holds nothing, and the flag records how it died.
 func (n *Network) abandon(c *Conn) {
 	if n.cfg.Fault.Degrade {
 		c.Degraded = true
+		c.broken = false
 		n.m.connsDegraded++
+		n.degradedLive++
+		// The guaranteed-bandwidth charge is returned to the tenant's
+		// budget: the session continues, but only as best-effort. The
+		// session count stays charged until the session closes or is lost.
+		n.tenants.ReleaseGuaranteed(c.Tenant, n.demandFor(c.Spec).alloc)
 		bf := &beFlow{
 			src: c.Src, dst: c.Dst, conn: c.ID,
 			gen: traffic.NewCBRSource(n.cfg.Link, c.Spec.Rate, 0),
@@ -332,6 +346,8 @@ func (n *Network) abandon(c *Conn) {
 	c.lost = true
 	n.dropSrcConn(c)
 	n.m.connsLost++
+	n.tenants.ReleaseGuaranteed(c.Tenant, n.demandFor(c.Spec).alloc)
+	n.tenants.ReleaseSession(c.Tenant)
 	n.logEvent(SessionEvent{Kind: "conn-lost", Conn: c.ID, Node: c.Src, Port: -1,
 		Detail: "restoration failed; session dropped"})
 	n.recordFlight(c.Src, evConnLost, int32(c.Dst), -1, int64(c.ID))

@@ -29,8 +29,9 @@ import (
 //     of the live connections' demands crossing it (with transient probe
 //     holds allowed to push it higher, never lower).
 //
-// "Live" means established and not closed or fault-broken — a broken
-// connection must hold nothing at all.
+// "Live" means established and not closed, fault-broken, or degraded —
+// a broken or degraded connection must hold nothing at all (a degraded
+// session's traffic rides an unreserved best-effort fallback flow).
 func (n *Network) CheckInvariants() error {
 	type vcKey struct{ node, port, vc int }
 	type outKey struct{ node, port int }
@@ -41,7 +42,7 @@ func (n *Network) CheckInvariants() error {
 	hp := n.cfg.hostPort()
 
 	for _, c := range n.conns {
-		if c.closed || c.broken {
+		if c.closed || c.broken || c.Degraded {
 			continue
 		}
 		d := n.demandFor(c.Spec)

@@ -17,8 +17,23 @@ import (
 // (allocation, inter-arrival spacing) and the source's injection rate
 // switch to the new rate from the next cycle.
 func (n *Network) ModifyBandwidth(c *Conn, rate traffic.Rate) error {
-	if c == nil || !c.open || c.closed || c.broken {
-		return fmt.Errorf("network: connection is not open")
+	// Each refusal names the actual lifecycle state, so a caller can tell
+	// "retry later" (broken: restoration is pending) from "renegotiate the
+	// session" (degraded: no guaranteed path exists to modify) from
+	// "give up" (closed/lost).
+	switch {
+	case c == nil:
+		return fmt.Errorf("network: ModifyBandwidth on nil connection")
+	case c.closed:
+		return fmt.Errorf("network: connection %d is closed", c.ID)
+	case c.lost:
+		return fmt.Errorf("network: connection %d was lost (restoration exhausted)", c.ID)
+	case c.Degraded:
+		return fmt.Errorf("network: connection %d is degraded to best-effort; it holds no guaranteed path to modify (re-promotion will restore one when capacity returns)", c.ID)
+	case c.broken:
+		return fmt.Errorf("network: connection %d is fault-broken; restoration is pending, retry after it completes", c.ID)
+	case !c.open:
+		return fmt.Errorf("network: connection %d is not open", c.ID)
 	}
 	if c.Spec.Class != flit.ClassCBR {
 		return fmt.Errorf("network: ModifyBandwidth supports CBR connections, got %v", c.Spec.Class)
@@ -33,6 +48,13 @@ func (n *Network) ModifyBandwidth(c *Conn, rate traffic.Rate) error {
 	dNew := n.demandFor(newSpec)
 	delta := dNew.alloc - dOld.alloc
 
+	// Growth is charged against the tenant's guaranteed-bandwidth budget
+	// before any link register is touched; shrinking refunds it.
+	if !n.tenants.AdjustGuaranteed(c.Tenant, delta) {
+		n.m.setupRejected++
+		return fmt.Errorf("network: tenant %q over guaranteed-bandwidth quota growing connection %d to %v", c.Tenant, c.ID, rate)
+	}
+
 	// The connection holds bandwidth on each hop's output plus the
 	// destination host port — the same set establishment admitted on.
 	type out struct{ node, port int }
@@ -46,6 +68,7 @@ func (n *Network) ModifyBandwidth(c *Conn, rate traffic.Rate) error {
 			for _, u := range outs[:i] {
 				n.nodes[u.node].alloc[u.port].AdjustCBR(-delta)
 			}
+			n.tenants.AdjustGuaranteed(c.Tenant, -delta)
 			n.m.setupRejected++
 			return fmt.Errorf("network: output %d:%d cannot grow connection %d to %v", o.node, o.port, c.ID, rate)
 		}
@@ -76,6 +99,11 @@ func (n *Network) ModifyBandwidth(c *Conn, rate traffic.Rate) error {
 	n.recordFlight(c.Src, evConnModified, int32(c.Dst), int32(dNew.alloc), int64(c.ID))
 	if n.cfg.Fault.Paranoid {
 		n.mustInvariants()
+	}
+	if delta < 0 {
+		// Shrinking frees guaranteed cycles along the path — capacity a
+		// degraded session's re-promotion may now fit into.
+		n.schedulePromotion()
 	}
 	return nil
 }

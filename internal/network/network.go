@@ -105,6 +105,13 @@ type FaultPolicy struct {
 	// disabled) to a best-effort packet flow at the same rate instead of
 	// dropping the session.
 	Degrade bool
+	// Promote re-establishes degraded connections back to guaranteed
+	// service when capacity returns (link/router repairs, closes,
+	// bandwidth shrinks) — §4.3's renegotiation applied to the fault
+	// lifecycle. Scans are budget-bounded and ride the serial event path
+	// with jittered backoff, so the flit-cycle hot path is untouched.
+	// Requires Degrade (without it nothing ever degrades).
+	Promote bool
 	// Paranoid audits the global resource invariants after every fault
 	// transition and panics on a violation (test mode; the audit is only
 	// run at transitions, so it is cheap enough to leave on).
@@ -132,6 +139,7 @@ func DefaultConfig(t *topology.Topology) Config {
 			MaxRetries:   5,
 			RetryBackoff: 32,
 			Degrade:      true,
+			Promote:      true,
 			Paranoid:     true,
 		},
 	}
@@ -303,6 +311,7 @@ const (
 type Conn struct {
 	ID         flit.ConnID
 	Src, Dst   int
+	Tenant     string // admission-quota owner ("" = default tenant, unlimited)
 	Spec       traffic.ConnSpec
 	Path       []routing.PathHop // (node, outPort) hops, src router → dst router
 	VCs        []routing.VCRef   // reserved input (port, VC) at each router on the path
@@ -386,6 +395,22 @@ type Network struct {
 	openRetries   map[int64]*openRetry
 	nextOpenID    int64
 
+	// Re-promotion state (promote.go). promoteGen is bumped on every
+	// capacity-returning trigger so a stale journaled scan no-ops instead
+	// of firing with an outdated backoff position; degradedLive counts
+	// sessions currently degraded and not closed, so triggers on the
+	// close-heavy path are O(1) when nothing is degraded; promoteScratch
+	// is the reusable candidate buffer of the (rare) scan events.
+	promoteGen     int64
+	degradedLive   int
+	promoteScratch []*Conn
+
+	// tenants is the per-tenant admission quota/usage table (see
+	// internal/admission). Quotas are runtime state (set through the
+	// daemon API), not configuration: they ride the checkpoint payload,
+	// not the config hash.
+	tenants *admission.TenantTable
+
 	// Fault-injection runtime: per-directed-link impairments, in-flight
 	// probe count (transient VC holds the invariant checker must allow),
 	// and the session event log.
@@ -452,7 +477,7 @@ type Network struct {
 // post-mortem analysis of a run.
 type SessionEvent struct {
 	Cycle      int64
-	Kind       string // link-down, link-up, router-down, router-up, conn-broken, conn-restored, conn-degraded, conn-lost
+	Kind       string // link-down, link-up, router-down, router-up, conn-broken, conn-restored, conn-degraded, conn-promoted, conn-lost
 	Conn       flit.ConnID
 	Node, Port int
 	Detail     string
@@ -482,6 +507,7 @@ func New(cfg Config) (*Network, error) {
 		impair:      map[[2]int]faults.Impairment{},
 		durables:    map[uint64]*durableEvent{},
 		openRetries: map[int64]*openRetry{},
+		tenants:     admission.NewTenantTable(),
 	}
 	n.ud = routing.NewUpDown(cfg.Topology, n.dists)
 	n.mp = routing.NewMultipath(cfg.Topology, n.dists, n.ud)
@@ -638,6 +664,29 @@ func (n *Network) dropSrcConn(c *Conn) {
 		}
 	}
 }
+
+// insertSrcConn re-adds a revived (promoted) connection to its source
+// node's injector list at its ID-sorted position. Live lists are always
+// ID-ascending — Opens append in ID order and dropSrcConn preserves
+// relative order — and checkpoint restore rebuilds them by iterating
+// conns in ID order, so a plain append here would make a promoted
+// fabric inject in a different order than its restored twin and break
+// bit-exactness.
+func (n *Network) insertSrcConn(c *Conn) {
+	nd := n.nodes[c.Src]
+	i := len(nd.srcConns)
+	for i > 0 && nd.srcConns[i-1].ID > c.ID {
+		i--
+	}
+	nd.srcConns = append(nd.srcConns, nil)
+	copy(nd.srcConns[i+1:], nd.srcConns[i:])
+	nd.srcConns[i] = c
+}
+
+// Tenants exposes the per-tenant admission quota table. Mutate it only
+// from the serial control path (between steps, or on the daemon's
+// fabric goroutine).
+func (n *Network) Tenants() *admission.TenantTable { return n.tenants }
 
 // issueFlowID mints the next best-effort flow owner handle.
 func (n *Network) issueFlowID() FlowID {

@@ -38,6 +38,7 @@ const (
 	evFlitCorrupted
 	evInvariantFail
 	evConnModified
+	evConnPromoted
 )
 
 // FlightEventName decodes a network flight-recorder event code.
@@ -63,6 +64,8 @@ func FlightEventName(code uint16) string {
 		return "invariant-fail"
 	case evConnModified:
 		return "conn-modified"
+	case evConnPromoted:
+		return "conn-promoted"
 	default:
 		return fmt.Sprintf("code=%d", code)
 	}
@@ -106,6 +109,7 @@ type netMetrics struct {
 	connsBroken    metrics.Counter
 	connsRestored  metrics.Counter
 	connsDegraded  metrics.Counter
+	connsPromoted  metrics.Counter
 	connsLost      metrics.Counter
 
 	// Gauges computed from live state by the gather collector.
@@ -187,6 +191,7 @@ func (n *Network) initMetrics() {
 	nm.connsBroken = reg.Counter("mmr_net_conns_broken_total", "connections torn down by faults")
 	nm.connsRestored = reg.Counter("mmr_net_conns_restored_total", "connections re-established on a surviving path")
 	nm.connsDegraded = reg.Counter("mmr_net_conns_degraded_total", "connections downgraded to best-effort")
+	nm.connsPromoted = reg.Counter("mmr_net_conns_promoted_total", "connections re-promoted from best-effort to guaranteed service")
 	nm.connsLost = reg.Counter("mmr_net_conns_lost_total", "connections abandoned after failed restoration")
 
 	nm.cycles = reg.Gauge("mmr_net_cycles", "flit cycles simulated since the last stats reset")
@@ -257,6 +262,7 @@ func (n *Network) collectMetrics() {
 	s0.Store(nm.connsBroken, m.connsBroken)
 	s0.Store(nm.connsRestored, m.connsRestored)
 	s0.Store(nm.connsDegraded, m.connsDegraded)
+	s0.Store(nm.connsPromoted, m.connsPromoted)
 	s0.Store(nm.connsLost, m.connsLost)
 	s0.Set(nm.cycles, float64(m.cycles))
 }

@@ -35,6 +35,14 @@ func (n *Network) demandFor(spec traffic.ConnSpec) demand {
 	return d
 }
 
+// GuaranteedCyclesFor returns the guaranteed cycles/round a session of
+// the given spec is charged — the unit tenant quotas are denominated
+// in. The daemon uses it to convert Mbps quota requests into
+// allocation units.
+func (n *Network) GuaranteedCyclesFor(spec traffic.ConnSpec) int {
+	return n.demandFor(spec).alloc
+}
+
 func (n *Network) admitOut(x *node, p int, spec traffic.ConnSpec, d demand) bool {
 	if spec.Class == flit.ClassVBR {
 		return x.alloc[p].AdmitVBR(d.alloc, d.peak)
@@ -60,6 +68,7 @@ type probeHop struct {
 type probe struct {
 	n        *Network
 	src, dst int
+	tenant   string
 	spec     traffic.ConnSpec
 	d        demand
 	done     func(*Conn, error)
@@ -80,8 +89,17 @@ type probe struct {
 // with the established connection (injection starts then). On failure —
 // the probe backtracked past the source — done receives the error.
 // Probes race: resources are taken as the probe passes, and concurrent
-// probes see each other's reservations.
+// probes see each other's reservations. The session belongs to the
+// default tenant; OpenAsyncAs names one.
 func (n *Network) OpenAsync(src, dst int, spec traffic.ConnSpec, done func(*Conn, error)) error {
+	return n.OpenAsyncAs("", src, dst, spec, done)
+}
+
+// OpenAsyncAs is OpenAsync on behalf of a tenant. The quota is checked
+// at launch (an over-budget tenant's probe never enters the fabric) and
+// charged when the acknowledgment completes — the probe races with
+// other admissions, so the charge re-checks the budget then.
+func (n *Network) OpenAsyncAs(tenant string, src, dst int, spec traffic.ConnSpec, done func(*Conn, error)) error {
 	if src < 0 || src >= len(n.nodes) || dst < 0 || dst >= len(n.nodes) {
 		return errBadEndpoints(src, dst)
 	}
@@ -95,6 +113,11 @@ func (n *Network) OpenAsync(src, dst int, spec traffic.ConnSpec, done func(*Conn
 		done = func(*Conn, error) {}
 	}
 	n.m.setupAttempts++
+	if !n.tenants.CanAdmit(tenant, n.demandFor(spec).alloc) {
+		n.m.setupRejected++
+		done(nil, tenantQuotaError(tenant, n.tenants))
+		return nil
+	}
 	hp := n.cfg.hostPort()
 	entryVC := n.nodes[src].mems[hp].FindFree(n.rng.Intn(n.cfg.VCs))
 	if entryVC < 0 {
@@ -104,7 +127,7 @@ func (n *Network) OpenAsync(src, dst int, spec traffic.ConnSpec, done func(*Conn
 	}
 	n.nodes[src].mems[hp].Reserve(entryVC, vcm.VCState{Conn: flit.InvalidConn, Class: spec.Class, Output: -1})
 	p := &probe{
-		n: n, src: src, dst: dst, spec: spec, d: n.demandFor(spec), done: done,
+		n: n, src: src, dst: dst, tenant: tenant, spec: spec, d: n.demandFor(spec), done: done,
 		node: src, entryVC: entryVC,
 		hist:    map[int]*routing.History{src: {}},
 		started: n.now,
@@ -220,8 +243,16 @@ func (p *probe) complete() {
 			return
 		}
 	}
+	// The tenant budget may have filled while the probe was in flight;
+	// a refusal here abandons the reservation exactly as a failed ack
+	// would.
+	if !n.tenants.AdmitSession(p.tenant, p.d.alloc) {
+		n.releaseOut(n.nodes[p.dst], n.cfg.hostPort(), p.spec, p.d)
+		p.failAll(tenantQuotaError(p.tenant, n.tenants))
+		return
+	}
 	conn := &Conn{
-		ID: flit.ConnID(len(n.conns)), Src: p.src, Dst: p.dst, Spec: p.spec,
+		ID: flit.ConnID(len(n.conns)), Src: p.src, Dst: p.dst, Tenant: p.tenant, Spec: p.spec,
 		Backtracks: p.backs,
 		SetupTime:  n.now - p.started,
 		dstSlot:    -1,

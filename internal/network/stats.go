@@ -67,13 +67,14 @@ type netStats struct {
 
 	// Fault injection and self-healing. Like the setup statistics these
 	// survive ResetStats: they describe session-level behaviour.
-	faultsInjected int64 // link-down transitions applied
-	faultsRepaired int64 // link-up transitions applied
-	faultFlitsLost int64 // flits purged by link failures and teardowns
-	connsBroken    int64 // connections torn down by faults
-	connsRestored  int64 // re-established on a surviving path
-	connsDegraded  int64 // downgraded to best-effort after failed restore
-	connsLost      int64 // abandoned (restore exhausted, degrade disabled)
+	faultsInjected int64             // link-down transitions applied
+	faultsRepaired int64             // link-up transitions applied
+	faultFlitsLost int64             // flits purged by link failures and teardowns
+	connsBroken    int64             // connections torn down by faults
+	connsRestored  int64             // re-established on a surviving path
+	connsDegraded  int64             // downgraded to best-effort after failed restore
+	connsPromoted  int64             // re-promoted from best-effort back to guaranteed
+	connsLost      int64             // abandoned (restore exhausted, degrade disabled)
 	restoreLatency stats.Accumulator // cycles from teardown to re-establishment
 }
 
@@ -116,6 +117,7 @@ type Stats struct {
 	ConnsBroken    int64
 	ConnsRestored  int64
 	ConnsDegraded  int64
+	ConnsPromoted  int64
 	ConnsLost      int64
 	RestoreLatency stats.Accumulator
 }
@@ -140,6 +142,7 @@ func (n *Network) snapshotStats() *Stats {
 		ConnsBroken:     m.connsBroken,
 		ConnsRestored:   m.connsRestored,
 		ConnsDegraded:   m.connsDegraded,
+		ConnsPromoted:   m.connsPromoted,
 		ConnsLost:       m.connsLost,
 		RestoreLatency:  m.restoreLatency,
 	}
