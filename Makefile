@@ -8,7 +8,11 @@ NETBENCHTOL ?= 0.30
 BENCHFILE ?= BENCH_PR2.json
 NETBENCHFILE ?= BENCH_PR3.json
 SPARSEBENCHFILE ?= BENCH_PR5.json
-SCALEBENCHFILE ?= BENCH_PR7.json
+SCALEBENCHFILE ?= BENCH_PR10.json
+# Worker width the scaling lane is measured at. Pinning GOMAXPROCS makes
+# the recorded host shape (and therefore which rows the -scale gate
+# treats as gated vs informational) reproducible across machines.
+SCALEPROCS ?= 4
 # Parallel-efficiency floor for gated scaling rows:
 # eff(w) = ns(1)/(ns(w)·w) must stay at or above this on hosts with
 # enough CPUs to exercise the width (smaller hosts report the rows as
@@ -129,7 +133,7 @@ bench-sparse-check:
 # $(SCALEBENCHFILE)'s "current" section, stamped with host shape
 # (NumCPU/GOMAXPROCS/cpu model) so the numbers carry their provenance.
 bench-scale:
-	$(GO) test -run='^$$' -bench='^Benchmark($(SCALEBENCH))$$' -benchmem -benchtime=$(BENCHTIME) ./internal/network \
+	GOMAXPROCS=$(SCALEPROCS) $(GO) test -run='^$$' -bench='^Benchmark($(SCALEBENCH))$$' -benchmem -benchtime=$(BENCHTIME) ./internal/network \
 	| tee /dev/stderr | $(GO) run ./cmd/benchjson -o $(SCALEBENCHFILE) -section current
 
 # Gate parallel efficiency instead of raw ns/op: every w=N row the
@@ -139,7 +143,7 @@ bench-scale:
 # run's own serial row), so it cannot be fooled by a fast machine or
 # flaked by a slow one.
 bench-scale-check:
-	$(GO) test -run='^$$' -bench='^Benchmark$(SCALEFAMILY)$$' -benchmem -benchtime=$(BENCHTIME) ./internal/network \
+	GOMAXPROCS=$(SCALEPROCS) $(GO) test -run='^$$' -bench='^Benchmark$(SCALEFAMILY)$$' -benchmem -benchtime=$(BENCHTIME) ./internal/network \
 	| tee /dev/stderr | $(GO) run ./cmd/benchjson -scale $(SCALEFAMILY) -min-eff $(MINEFF)
 
 # Record the fabric-footprint (bytes/router, bytes/flow on fat trees)

@@ -62,6 +62,7 @@ type simOpts struct {
 	vcs           int
 	seed          uint64
 	netWorkers    int
+	netShards     int
 	noIdleSkip    bool
 
 	faultLinks    int
@@ -152,6 +153,7 @@ func buildConfig(o simOpts, tp *topology.Topology) network.Config {
 	cfg.VCs = o.vcs
 	cfg.Seed = o.seed
 	cfg.Workers = o.netWorkers
+	cfg.Shards = o.netShards
 	cfg.NoIdleSkip = o.noIdleSkip
 	cfg.Fault.Restore = !o.noRestore
 	cfg.Fault.Degrade = !o.noDegrade
@@ -166,6 +168,8 @@ func validateOpts(o simOpts, set map[string]bool) error {
 	switch {
 	case o.netWorkers < 1:
 		return fmt.Errorf("-net-workers must be at least 1, got %d", o.netWorkers)
+	case o.netShards < 0:
+		return fmt.Errorf("-shards must be non-negative, got %d", o.netShards)
 	case o.vcs < 1:
 		return fmt.Errorf("-vcs must be at least 1, got %d", o.vcs)
 	case o.ports < 1:
@@ -247,6 +251,8 @@ func main() {
 	flag.Uint64Var(&o.seed, "seed", o.seed, "simulation seed")
 	flag.IntVar(&o.netWorkers, "net-workers", o.netWorkers,
 		"worker goroutines stepping the network (1 = serial; results are identical at any setting)")
+	flag.IntVar(&o.netShards, "shards", o.netShards,
+		"topology shards for the shard-resident executor (0 = one per worker; results are identical at any setting)")
 	flag.BoolVar(&o.noIdleSkip, "no-idle-skip", o.noIdleSkip,
 		"disable activity gating and idle-cycle elision (results are identical either way)")
 	flag.IntVar(&o.faultLinks, "fault-links", o.faultLinks, "random link failures to inject during the measured run")

@@ -70,6 +70,7 @@ type Registry struct {
 	histLen    int   // total flattened bucket slots per shard
 	shards     []*Shard
 	collectors []func()
+	snapHooks  []func(*Snapshot)
 }
 
 // New returns an unsharded registry (a single anonymous shard dimension,
@@ -145,6 +146,18 @@ func (r *Registry) Histogram(name, help string, bounds []float64, labelKV ...str
 // run serially in registration order, so anything they compute is
 // deterministic.
 func (r *Registry) OnGather(f func()) { r.collectors = append(r.collectors, f) }
+
+// OnSnapshot registers a hook run at the end of every Gather, after the
+// shard merge, to append already-merged series to the snapshot.
+// Ordinary registration freezes once the first shard exists (every
+// shard must have the same shape for branch-free hot-path indexing), so
+// families whose label sets only emerge at runtime — per-tenant
+// telemetry, for instance — cannot pre-register; they maintain their
+// own single-writer storage and publish through this hook instead. The
+// renderers (Prometheus, JSON) iterate the snapshot generically, so
+// appended series need no further plumbing. Hooks run serially in
+// registration order.
+func (r *Registry) OnSnapshot(f func(*Snapshot)) { r.snapHooks = append(r.snapHooks, f) }
 
 // Pow2Buckets returns n power-of-two bounds starting at lo:
 // lo, 2lo, 4lo, ... — the standard latency bucket ladder.
@@ -361,6 +374,9 @@ func (r *Registry) Gather() *Snapshot {
 			hs.Sum += sh.histSum[i]
 		}
 		snap.Histograms = append(snap.Histograms, hs)
+	}
+	for _, f := range r.snapHooks {
+		f(snap)
 	}
 	return snap
 }

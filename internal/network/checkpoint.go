@@ -996,6 +996,16 @@ func (n *Network) RestoreStateVersion(payload []byte, ver uint32) error {
 	}
 	n.rng.Restore(masterRNG)
 
+	// Telemetry tenant slots are observability state, not checkpoint
+	// payload: re-derive them in conn (= ID) order once tenant owners are
+	// known (the v4 trailer above fills c.Tenant; v3 payloads predate
+	// tenants, so everything lands in the default slot). This must run
+	// after the trailer — assignTrackerSlot already derived slots during
+	// the conn loop, but at that point every owner still read as default.
+	for _, c := range n.conns {
+		c.tenantSlot = n.tenantSlotFor(c.Tenant)
+	}
+
 	// Derived admission state: recomputed from the restored connections
 	// (for either version) so counters and charges can never drift from
 	// the sessions they describe. Guaranteed bandwidth is charged while a
@@ -1102,9 +1112,9 @@ func RestoreCheckpoint(cfg Config, path string) (*Network, error) {
 // ConfigHash returns the FNV-1a hash of everything about the
 // configuration that determines simulation behaviour: topology wiring,
 // link geometry, buffering, scheduling scheme and policies, and the
-// seed. Workers and NoIdleSkip are deliberately excluded — they select
-// an execution strategy, not a simulation, and checkpoints restore
-// bit-exactly across them.
+// seed. Workers, Shards, and NoIdleSkip are deliberately excluded —
+// they select an execution strategy, not a simulation, and checkpoints
+// restore bit-exactly across them.
 func (n *Network) ConfigHash() uint64 {
 	const (
 		offset64 = 14695981039346656037

@@ -11,12 +11,24 @@ import (
 	"mmr/internal/vcm"
 )
 
-// The flit cycle is organized as three barrier-separated phases, each
-// sharded by node across the worker pool (workers.go). Every cross-node
-// effect moves through a single-writer staging lane (lanes.go) and is
-// committed in a fixed order, so the simulation is bit-identical for any
-// worker count — including Workers=1, which runs the same sharded code
+// The flit cycle is organized as three phases run by the shard-resident
+// executor (workers.go): each worker sweeps its own shard block through
+// deliver and schedule (fused — no synchronization between them), then
+// crosses the cycle's single sequence point, then commits. Every
+// cross-node effect moves through a single-writer staging lane
+// (lanes.go) or a single-writer claim slot consumed a sequence point
+// later, so the simulation is bit-identical for any worker or shard
+// count — including Workers=1, which runs the same per-shard passes
 // inline.
+//
+// Why deliver and schedule can fuse: the only cross-node reads in the
+// schedule phase are VC reservation state (FindFree's InUse scan,
+// routePackets' FreeVCs count), and delivery mutates only buffer
+// occupancy — disjoint state. The single exception is an impairment
+// drop, which releases the dead packet's VC reservation during
+// delivery; cycles with impairments active therefore keep a
+// deliver→schedule sequence point (cycSplitImpair), everything else
+// runs the one-barrier form.
 //
 //	deliver   (receiver-driven) round boundary; drain inbound credit
 //	          lanes into the local shadow; drain inbound flit lanes into
@@ -120,10 +132,11 @@ func (n *Network) CloseFlow(id FlowID) error {
 }
 
 // Step advances the whole network by one flit cycle: session events fire
-// serially, then the three sharded phases run across the worker pool —
-// over the compact active-node worklist when gating is on, over every
-// node with NoIdleSkip. Step always advances exactly one cycle; the
-// whole-clock fast-forward across fully idle stretches lives in Run.
+// serially, then the shard-resident cycle runs across the worker pool —
+// over the compact per-worker active lists when gating is on, over every
+// worker's resident block with NoIdleSkip. Step always advances exactly
+// one cycle; the whole-clock fast-forward across fully idle stretches
+// lives in Run.
 func (n *Network) Step() {
 	t := n.now
 
@@ -139,11 +152,12 @@ func (n *Network) Step() {
 		n.rebalancePools()
 	}
 
-	list := n.nodes
-	if !n.cfg.NoIdleSkip {
-		list = n.buildActive(t)
+	if n.cfg.NoIdleSkip {
+		n.runCycle(t, len(n.nodes), n.allBoundary, true)
+	} else {
+		total, boundary := n.buildActive(t)
+		n.runCycle(t, total, boundary, false)
 	}
-	n.runCyclePhases(list, t)
 
 	n.now++
 	n.m.cycles++
@@ -167,8 +181,8 @@ func (n *Network) Run(cycles int64) {
 			n.rebalancePools()
 		}
 		if !n.cfg.NoIdleSkip {
-			list := n.buildActive(t)
-			if len(list) == 0 {
+			total, boundary := n.buildActive(t)
+			if total == 0 {
 				next := n.nextWake(t, limit)
 				// If a pool-rebalance boundary falls inside the skipped
 				// stretch, level once now: the free lists cannot change
@@ -183,7 +197,7 @@ func (n *Network) Run(cycles int64) {
 				n.now = next
 				continue
 			}
-			n.runCyclePhases(list, t)
+			n.runCycle(t, total, boundary, false)
 			n.now++
 			n.m.cycles++
 			// Fused drain: if the forecasts prove no source can inject and
@@ -194,7 +208,7 @@ func (n *Network) Run(cycles int64) {
 			}
 			continue
 		}
-		n.runCyclePhases(n.nodes, t)
+		n.runCycle(t, len(n.nodes), n.allBoundary, true)
 		n.now++
 		n.m.cycles++
 	}
@@ -269,8 +283,8 @@ func (n *Network) drainWindow(end int64) {
 		if t%poolRebalanceInterval == 0 {
 			n.rebalancePools()
 		}
-		list := n.buildActiveDrain(t)
-		if len(list) == 0 {
+		total, boundary := n.buildActiveDrain(t)
+		if total == 0 {
 			next := end
 			for i := range n.laneFlits {
 				if la := n.laneFlits[i].nextAt; la < next {
@@ -291,7 +305,7 @@ func (n *Network) drainWindow(end int64) {
 			n.now = next
 			continue
 		}
-		n.runCyclePhases(list, t)
+		n.runCycle(t, total, boundary, false)
 		n.now++
 		n.m.cycles++
 		n.drainCycles++
@@ -302,16 +316,23 @@ func (n *Network) drainWindow(end int64) {
 // source-due checks are dropped (provably false until the window ends),
 // leaving occupancy, matured lane entries and queued NI backlog as the
 // only activity signals.
-func (n *Network) buildActiveDrain(t int64) []*node {
-	act := n.actList[:0]
+func (n *Network) buildActiveDrain(t int64) (total, boundary int) {
+	for w := range n.wrk {
+		n.wrk[w].act = n.wrk[w].act[:0]
+		n.wrk[w].extras = n.wrk[w].extras[:0]
+	}
 	for _, nd := range n.nodes {
 		if n.nodeActiveDrain(nd, t) {
 			n.actStamp[nd.id] = t
-			act = append(act, nd)
+			w := n.workerOf[nd.id]
+			n.wrk[w].act = append(n.wrk[w].act, nd)
+			total++
+			if !n.interior[nd.id] {
+				boundary++
+			}
 		}
 	}
-	n.actList = act
-	return act
+	return total, boundary
 }
 
 // nodeActiveDrain is the drain-window activity predicate — nodeActive
@@ -347,45 +368,41 @@ func (n *Network) nodeActiveDrain(nd *node, t int64) bool {
 // construction).
 func (n *Network) FusedDrainCycles() int64 { return n.drainCycles }
 
-// runCyclePhases runs one flit cycle's three barrier-separated phases
-// over the given worklist, then lets any skipped node with an inbound
-// packet-VC claim commit just that claim — preserving the invariant that
-// every staged claim is consumed in its own cycle.
-func (n *Network) runCyclePhases(list []*node, t int64) {
-	if len(list) == 0 {
-		return
-	}
-	n.runPhase(list, phaseDeliver, t)
-	n.runPhase(list, phaseSchedule, t)
-	n.collectClaimExtras(list, t)
-	n.runPhase(list, phaseCommit, t)
-	if len(n.extraList) > 0 {
-		n.runPhase(n.extraList, phaseCommitClaims, t)
-		n.extraList = n.extraList[:0]
-	}
-}
-
 // buildActive computes this cycle's worklist: a node is active iff it has
 // buffered flits on any port, an inbound staging lane holds a matured
 // flit or credit, a stream source or best-effort flow homed on it is due
 // (or still has a queued backlog at its network interface). Everything
 // read here is either node-local or a lane the node is the unique reader
-// of, and the scan runs serially between cycles, so the list — and hence
-// the simulation — is deterministic for every worker count.
+// of, and the scan runs serially between cycles, so the per-worker lists
+// — and hence the simulation — are deterministic for every worker count.
+//
+// Active nodes are bucketed straight into their owning worker's resident
+// list (ascending node order, since the scan ascends), and the returned
+// counts drive the cycle-mode selection in runCycle: boundary counts the
+// active nodes with at least one cross-shard edge — zero means the
+// workers provably cannot interact this cycle and the whole cycle runs
+// barrier-free (cycFused).
 //
 // The maturity rule is what makes gating exact: a lane entry's arriveAt
 // wakes its receiver on exactly the cycle the ungated engine would have
 // delivered it, so nothing is ever delivered, credited or reset late.
-func (n *Network) buildActive(t int64) []*node {
-	act := n.actList[:0]
+func (n *Network) buildActive(t int64) (total, boundary int) {
+	for w := range n.wrk {
+		n.wrk[w].act = n.wrk[w].act[:0]
+		n.wrk[w].extras = n.wrk[w].extras[:0]
+	}
 	for _, nd := range n.nodes {
 		if n.nodeActive(nd, t) {
 			n.actStamp[nd.id] = t
-			act = append(act, nd)
+			w := n.workerOf[nd.id]
+			n.wrk[w].act = append(n.wrk[w].act, nd)
+			total++
+			if !n.interior[nd.id] {
+				boundary++
+			}
 		}
 	}
-	n.actList = act
-	return act
+	return total, boundary
 }
 
 // nodeActive is the per-node activity predicate (see buildActive). The
@@ -421,30 +438,6 @@ func (n *Network) nodeActive(nd *node, t int64) bool {
 		}
 	}
 	return false
-}
-
-// collectClaimExtras finds nodes outside the active worklist that have an
-// inbound packet-VC claim staged on them this cycle. They are appended to
-// extraList (deterministic: sender order, then port order) and run the
-// reduced phaseCommitClaims after the main commit barrier — only the
-// claim commit, never grant execution, whose inputs would be stale.
-func (n *Network) collectClaimExtras(list []*node, t int64) {
-	if n.cfg.NoIdleSkip || len(list) == len(n.nodes) {
-		return // every node runs a full commit; no claim can be orphaned
-	}
-	for _, nd := range list {
-		for p := range nd.claim {
-			if nd.claim[p].vc < 0 {
-				continue
-			}
-			x := nd.outPeer[p]
-			if x < 0 || n.actStamp[x] == t || n.extraStamp[x] == t {
-				continue
-			}
-			n.extraStamp[x] = t
-			n.extraList = append(n.extraList, n.nodes[x])
-		}
-	}
 }
 
 // nextWake returns the earliest cycle in (t, limit] at which anything can
@@ -493,6 +486,7 @@ func (n *Network) ResetStats() {
 	n.m.reset()
 	for _, nd := range n.nodes {
 		nd.stats.reset()
+		nd.tstats.reset()
 		nd.ms.Reset()
 	}
 }
@@ -581,8 +575,12 @@ func (n *Network) phaseDeliver(nd *node, t int64) {
 // phaseSchedule routes packets, nominates candidates, arbitrates the
 // switch and resolves every grant to a target VC. Cross-node access is
 // read-only (neighbor free-VC counts and FindFree scans); nothing in this
-// phase mutates any VC reservation, so the reads race with nothing.
-func (n *Network) phaseSchedule(nd *node, t int64) {
+// phase mutates any VC reservation, so the reads race with nothing. ws is
+// the executing worker's resident state: staging a claim on a gated-out
+// receiver records the receiver in ws.extras right here, so the commit
+// side knows there is claim work without ever re-scanning claim slots —
+// and a cycle that stages no claims pays nothing at all.
+func (n *Network) phaseSchedule(nd *node, t int64, ws *workerRun) {
 	n.routePackets(nd)
 	// Per-port skip: a port with zero buffered flits cannot nominate —
 	// Candidates on an empty memory is provably a pure no-op (empty
@@ -654,6 +652,14 @@ func (n *Network) phaseSchedule(nd *node, t int64) {
 				continue
 			}
 			nd.claim[cand.Output] = claimSlot{vc: targetVC, class: st.Class}
+			if !n.cfg.NoIdleSkip && n.actStamp[nb] != t {
+				// The receiver is gated out this cycle: record it so the
+				// commit side runs its claim commit (consumer-side slot
+				// clearing requires every staged claim to be consumed in
+				// its own cycle). Dedup happens at consume time via the
+				// extra stamp; with gating off every node commits anyway.
+				ws.extras = append(ws.extras, n.nodes[nb])
+			}
 			if !n.ud.IsUp(nd.id, cand.Output) {
 				head.Packet.WentDown = true
 			}
@@ -778,10 +784,12 @@ func (n *Network) eject(nd *node, t int64, f *flit.Flit) {
 		nd.stats.beDelivered++
 		nd.stats.beLatency.Add(delay)
 	default:
-		if j, ok := nd.stats.tracker.Record(int(n.conns[f.Conn].dstSlot), delay); ok {
+		c := n.conns[f.Conn]
+		if j, ok := nd.stats.tracker.Record(int(c.dstSlot), delay); ok {
 			nd.ms.Observe(n.nm.classJitter[f.Class], j)
 		}
 		nd.stats.delivered++
+		nd.tstats.observe(c.tenantSlot, delay)
 	}
 	nd.pool.Put(f)
 }

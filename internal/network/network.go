@@ -19,7 +19,6 @@ import (
 	"fmt"
 	"io"
 	"sync"
-	"sync/atomic"
 
 	"mmr/internal/admission"
 	"mmr/internal/faults"
@@ -67,14 +66,25 @@ type Config struct {
 	EnforceAllocations bool
 	Seed               uint64
 
-	// Workers is the worker-pool size for the parallel flit cycle:
-	// per-node work is sharded across this many goroutines (including
-	// the stepping goroutine) with all cross-node traffic staged in
-	// single-writer lanes and committed in fixed order, so results are
-	// bit-identical for every value. 0 or 1 runs the same sharded code
-	// serially on the stepping goroutine. See docs/performance.md
-	// ("Parallel execution model").
+	// Workers is the worker-pool size for the parallel flit cycle: the
+	// fabric is partitioned into shards and each worker permanently owns
+	// a block of shards — its nodes, their RNG streams, stats shards,
+	// pools and staging lanes — with cross-shard traffic synchronized at
+	// one sequence point per cycle, so results are bit-identical for
+	// every value. 0 or 1 runs the same per-shard passes serially on the
+	// stepping goroutine. See docs/performance.md ("Shard-resident
+	// parallel execution").
 	Workers int
+
+	// Shards overrides the fabric partition grain: 0 (the default) uses
+	// one shard per worker; s > 0 pins the partitioner to s shards
+	// (clamped to the node count). Meshes partition into contiguous
+	// node-ID ranges; generated fabrics (fat tree, dragonfly) partition
+	// region-aligned so only core uplinks and global channels cross
+	// shards. Like Workers, an execution strategy, not a model
+	// parameter: bit-identical results for every value, excluded from
+	// ConfigHash.
+	Shards int
 
 	// NoIdleSkip disables activity gating: every node is stepped every
 	// cycle, every port is scanned, and Run never fast-forwards the clock
@@ -279,6 +289,7 @@ type node struct {
 	rng          *sim.RNG
 	pool         *flit.Pool
 	stats        dpStats
+	tstats       tenantNodeStats // per-tenant delivery shard (tenantstats.go)
 	scratchPorts []int
 	pktSeq       int64 // per-node best-effort sequence counter
 
@@ -347,6 +358,12 @@ type Conn struct {
 	// terminating at a node instead of the global session count. -1 until
 	// assigned.
 	dstSlot int32
+
+	// tenantSlot is the dense index of this connection's tenant in the
+	// per-tenant telemetry shards (tenantstats.go), assigned alongside
+	// dstSlot so the ejecting node attributes delivered flits with one
+	// flat-array index.
+	tenantSlot int32
 }
 
 // Open reports whether the connection currently carries guaranteed
@@ -411,6 +428,12 @@ type Network struct {
 	// not the config hash.
 	tenants *admission.TenantTable
 
+	// Per-tenant delivery telemetry (tenantstats.go): dense tenant slots
+	// assigned on the serial control path, per-node shards merged at
+	// gather time through the metrics snapshot appender.
+	tenantSlots map[string]int32
+	tenantNames []string
+
 	// Fault-injection runtime: per-directed-link impairments, in-flight
 	// probe count (transient VC holds the invariant checker must allow),
 	// and the session event log.
@@ -430,17 +453,34 @@ type Network struct {
 	nm         *netMetrics
 	flightSink io.Writer
 
-	// Worker pool for the parallel cycle (see workers.go). workers <= 1
-	// means the sharded phases run inline on the stepping goroutine.
-	// phList is the node worklist published with phID/phT: with activity
-	// gating on, it is the compact active set instead of all nodes.
+	// Shard-resident worker pool (see workers.go). workers <= 1 means
+	// the per-shard passes run inline on the stepping goroutine. cycMode,
+	// cycT and cycAll are published before the per-cycle wake sends,
+	// which happen-before the workers' reads; wwg is the end-of-cycle
+	// join, midwg the split cycle's single mid-cycle sequence point and
+	// midwg2 the extra deliver→schedule point of impaired cycles.
 	workers int
 	wake    []chan struct{}
 	wwg     sync.WaitGroup
-	widx    atomic.Int64
-	phID    int
-	phT     int64
-	phList  []*node
+	midwg   sync.WaitGroup
+	midwg2  sync.WaitGroup
+	cycMode int
+	cycT    int64
+	cycAll  bool
+
+	// Shard partition and ownership (workers.go, partition). shardsReq
+	// is the requested shard count (0 = track the worker count);
+	// interior[id] means every wired edge of node id stays inside its
+	// shard, and allBoundary counts the nodes where that fails — the
+	// per-cycle mode selection compares the active boundary count
+	// against zero to run barrier-free interior cycles.
+	shardsReq   int
+	numShards   int
+	shardOf     []int32
+	workerOf    []int32
+	interior    []bool
+	allBoundary int
+	wrk         []workerRun
 
 	// Structure-of-arrays datapath state (docs/performance.md,
 	// "Structure-of-arrays datapath"). The cross-node staging lanes and
@@ -458,12 +498,11 @@ type Network struct {
 	claims     []claimSlot
 	occ        []int64
 
-	// Activity-gating worklists (datapath.go), reused across cycles so
-	// the steady state stays allocation-free. A stamp equal to the
-	// current cycle marks membership (no per-cycle clearing).
-	actList    []*node
+	// Activity-gating stamps (datapath.go). A stamp equal to the current
+	// cycle marks membership (no per-cycle clearing): actStamp marks the
+	// active set (the per-worker act lists hold the members), extraStamp
+	// deduplicates gated-out claim receivers recorded during scheduling.
 	actStamp   []int64
-	extraList  []*node // inactive nodes that must commit an inbound claim
 	extraStamp []int64
 
 	// idleSkipped counts cycles Run elided via whole-clock fast-forward;
@@ -612,16 +651,18 @@ func New(cfg Config) (*Network, error) {
 			})
 		}
 	}
-	n.actList = make([]*node, 0, len(n.nodes))
 	n.actStamp = make([]int64, len(n.nodes))
-	n.extraList = make([]*node, 0, len(n.nodes))
 	n.extraStamp = make([]int64, len(n.nodes))
 	for i := range n.actStamp {
 		n.actStamp[i] = -1
 		n.extraStamp[i] = -1
 	}
 	n.initMetrics()
+	n.shardsReq = cfg.Shards
 	n.SetWorkers(cfg.Workers)
+	if len(n.wrk) == 0 {
+		n.partition() // SetWorkers(<=1) on a fresh network early-outs via Shutdown
+	}
 	return n, nil
 }
 
@@ -635,6 +676,7 @@ func New(cfg Config) (*Network, error) {
 // routers. Restoration replays connections in ID order, which reproduces
 // the per-dst assignment order and therefore the same slots.
 func (n *Network) assignTrackerSlot(c *Conn) {
+	c.tenantSlot = n.tenantSlotFor(c.Tenant)
 	if c.dstSlot >= 0 {
 		return // restoration revives the conn; its slot is permanent
 	}

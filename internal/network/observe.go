@@ -203,6 +203,7 @@ func (n *Network) initMetrics() {
 		nd.rec = metrics.NewRecorder(flightRingSize)
 	}
 	reg.OnGather(n.collectMetrics)
+	reg.OnSnapshot(n.appendTenantMetrics)
 	n.nm = nm
 }
 

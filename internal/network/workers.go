@@ -1,29 +1,75 @@
 package network
 
-// workers.go is the persistent worker pool behind the parallel flit
-// cycle. Each cycle runs as three barrier-separated phases (see
-// datapath.go); within a phase, nodes are claimed off a shared atomic
-// counter by whichever worker is free (work stealing), which is safe
-// because a phase only ever writes node-local state and single-writer
-// staging lanes — the claim order cannot affect the result. The stepping
-// goroutine participates as a worker, so SetWorkers(k) spawns k-1
-// goroutines. Everything on the dispatch path (channel sends of empty
-// structs, the WaitGroup barrier, the atomic counter) is allocation-free,
-// keeping the steady-state zero-alloc guarantee at every worker count.
+// workers.go is the shard-resident parallel executor behind the flit
+// cycle. The fabric is partitioned into shards (topology.Partition —
+// contiguous node ranges for meshes, region-aligned for generated
+// fabrics) and every shard is owned by exactly one worker for the life
+// of the pool: the worker steps its shard's nodes, draws their RNG
+// streams, fills their stats shards and drains their staging lanes, so
+// interior traffic — both endpoints in one shard — never synchronizes
+// with another worker at all.
+//
+// Edges are classified once, at partition time, into interior (producer
+// and consumer owned by the same worker) and boundary (cross-shard:
+// published through the existing single-writer staging lanes). A node
+// is "interior" when every wired edge it touches is; the per-cycle
+// active-set scan counts how many active nodes are boundary nodes, and
+// that count picks the cycle's execution mode:
+//
+//	cycFused        no active boundary nodes: each worker runs
+//	                deliver→schedule→commit over its own active nodes
+//	                with no mid-cycle synchronization at all — the only
+//	                barrier is the end-of-cycle join.
+//	cycSplit        boundary traffic present: each worker fuses
+//	                deliver+schedule into one pass over its shard, then
+//	                crosses ONE mid-cycle sequence point, then runs
+//	                commit. The old engine needed two barriers here
+//	                (deliver→schedule and schedule→commit); the first is
+//	                unnecessary because delivery only mutates buffer
+//	                occupancy while cross-node schedule reads only touch
+//	                VC reservation state, which nothing mutates before
+//	                commit (see the phase contract in datapath.go).
+//	cycSplitImpair  link impairments active: impairment drops release VC
+//	                reservations *during delivery* (the one deliver-phase
+//	                write cross-node schedule reads could observe), so
+//	                these cycles keep the deliver→schedule barrier too.
+//	                Rare — only while a fault plan holds an impairment.
+//
+// Bit-exactness is unchanged from the work-stealing engine this
+// replaces: per-node work order within a pass cannot affect results
+// (all cross-node effects ride single-writer lanes or claim slots that
+// are consumed a sequence point later), per-node RNG/stats/pools are
+// merged in ascending node order on the serial path, and the
+// shards×workers×gating equivalence matrix (shard_test.go) pins
+// EncodeState byte-equality across every combination.
+//
+// Everything on the dispatch path (one channel send per worker per
+// cycle, the two reusable WaitGroups, per-worker slice resets) is
+// allocation-free, keeping the steady-state zero-alloc guarantee at
+// every worker and shard count.
 
-// Phase identifiers for the dispatch switch (closure-free: workers
-// re-dispatch on an ID instead of capturing per-cycle closures).
+// Cycle execution modes (see the file comment).
 const (
-	phaseDeliver      = iota // drain inbound lanes, impairments, round boundary
-	phaseSchedule            // route, link scheduling, arbitration, claims
-	phaseCommit              // execute grants, commit claims, inject
-	phaseCommitClaims        // claim commit only, for gated-out claim receivers
+	cycFused = iota
+	cycSplit
+	cycSplitImpair
 )
 
-// SetWorkers resizes the worker pool. k <= 1 (and any k when the network
-// has a single node) tears the pool down and runs the sharded phases
-// inline; the simulation result is bit-identical for every k. Safe to
-// call between Steps only.
+// workerRun is one worker's resident state: the nodes it owns (ascending
+// node order), its slice of the current cycle's active set, and the
+// claim-extra receivers recorded while staging claims this cycle. Padded
+// so adjacent workers' append cursors never share a cache line.
+type workerRun struct {
+	nodes  []*node // owned nodes, ascending (shard blocks are contiguous)
+	act    []*node // active owned nodes this cycle, ascending
+	extras []*node // gated-out claim receivers recorded during schedule
+	_      [56]byte
+}
+
+// SetWorkers resizes the worker pool and re-derives shard ownership.
+// k <= 1 (and any k when the network has a single node) tears the pool
+// down and runs the same per-shard passes inline; the simulation result
+// is bit-identical for every k. Safe to call between Steps only.
 func (n *Network) SetWorkers(k int) {
 	if k > len(n.nodes) {
 		k = len(n.nodes)
@@ -31,15 +77,16 @@ func (n *Network) SetWorkers(k int) {
 	if k < 1 {
 		k = 1
 	}
-	if k == n.Workers() {
+	if k == n.Workers() && len(n.wrk) == k {
 		return
 	}
 	n.Shutdown()
 	n.workers = k
-	for i := 0; i < k-1; i++ {
+	n.partition()
+	for i := 1; i < k; i++ {
 		ch := make(chan struct{}, 1)
 		n.wake = append(n.wake, ch)
-		go n.workerLoop(ch)
+		go n.workerLoop(i, ch)
 	}
 }
 
@@ -51,72 +98,316 @@ func (n *Network) Workers() int {
 	return n.workers
 }
 
+// SetShards overrides the shard count: s > 0 pins the partition to s
+// shards (clamped to the node count); s = 0 returns to the default of
+// one shard per worker. Like Workers, the shard count is an execution
+// strategy, not a model parameter — results are bit-identical for every
+// value, and it is excluded from ConfigHash. Safe to call between Steps
+// only.
+func (n *Network) SetShards(s int) {
+	if s < 0 {
+		s = 0
+	}
+	if s == n.shardsReq && n.wrk != nil {
+		return
+	}
+	n.shardsReq = s
+	n.partition()
+}
+
+// Shards returns the number of shards the fabric is currently
+// partitioned into.
+func (n *Network) Shards() int { return n.numShards }
+
 // Shutdown stops the worker goroutines. Call when done with a network
-// built with Workers > 1 (netsweep and fuzz harnesses create thousands of
-// networks; leaked workers would accumulate). Idempotent; the network
+// built with Workers > 1 (netsweep and fuzz harnesses create thousands
+// of networks; leaked workers would accumulate). Idempotent; the network
 // remains usable afterwards in serial mode.
 func (n *Network) Shutdown() {
 	for _, ch := range n.wake {
 		close(ch)
 	}
 	n.wake = n.wake[:0]
-	n.workers = 1
+	if n.workers != 1 {
+		n.workers = 1
+		n.partition()
+	}
 }
 
-// workerLoop is one pool goroutine: woken once per phase, it claims nodes
-// off the published worklist until the shared counter runs out, then
-// reports the barrier.
-func (n *Network) workerLoop(wake chan struct{}) {
+// partition (re)derives the shard layout and worker ownership: the
+// topology partitioner yields the shard member lists, shards map onto
+// workers in contiguous blocks balanced by node count, and every node is
+// classified interior/boundary by whether all its wired edges stay
+// inside its shard. Runs on the control path (SetWorkers/SetShards), so
+// its allocations never touch the steady state.
+func (n *Network) partition() {
+	k := n.Workers()
+	s := n.shardsReq
+	if s <= 0 {
+		s = k
+	}
+	parts := n.cfg.Topology.Partition(s)
+	s = len(parts)
+	n.numShards = s
+
+	if n.shardOf == nil {
+		n.shardOf = make([]int32, len(n.nodes))
+		n.workerOf = make([]int32, len(n.nodes))
+		n.interior = make([]bool, len(n.nodes))
+	}
+	for si, p := range parts {
+		for _, id := range p {
+			n.shardOf[id] = int32(si)
+		}
+	}
+
+	// Shard → worker: contiguous shard blocks, balanced by node count
+	// (same proportional-target rule as the region grouping in
+	// topology.Partition). With s < k the trailing workers own nothing
+	// and only participate in the barriers.
+	shardWorker := make([]int32, s)
+	c, cum := 0, 0
+	for si := range parts {
+		shardWorker[si] = int32(c)
+		cum += len(parts[si])
+		switch {
+		case c >= k-1:
+		case s-si-1 == k-c-1:
+			c++
+		case cum*k >= (c+1)*len(n.nodes):
+			c++
+		}
+	}
+
+	n.wrk = make([]workerRun, k)
+	for _, nd := range n.nodes {
+		w := shardWorker[n.shardOf[nd.id]]
+		n.workerOf[nd.id] = w
+		n.wrk[w].nodes = append(n.wrk[w].nodes, nd)
+	}
+
+	// Interior classification. Wiring is symmetric (Connect wires both
+	// directions), but check inbound and outbound edges independently so
+	// the classification never depends on that.
+	n.allBoundary = 0
+	for _, nd := range n.nodes {
+		in := true
+		for i := range nd.in {
+			if n.shardOf[nd.in[i].peer] != n.shardOf[nd.id] {
+				in = false
+				break
+			}
+		}
+		if in {
+			for _, x := range nd.outPeer {
+				if x >= 0 && n.shardOf[x] != n.shardOf[nd.id] {
+					in = false
+					break
+				}
+			}
+		}
+		n.interior[nd.id] = in
+		if !in {
+			n.allBoundary++
+		}
+	}
+}
+
+// ShardLayout reports the current partition for diagnostics and tests:
+// the shard count and how many nodes are interior (every wired edge
+// stays inside the node's shard) vs boundary.
+func (n *Network) ShardLayout() (shards, interior, boundary int) {
+	return n.numShards, len(n.nodes) - n.allBoundary, n.allBoundary
+}
+
+// ShardOf returns the shard owning the given node.
+func (n *Network) ShardOf(node int) int { return int(n.shardOf[node]) }
+
+// serialCutoff is the active-set size below which a cycle skips the pool
+// and runs inline: with fewer than two active nodes per worker the
+// wake/join round-trip costs more than the work it spreads. Derived from
+// the worker count (a fixed constant would either never fire for large
+// pools or always fire for small ones); purely a performance knob — the
+// serial and pooled paths are bit-identical by construction.
+func (n *Network) serialCutoff() int { return 2 * n.Workers() }
+
+// workerLoop is one pool goroutine: woken once per cycle, it runs its
+// resident shard block through the published mode and reports the join.
+func (n *Network) workerLoop(id int, wake chan struct{}) {
 	for range wake {
-		n.drainNodes(n.phList, n.phID, n.phT)
+		n.runShardCycle(id, n.cycMode, n.cycT, n.cycAll)
 		n.wwg.Done()
 	}
 }
 
-// runPhase executes one phase over the given worklist (the full node set
-// with gating off, the compact active set with gating on), sharded across
-// the pool. phList/phID/phT are published before the channel sends, which
-// happen-before the workers' reads; the WaitGroup closes the barrier.
-// Tiny worklists skip the pool: the barrier costs more than the work.
-func (n *Network) runPhase(list []*node, ph int, t int64) {
-	if n.workers <= 1 || len(list) < 2 {
-		for _, nd := range list {
-			n.stepNode(ph, nd, t)
-		}
+// runCycle executes one flit cycle. The per-worker active lists (or the
+// resident node lists when all is set — the NoIdleSkip path) were
+// prepared by buildActive; total and boundary are its counts. Small
+// cycles run inline; otherwise the mode is published, every worker is
+// woken exactly once, and the stepping goroutine participates as worker
+// 0 before closing the end-of-cycle join.
+func (n *Network) runCycle(t int64, total, boundary int, all bool) {
+	if total == 0 {
 		return
 	}
-	n.phList, n.phID, n.phT = list, ph, t
-	n.widx.Store(0)
-	n.wwg.Add(len(n.wake))
+	k := n.Workers()
+	if k <= 1 || total < n.serialCutoff() {
+		n.runCycleSerial(t, all)
+		return
+	}
+	mode := cycSplit
+	switch {
+	case boundary == 0:
+		// Every active node is interior: workers cannot interact at all
+		// this cycle (their lanes, claims and neighbor reads all resolve
+		// inside their own shard), so even the impairment drops are safe —
+		// each worker's fused pass keeps them ordered before its own
+		// schedule reads.
+		mode = cycFused
+	case len(n.impair) > 0:
+		mode = cycSplitImpair
+		n.midwg2.Add(k)
+		n.midwg.Add(k)
+	default:
+		n.midwg.Add(k)
+	}
+	n.cycMode, n.cycT, n.cycAll = mode, t, all
+	n.wwg.Add(k - 1)
 	for _, ch := range n.wake {
 		ch <- struct{}{}
 	}
-	n.drainNodes(list, ph, t)
+	n.runShardCycle(0, mode, t, all)
 	n.wwg.Wait()
 }
 
-// drainNodes claims worklist entries off the shared counter until none
-// remain.
-func (n *Network) drainNodes(list []*node, ph int, t int64) {
-	for {
-		i := int(n.widx.Add(1)) - 1
-		if i >= len(list) {
-			return
+// runCycleSerial is the inline fallback: the same per-shard passes in
+// worker order on the stepping goroutine. Order across nodes within a
+// pass cannot affect results (the phase contract), so this is
+// bit-identical to the pooled path.
+func (n *Network) runCycleSerial(t int64, all bool) {
+	for w := range n.wrk {
+		for _, nd := range n.list(w, all) {
+			n.phaseDeliver(nd, t)
 		}
-		n.stepNode(ph, list[i], t)
+	}
+	for w := range n.wrk {
+		ws := &n.wrk[w]
+		for _, nd := range n.list(w, all) {
+			n.phaseSchedule(nd, t, ws)
+		}
+	}
+	for w := range n.wrk {
+		for _, nd := range n.list(w, all) {
+			n.phaseCommit(nd, t)
+		}
+	}
+	if !all {
+		for w := range n.wrk {
+			n.commitExtras(&n.wrk[w], t)
+		}
 	}
 }
 
-// stepNode dispatches one node's share of the given phase.
-func (n *Network) stepNode(ph int, nd *node, t int64) {
-	switch ph {
-	case phaseDeliver:
-		n.phaseDeliver(nd, t)
-	case phaseSchedule:
-		n.phaseSchedule(nd, t)
-	case phaseCommit:
-		n.phaseCommit(nd, t)
-	case phaseCommitClaims:
+// list returns worker w's worklist for this cycle: its slice of the
+// active set, or its full resident block when gating is off.
+func (n *Network) list(w int, all bool) []*node {
+	if all {
+		return n.wrk[w].nodes
+	}
+	return n.wrk[w].act
+}
+
+// runShardCycle is one worker's whole cycle over its resident shard
+// block. Pass A fuses deliver and schedule; pass B commits. The
+// mid-cycle sequence point between them exists only in the split modes —
+// it is what makes a sender's staged claims and lane appends visible to
+// their cross-shard consumers — and is the single global barrier of the
+// common parallel cycle (cycSplit); the end-of-cycle join doubles as the
+// return to the serial path.
+func (n *Network) runShardCycle(w, mode int, t int64, all bool) {
+	ws := &n.wrk[w]
+	list := ws.act
+	if all {
+		list = ws.nodes
+	}
+	switch mode {
+	case cycFused:
+		for _, nd := range list {
+			n.phaseDeliver(nd, t)
+		}
+		for _, nd := range list {
+			n.phaseSchedule(nd, t, ws)
+		}
+		for _, nd := range list {
+			n.phaseCommit(nd, t)
+		}
+		if !all {
+			// Interior-only cycle: every extra this worker recorded is a
+			// same-shard receiver, so it commits them without looking at
+			// any other worker's list.
+			n.commitExtras(ws, t)
+		}
+	case cycSplit:
+		for _, nd := range list {
+			n.phaseDeliver(nd, t)
+		}
+		for _, nd := range list {
+			n.phaseSchedule(nd, t, ws)
+		}
+		n.midwg.Done()
+		n.midwg.Wait()
+		for _, nd := range list {
+			n.phaseCommit(nd, t)
+		}
+		if !all {
+			n.commitExtrasOwned(w, t)
+		}
+	case cycSplitImpair:
+		for _, nd := range list {
+			n.phaseDeliver(nd, t)
+		}
+		n.midwg2.Done()
+		n.midwg2.Wait()
+		for _, nd := range list {
+			n.phaseSchedule(nd, t, ws)
+		}
+		n.midwg.Done()
+		n.midwg.Wait()
+		for _, nd := range list {
+			n.phaseCommit(nd, t)
+		}
+		if !all {
+			n.commitExtrasOwned(w, t)
+		}
+	}
+}
+
+// commitExtras commits the inbound claims of the gated-out receivers one
+// worker recorded while staging claims, deduplicated by the extra stamp.
+// Serial path and fused cycles: every recorded receiver is owned by the
+// recording worker.
+func (n *Network) commitExtras(ws *workerRun, t int64) {
+	for _, nd := range ws.extras {
+		if n.extraStamp[nd.id] == t {
+			continue
+		}
+		n.extraStamp[nd.id] = t
 		n.commitClaims(nd)
+	}
+}
+
+// commitExtrasOwned is the split-cycle form: worker w scans every
+// worker's extras (visible — recording happened before the sequence
+// point) and commits the ones it owns. The extra stamp has a single
+// writer per slot (the owner), so the dedup is race-free.
+func (n *Network) commitExtrasOwned(w int, t int64) {
+	for i := range n.wrk {
+		for _, nd := range n.wrk[i].extras {
+			if n.workerOf[nd.id] != int32(w) || n.extraStamp[nd.id] == t {
+				continue
+			}
+			n.extraStamp[nd.id] = t
+			n.commitClaims(nd)
+		}
 	}
 }

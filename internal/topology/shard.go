@@ -1,0 +1,115 @@
+package topology
+
+// shard.go partitions a topology's node set into shards for the
+// network's shard-resident parallel executor (internal/network,
+// workers.go). The goal is locality: a good partition keeps most wired
+// edges inside one shard, because the executor only needs cross-worker
+// synchronization for edges that straddle a shard boundary.
+//
+// Two strategies cover every topology the generators produce:
+//
+//   - Plain topologies (mesh, torus, irregular — one region): contiguous
+//     node-ID ranges. Mesh and torus builders number nodes row-major, so
+//     a contiguous range is a band of whole rows and only the seam rows
+//     touch another shard.
+//   - Generated fabrics with region metadata (fat tree: pods + core
+//     plane; dragonfly: groups): region-aligned grouping. Regions are
+//     the fabric's locality units — intra-pod and intra-group edges
+//     dominate — so shards are built from whole regions whenever the
+//     shard count allows it, and only the sparse inter-region links
+//     (core uplinks, global channels) cross shards.
+
+// Partition splits the node set into at most s non-empty shards and
+// returns each shard's node IDs in ascending order. Shards are built
+// from contiguous runs of the region-major node order (plain node order
+// when the topology has a single region), balanced by node count. When
+// s does not exceed the region count, every region lands wholly inside
+// one shard (region alignment); otherwise regions are cut as evenly as
+// the node count allows. s is clamped to [1, Nodes].
+func (t *Topology) Partition(s int) [][]int32 {
+	if s > t.Nodes {
+		s = t.Nodes
+	}
+	if s < 1 {
+		s = 1
+	}
+	regions := t.NumRegions()
+	if regions > 1 && s <= regions {
+		return t.partitionByRegion(s, regions)
+	}
+	order := t.regionOrder(regions)
+	shards := make([][]int32, s)
+	for i := 0; i < s; i++ {
+		lo, hi := i*t.Nodes/s, (i+1)*t.Nodes/s
+		shard := make([]int32, hi-lo)
+		copy(shard, order[lo:hi])
+		sortInt32(shard)
+		shards[i] = shard
+	}
+	return shards
+}
+
+// regionOrder returns the node IDs in region-major order (region index
+// ascending, node ID ascending inside each region). With one region this
+// is plain ascending node order.
+func (t *Topology) regionOrder(regions int) []int32 {
+	order := make([]int32, 0, t.Nodes)
+	if regions <= 1 {
+		for id := 0; id < t.Nodes; id++ {
+			order = append(order, int32(id))
+		}
+		return order
+	}
+	for r := 0; r < regions; r++ {
+		for id := 0; id < t.Nodes; id++ {
+			if t.Region(id) == r {
+				order = append(order, int32(id))
+			}
+		}
+	}
+	return order
+}
+
+// partitionByRegion groups whole regions into s shards: regions are
+// visited in index order and assigned to the current shard until its
+// cumulative node count reaches the proportional target, advancing early
+// when exactly one region per remaining shard is left (which guarantees
+// every shard gets at least one region).
+func (t *Topology) partitionByRegion(s, regions int) [][]int32 {
+	shards := make([][]int32, s)
+	c, cum := 0, 0
+	for r := 0; r < regions; r++ {
+		var members []int32
+		for id := 0; id < t.Nodes; id++ {
+			if t.Region(id) == r {
+				members = append(members, int32(id))
+			}
+		}
+		shards[c] = append(shards[c], members...)
+		cum += len(members)
+		switch {
+		case c >= s-1:
+			// Last shard absorbs the tail.
+		case regions-r-1 == s-c-1:
+			// One region per remaining shard: must advance.
+			c++
+		case cum*s >= (c+1)*t.Nodes:
+			// Proportional target reached.
+			c++
+		}
+	}
+	for i := range shards {
+		sortInt32(shards[i])
+	}
+	return shards
+}
+
+// sortInt32 sorts a small int32 slice ascending (insertion sort; shard
+// member lists are built once at partition time, not on any hot path).
+func sortInt32(a []int32) {
+	for i := 1; i < len(a); i++ {
+		for j := i; j > 0 && a[j] < a[j-1]; j-- {
+			a[j], a[j-1] = a[j-1], a[j]
+		}
+	}
+}

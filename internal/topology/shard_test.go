@@ -1,0 +1,144 @@
+package topology
+
+import "testing"
+
+// checkPartition validates the structural invariants every partition
+// must satisfy: exact coverage (each node in exactly one shard), no
+// empty shards, and ascending member order.
+func checkPartition(t *testing.T, tp *Topology, shards [][]int32) {
+	t.Helper()
+	seen := make([]bool, tp.Nodes)
+	for si, shard := range shards {
+		if len(shard) == 0 {
+			t.Fatalf("shard %d empty", si)
+		}
+		for i, id := range shard {
+			if id < 0 || int(id) >= tp.Nodes {
+				t.Fatalf("shard %d: node %d out of range", si, id)
+			}
+			if seen[id] {
+				t.Fatalf("node %d in more than one shard", id)
+			}
+			seen[id] = true
+			if i > 0 && shard[i-1] >= id {
+				t.Fatalf("shard %d not ascending at %d", si, i)
+			}
+		}
+	}
+	for id, ok := range seen {
+		if !ok {
+			t.Fatalf("node %d in no shard", id)
+		}
+	}
+}
+
+func TestPartitionMeshContiguous(t *testing.T) {
+	tp, err := Mesh(4, 4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range []int{1, 2, 4, 3} {
+		shards := tp.Partition(s)
+		if len(shards) != s {
+			t.Fatalf("Partition(%d) returned %d shards", s, len(shards))
+		}
+		checkPartition(t, tp, shards)
+		// Plain topologies partition into contiguous node-ID ranges
+		// (row-major meshes: bands of whole rows).
+		for si, shard := range shards {
+			for i := 1; i < len(shard); i++ {
+				if shard[i] != shard[i-1]+1 {
+					t.Fatalf("s=%d shard %d not contiguous: %v", s, si, shard)
+				}
+			}
+		}
+		// Balance: node counts differ by at most one.
+		lo, hi := tp.Nodes, 0
+		for _, shard := range shards {
+			if len(shard) < lo {
+				lo = len(shard)
+			}
+			if len(shard) > hi {
+				hi = len(shard)
+			}
+		}
+		if hi-lo > 1 {
+			t.Fatalf("s=%d unbalanced: min %d max %d", s, lo, hi)
+		}
+	}
+}
+
+func TestPartitionRegionAligned(t *testing.T) {
+	fabrics := []struct {
+		name string
+		tp   func() (*Topology, error)
+	}{
+		{"fattree", func() (*Topology, error) { return FatTree(4) }},
+		{"dragonfly", func() (*Topology, error) { return Dragonfly(4, 2, 3) }},
+	}
+	for _, f := range fabrics {
+		t.Run(f.name, func(t *testing.T) {
+			tp, err := f.tp()
+			if err != nil {
+				t.Fatal(err)
+			}
+			regions := tp.NumRegions()
+			if regions < 2 {
+				t.Fatalf("fabric reports %d regions", regions)
+			}
+			for s := 2; s <= regions; s++ {
+				shards := tp.Partition(s)
+				if len(shards) != s {
+					t.Fatalf("Partition(%d) returned %d shards", s, len(shards))
+				}
+				checkPartition(t, tp, shards)
+				// Region alignment: every region lands wholly inside one
+				// shard when the shard count does not exceed the region
+				// count.
+				regionShard := make([]int, regions)
+				for i := range regionShard {
+					regionShard[i] = -1
+				}
+				for si, shard := range shards {
+					for _, id := range shard {
+						r := tp.Region(int(id))
+						if regionShard[r] == -1 {
+							regionShard[r] = si
+						} else if regionShard[r] != si {
+							t.Fatalf("s=%d region %d split across shards %d and %d",
+								s, r, regionShard[r], si)
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestPartitionSplitsRegionsWhenOversubscribed(t *testing.T) {
+	tp, err := FatTree(4) // 20 nodes, 5 regions
+	if err != nil {
+		t.Fatal(err)
+	}
+	shards := tp.Partition(8)
+	if len(shards) != 8 {
+		t.Fatalf("Partition(8) returned %d shards", len(shards))
+	}
+	checkPartition(t, tp, shards)
+}
+
+func TestPartitionClamps(t *testing.T) {
+	tp, err := Mesh(4, 4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	one := tp.Partition(0)
+	if len(one) != 1 || len(one[0]) != tp.Nodes {
+		t.Fatalf("Partition(0) = %d shards, want 1 covering all nodes", len(one))
+	}
+	max := tp.Partition(1000)
+	if len(max) != tp.Nodes {
+		t.Fatalf("Partition(1000) = %d shards, want %d singletons", len(max), tp.Nodes)
+	}
+	checkPartition(t, tp, max)
+}
